@@ -1,0 +1,51 @@
+"""Ablation — result buffer capacity bs.
+
+The paper fixes bs = 1e8 pairs. Sweeping the (bench-scaled) capacity shows
+the trade-off the batching scheme navigates: small buffers → many batches
+→ launch/pipeline overhead; huge buffers → no transfer overlap (and, on a
+real device, memory pressure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PRESETS
+from repro.util import Table, format_seconds
+
+DS, EPS = "Expo2D2M", 0.01
+CAPACITIES = (200_000, 500_000, 2_000_000, 20_000_000)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_buffer_capacity(benchmark, ctx, capacity):
+    profile = ctx.profile(DS, EPS)
+    cfg = PRESETS["workqueue"].with_(batch_result_capacity=capacity)
+    run = benchmark.pedantic(
+        ctx.model.estimate, args=(profile, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(
+        capacity=capacity,
+        batches=run.num_batches,
+        simulated_seconds=run.total_seconds,
+    )
+    assert run.num_batches >= 1
+
+
+def test_report_buffer(ctx, capsys):
+    profile = ctx.profile(DS, EPS)
+    t = Table(
+        ["capacity (pairs)", "batches", "simulated time"],
+        title=f"Buffer-capacity ablation — {DS} eps={EPS}, WORKQUEUE",
+    )
+    runs = []
+    for cap in CAPACITIES:
+        cfg = PRESETS["workqueue"].with_(batch_result_capacity=cap)
+        run = ctx.model.estimate(profile, cfg)
+        runs.append(run)
+        t.add_row([cap, run.num_batches, format_seconds(run.total_seconds)])
+    with capsys.disabled():
+        print("\n" + t.render())
+    # more capacity -> no more batches
+    batch_counts = [r.num_batches for r in runs]
+    assert batch_counts == sorted(batch_counts, reverse=True)

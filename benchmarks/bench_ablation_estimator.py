@@ -1,0 +1,55 @@
+"""Ablation — result-size estimator sampling rate.
+
+The paper fixes 1 % sampling. This bench sweeps the rate and reports
+estimate error and the resulting batch counts for both estimator variants
+(strided vs head-of-D'), confirming the head estimator's deliberate
+overestimation at every rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import Table
+
+DS, EPS = "Expo2D2M", 0.01
+RATES = (0.001, 0.01, 0.05, 0.2)
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_strided_estimator(benchmark, ctx, rate):
+    profile = ctx.profile(DS, EPS)
+    est = benchmark.pedantic(
+        profile.estimate_strided, args=(rate,), rounds=3, iterations=1
+    )
+    true = profile.total_result_size()
+    benchmark.extra_info.update(
+        rate=rate, estimate=est, true=true, rel_error=round(est / true - 1, 4)
+    )
+    assert 0.3 * true <= est <= 3.0 * true
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_head_estimator_overestimates(benchmark, ctx, rate):
+    profile = ctx.profile(DS, EPS)
+    est = benchmark.pedantic(
+        profile.estimate_head, args=(rate, "full"), rounds=3, iterations=1
+    )
+    true = profile.total_result_size()
+    benchmark.extra_info.update(rate=rate, estimate=est, true=true)
+    assert est >= true, "head-of-D' sampling must overestimate (safety property)"
+
+
+def test_report_estimator(ctx, capsys):
+    profile = ctx.profile(DS, EPS)
+    true = profile.total_result_size()
+    t = Table(
+        ["rate", "strided est", "strided err", "head est", "head over-factor"],
+        title=f"Estimator ablation — {DS} eps={EPS} (true |R|={true})",
+    )
+    for rate in RATES:
+        s = profile.estimate_strided(rate)
+        h = profile.estimate_head(rate, "full")
+        t.add_row([rate, s, f"{s / true - 1:+.2%}", h, f"{h / true:.2f}x"])
+    with capsys.disabled():
+        print("\n" + t.render())

@@ -1,0 +1,45 @@
+"""Figure 12 — real-world datasets: work-queue combinations vs baselines.
+
+Regenerates the paper's five subfigures (SW2DA/B, SW3DA/B, Gaia): response
+time vs ε for GPUCALCGLOBAL, SUPER-EGO and the WORKQUEUE combinations
+(plain, +LID-UNICOMP, +k8, and all combined).
+
+Expected shape: the combined optimizations beat GPUCALCGLOBAL across
+nearly all scenarios, most at the largest workloads (big datasets / big
+ε); SUPER-EGO is competitive at light workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import build_report, cells_of, run_cpu_cell, run_gpu_cell
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset,eps,config", cells_of("fig12", selected_only=False))
+def test_fig12_cell(benchmark, ctx, dataset, eps, config):
+    if config == "superego":
+        row = run_cpu_cell(benchmark, ctx, dataset, eps)
+        assert row.seconds > 0
+    else:
+        run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
+        assert run.total_seconds > 0
+
+
+def test_report_fig12(benchmark, ctx, capsys):
+    report = benchmark.pedantic(
+        build_report, args=(ctx, "fig12"), kwargs=dict(selected_only=True),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+
+    by_cell = {}
+    for r in report.rows:
+        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
+    wins = 0
+    for rows in by_cell.values():
+        if rows["combined"].seconds < rows["gpucalcglobal"].seconds:
+            wins += 1
+    # "outperforms GPUCALCGLOBAL across nearly all experimental scenarios"
+    assert wins >= 0.8 * len(by_cell), f"combined won only {wins}/{len(by_cell)}"

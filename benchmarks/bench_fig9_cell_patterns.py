@@ -1,0 +1,48 @@
+"""Figure 9 — response time vs ε for the three cell access patterns.
+
+Regenerates the paper's four subfigures (Expo2D, Expo6D, Unif2D, Unif6D)
+as response-time series over the ε sweep for GPUCALCGLOBAL, UNICOMP and
+LID-UNICOMP (k = 1).
+
+Expected shape (paper Section IV-C): the half-patterns roughly halve the
+distance computations; LID-UNICOMP is the fastest in most scenarios, with
+UNICOMP occasionally regressing to GPUCALCGLOBAL on heavy exponential
+workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import build_report, cells_of, run_gpu_cell
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset,eps,config", cells_of("fig9", selected_only=False))
+def test_fig9_cell(benchmark, ctx, dataset, eps, config):
+    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
+    assert run.total_seconds > 0
+
+
+def test_report_fig9(benchmark, ctx, capsys):
+    report = benchmark.pedantic(
+        build_report, args=(ctx, "fig9"), kwargs=dict(selected_only=False),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+    # shape assertion: LID-UNICOMP never slower than GPUCALCGLOBAL by more
+    # than a whisker, and strictly faster on the heavy exponential sweeps
+    from conftest import times_by_config
+
+    from repro.bench.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS["fig9"]
+    lid_wins = 0
+    cells = 0
+    for ds in spec.datasets:
+        for eps in spec.eps[ds]:
+            t = times_by_config(report, ds, eps)
+            cells += 1
+            if t["lidunicomp"] <= t["gpucalcglobal"] * 1.02:
+                lid_wins += 1
+    assert lid_wins >= cells * 0.75, "LID-UNICOMP should win in most scenarios"

@@ -1,0 +1,33 @@
+"""Table IV — WEE and time: k = 1 vs k = 8 at the selected ε.
+
+Paper observation: k = 8 always raises warp execution efficiency (the k
+threads of a query share its workload, shrinking intra-warp variance),
+even in the Unif6D case where its response time is worse.
+"""
+
+from __future__ import annotations
+
+from conftest import build_report, cells_of, run_gpu_cell
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset,eps,config", cells_of("table4", selected_only=True))
+def test_table4_cell(benchmark, ctx, dataset, eps, config):
+    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
+    assert 0 < run.warp_execution_efficiency <= 1
+
+
+def test_report_table4(benchmark, ctx, capsys):
+    report = benchmark.pedantic(
+        build_report, args=(ctx, "table4"), kwargs=dict(selected_only=True),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+
+    by_cell = {}
+    for r in report.rows:
+        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
+    for cell, rows in by_cell.items():
+        assert rows["k8"].wee_percent > rows["gpucalcglobal"].wee_percent, cell

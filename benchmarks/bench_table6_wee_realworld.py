@@ -1,0 +1,35 @@
+"""Table VI — WEE and time on the real-world datasets.
+
+Paper observation: every work-queue configuration shows a better WEE and
+response time than GPUCALCGLOBAL, confirming WEE as a proxy for load
+imbalance on real data.
+"""
+
+from __future__ import annotations
+
+from conftest import build_report, cells_of, run_gpu_cell
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset,eps,config", cells_of("table6", selected_only=True))
+def test_table6_cell(benchmark, ctx, dataset, eps, config):
+    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
+    assert 0 < run.warp_execution_efficiency <= 1
+
+
+def test_report_table6(benchmark, ctx, capsys):
+    report = benchmark.pedantic(
+        build_report, args=(ctx, "table6"), kwargs=dict(selected_only=True),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+
+    by_cell = {}
+    for r in report.rows:
+        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
+    for cell, rows in by_cell.items():
+        base = rows["gpucalcglobal"]
+        assert rows["workqueue"].wee_percent > base.wee_percent, cell
+        assert rows["workqueue"].seconds <= base.seconds * 1.05, cell

@@ -1,0 +1,150 @@
+"""Shared infrastructure for the per-table/per-figure benchmarks.
+
+Each benchmark times the library's real work — ``PerformanceModel.estimate``
+over a cached workload profile, or a full SUPER-EGO join in counting mode —
+and attaches the *simulated* metrics (modeled seconds, WEE, batches) as
+``extra_info`` so the paper-shape numbers travel with the timing report.
+
+Dataset sizes follow :mod:`repro.bench.experiments` defaults; set
+``REPRO_BENCH_SCALE`` to grow/shrink everything proportionally.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, bench_device, load_bench_dataset
+from repro.bench.runner import BENCH_BATCH_CAPACITY, run_superego_row
+from repro.core import PRESETS
+from repro.perfmodel import PerformanceModel
+
+_SEED = 0
+
+
+class BenchContext:
+    """Session-wide caches: datasets and workload profiles."""
+
+    def __init__(self):
+        self.model = PerformanceModel(device=bench_device(), seed=_SEED)
+        self._datasets = {}
+        self._profiles = {}
+
+    def dataset(self, name: str):
+        if name not in self._datasets:
+            self._datasets[name] = load_bench_dataset(name, seed=_SEED)
+        return self._datasets[name]
+
+    def profile(self, name: str, eps: float):
+        key = (name, float(eps))
+        if key not in self._profiles:
+            profile = self.model.profile(self.dataset(name), eps)
+            profile.neighbor_counts()  # materialize the expensive pass once
+            self._profiles[key] = profile
+        return self._profiles[key]
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext()
+
+
+def run_gpu_cell(benchmark, ctx: BenchContext, dataset: str, eps: float, config: str):
+    """Benchmark one (dataset, ε, GPU config) cell and return its row."""
+    profile = ctx.profile(dataset, eps)
+    cfg = PRESETS[config].with_(batch_result_capacity=BENCH_BATCH_CAPACITY)
+    run = benchmark.pedantic(
+        ctx.model.estimate, args=(profile, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(
+        dataset=dataset,
+        eps=eps,
+        config=config,
+        simulated_seconds=run.total_seconds,
+        wee_percent=round(100 * run.warp_execution_efficiency, 2),
+        batches=run.num_batches,
+        result_rows=run.total_result_rows,
+    )
+    return run
+
+
+def run_cpu_cell(benchmark, ctx: BenchContext, dataset: str, eps: float):
+    """Benchmark the SUPER-EGO baseline on one (dataset, ε) cell."""
+    points = ctx.dataset(dataset)
+    row = benchmark.pedantic(
+        run_superego_row,
+        args=(points, eps),
+        kwargs=dict(dataset=dataset),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        dataset=dataset,
+        eps=eps,
+        config="superego",
+        simulated_seconds=row.seconds,
+        result_rows=row.result_rows,
+    )
+    return row
+
+
+def cells_of(exp_id: str, *, selected_only: bool):
+    """(dataset, eps, config) parameter grid of one experiment."""
+    spec = EXPERIMENTS[exp_id]
+    out = []
+    for ds in spec.datasets:
+        for eps in spec.sweep(ds, selected_only=selected_only):
+            for config in spec.configs:
+                out.append(pytest.param(ds, eps, config, id=f"{ds}-eps{eps}-{config}"))
+    return out
+
+
+def fmt_wee(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value:.1f}%"
+
+
+def build_report(ctx: BenchContext, exp_id: str, *, selected_only: bool):
+    """Assemble an experiment's paper-style report from cached profiles.
+
+    This is what the ``test_report_*`` benchmarks time: the full model
+    evaluation of every (dataset, ε, config) cell (profiles already built).
+    """
+    from repro.bench.runner import BENCH_BATCH_CAPACITY
+    from repro.profiling import ProfileReport, ProfileRow
+
+    spec = EXPERIMENTS[exp_id]
+    report = ProfileReport(spec.title)
+    for ds in spec.datasets:
+        for eps in spec.sweep(ds, selected_only=selected_only):
+            for config in spec.configs:
+                if config == "superego":
+                    report.add(run_superego_row(ctx.dataset(ds), eps, dataset=ds))
+                    continue
+                profile = ctx.profile(ds, eps)
+                cfg = PRESETS[config].with_(
+                    batch_result_capacity=BENCH_BATCH_CAPACITY
+                )
+                run = ctx.model.estimate(profile, cfg)
+                report.add(
+                    ProfileRow(
+                        dataset=ds,
+                        epsilon=float(eps),
+                        config=config,
+                        wee_percent=100 * run.warp_execution_efficiency,
+                        seconds=run.total_seconds,
+                        num_batches=run.num_batches,
+                        num_warps=run.num_warps,
+                        result_rows=run.total_result_rows,
+                    )
+                )
+    return report
+
+
+def times_by_config(report, dataset: str, eps: float) -> dict[str, float]:
+    """Convenience lookup: config -> simulated seconds for one cell."""
+    return {
+        r.config: r.seconds
+        for r in report.rows
+        if r.dataset == dataset and r.epsilon == float(eps)
+    }

@@ -1,0 +1,90 @@
+"""Cross-matching two catalogs with the bipartite similarity join.
+
+A classic survey-science task the self-join generalizes to: match every
+detection of a new observation run (catalog A) against a reference star
+catalog (catalog B) within an ε positional tolerance. The bipartite join
+indexes the reference catalog once and streams A's queries through the
+same optimization stack as the paper's self-join (workload sorting, work
+queue, k threads per query).
+
+Run:  python examples/catalog_crossmatch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DeviceSpec, PRESETS, SimilarityJoin
+from repro.data import gaia_like
+from repro.util import Table, format_seconds
+
+EPS_DEG = 1.0
+
+# Scale the simulated device down with the example's catalog sizes so the
+# kernel spans many scheduling waves, as it would at survey scale (see
+# EXPERIMENTS.md on device scaling).
+DEVICE = DeviceSpec(name="sim-gp100-scaled", num_sms=14, warps_per_sm_slot=2)
+
+
+def make_catalogs(rng: np.random.Generator):
+    """A reference catalog and an observation run derived from it."""
+    reference = gaia_like(8_000, seed=21)
+    # the observation re-detects 60% of reference stars with astrometric
+    # noise, plus new transients scattered over the sky
+    redetected = reference[rng.random(len(reference)) < 0.6]
+    redetected = redetected + rng.normal(0.0, 0.01, redetected.shape)
+    transients = np.stack(
+        [
+            rng.uniform(-180, 180, 800),
+            np.degrees(np.arcsin(rng.uniform(-1, 1, 800))),
+        ],
+        axis=1,
+    )
+    observations = np.concatenate([redetected, transients])
+    return observations, reference, len(redetected)
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    observations, reference, n_redetected = make_catalogs(rng)
+
+    table = Table(
+        ["config", "matches", "simulated time", "WEE"],
+        title=(
+            f"Cross-match: {len(observations)} detections vs "
+            f"{len(reference)}-star reference, eps = {EPS_DEG} deg"
+        ),
+    )
+    results = {}
+    for name in ("gpucalcglobal", "workqueue_k8"):
+        res = SimilarityJoin(PRESETS[name], device=DEVICE).execute(
+            observations, reference, EPS_DEG
+        )
+        results[name] = res
+        table.add_row(
+            [
+                name,
+                res.num_pairs,
+                format_seconds(res.total_seconds),
+                f"{100 * res.warp_execution_efficiency:.1f}%",
+            ]
+        )
+    print(table.render())
+
+    base, opt = results["gpucalcglobal"], results["workqueue_k8"]
+    assert np.array_equal(base.sorted_pairs(), opt.sorted_pairs())
+
+    matched_obs = np.unique(opt.pairs[:, 0])
+    redetect_matched = (matched_obs < n_redetected).sum()
+    print(
+        f"\nidentical match sets; {redetect_matched}/{n_redetected} "
+        f"re-detections found a reference counterpart "
+        f"({100 * redetect_matched / n_redetected:.1f}%), speedup "
+        f"{base.total_seconds / opt.total_seconds:.1f}x from the paper's "
+        f"optimizations."
+    )
+    assert redetect_matched / n_redetected > 0.99
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Profiler deep dive: where do the cycles go, and why does sorting help?
+
+Uses the simulator's nvprof-style trace analysis (`repro.simt.metrics`)
+and the workload-skew diagnostics (`repro.profiling.WorkloadStats`) to
+explain — not just show — the paper's result on a skewed dataset:
+
+1. quantify the workload skew (Gini, random-packing WEE);
+2. run the baseline kernel traced, and break its cycles down by region;
+3. run the work-queue kernel and compare the breakdowns.
+
+Run:  python examples/profiler_deep_dive.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import KernelArgs, selfjoin_kernel
+from repro.core.sortbywl import sort_by_workload
+from repro.grid import GridIndex
+from repro.profiling import WorkloadStats
+from repro.simt import (
+    AtomicCounter,
+    DeviceSpec,
+    GpuMachine,
+    ResultBuffer,
+    profile_kernel,
+)
+
+DEVICE = DeviceSpec(name="sim-gp100-scaled", num_sms=14, warps_per_sm_slot=2)
+EPS = 0.3
+
+
+def traced_join(index: GridIndex, *, work_queue: bool) -> tuple:
+    """One traced kernel launch over the whole dataset."""
+    n = index.num_points
+    if work_queue:
+        order = sort_by_workload(index, "full")
+        args = KernelArgs(
+            index=index,
+            batch=np.arange(n),
+            queue_counter=AtomicCounter(),
+            queue_order=order,
+        )
+        machine = GpuMachine(DEVICE, issue_order="fifo")
+    else:
+        args = KernelArgs(index=index, batch=np.arange(n))
+        machine = GpuMachine(DEVICE, issue_order="random", seed=0)
+    stats = machine.launch(
+        selfjoin_kernel,
+        args.num_threads,
+        args,
+        result_buffer=ResultBuffer(10**7),
+        keep_traces=True,
+    )
+    return stats, profile_kernel(stats, DEVICE)
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+    pts = np.concatenate(
+        [rng.normal(1.5, 0.15, (900, 2)), rng.uniform(0, 8, (900, 2))]
+    )
+    index = GridIndex(pts, EPS)
+
+    print("== workload skew ==")
+    stats = WorkloadStats.from_index(index)
+    print(stats.render())
+    print(
+        f"\nA random 32-lane packing of these workloads caps WEE at "
+        f"{100 * stats.random_packing_wee:.1f}% — that is the number the "
+        f"paper's optimizations attack.\n"
+    )
+
+    print("== baseline kernel (GPUCALCGLOBAL, random issue order) ==")
+    base_stats, base_prof = traced_join(index, work_queue=False)
+    print(base_prof.render())
+
+    print("\n== work-queue kernel (sorted D', forced order) ==")
+    queue_stats, queue_prof = traced_join(index, work_queue=True)
+    print(queue_prof.render())
+
+    speedup = base_stats.cycles / queue_stats.cycles
+    print(
+        f"\nsame result set, same distance computations — the queue packs "
+        f"warps with equal work:\n  WEE "
+        f"{100 * base_prof.warp_execution_efficiency:.1f}% -> "
+        f"{100 * queue_prof.warp_execution_efficiency:.1f}%, kernel cycles "
+        f"{base_stats.cycles:.3g} -> {queue_stats.cycles:.3g} "
+        f"({speedup:.2f}x)"
+    )
+    assert queue_prof.warp_execution_efficiency > base_prof.warp_execution_efficiency
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: run the similarity self-join with each optimization preset.
+
+Generates a skewed 2-D dataset (a dense cluster inside a sparse
+background — the workload the paper's optimizations target), runs the
+simulated-GPU self-join under several configurations, and prints the exact
+result size together with the simulated response time and warp execution
+efficiency of each.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PRESETS, SelfJoin
+from repro.util import Table, format_seconds
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dense = rng.normal(loc=5.0, scale=0.4, size=(1500, 2))
+    sparse = rng.uniform(0.0, 20.0, size=(1500, 2))
+    points = np.concatenate([dense, sparse])
+    epsilon = 0.5
+
+    print(f"dataset: {len(points)} points in 2-D, epsilon = {epsilon}\n")
+
+    table = Table(
+        ["preset", "pairs", "batches", "simulated time", "WEE"],
+        title="Self-join under the paper's optimization presets",
+    )
+    reference = None
+    for name in (
+        "gpucalcglobal",
+        "unicomp",
+        "lidunicomp",
+        "k8",
+        "sortbywl",
+        "workqueue",
+        "combined",
+    ):
+        result = SelfJoin(PRESETS[name]).execute(points, epsilon)
+        if reference is None:
+            reference = result.sorted_pairs()
+        else:
+            # every configuration returns the exact same result set
+            assert np.array_equal(result.sorted_pairs(), reference)
+        table.add_row(
+            [
+                name,
+                result.num_pairs,
+                result.num_batches,
+                format_seconds(result.total_seconds),
+                f"{100 * result.warp_execution_efficiency:.1f}%",
+            ]
+        )
+    print(table.render())
+
+    combined = SelfJoin(PRESETS["combined"]).execute(points, epsilon)
+    neighbors = combined.neighbor_lists()
+    densest = max(neighbors, key=lambda q: len(neighbors[q]))
+    print(
+        f"\nresult check: every preset returned {combined.num_pairs} identical "
+        f"pairs;\npoint {densest} has the most neighbors "
+        f"({len(neighbors[densest])}) — it sits in the dense cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

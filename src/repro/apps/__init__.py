@@ -1,0 +1,32 @@
+"""Applications built on the similarity join — the paper's motivation.
+
+The introduction lists the self-join as "a building block to several
+algorithms such as data cleaning, near-duplicate detection, document
+similarity, or clustering algorithms". This package provides those
+building blocks as first-class library features, each running on one
+simulated-GPU join call:
+
+- :func:`dbscan` — density-based clustering from a single self-join;
+- :func:`deduplicate` — near-duplicate groups as ε-pair connected
+  components (data cleaning / entity resolution);
+- :func:`knn` — exact k-nearest neighbors by adaptive ε-expansion of the
+  range join;
+- :class:`UnionFind` — the path-compressed disjoint-set the group
+  builders share.
+"""
+
+from repro.apps.dbscan import DBSCAN_NOISE, DbscanResult, dbscan
+from repro.apps.dedup import DedupResult, deduplicate
+from repro.apps.knn import KnnResult, knn
+from repro.apps.unionfind import UnionFind
+
+__all__ = [
+    "DBSCAN_NOISE",
+    "DbscanResult",
+    "DedupResult",
+    "KnnResult",
+    "UnionFind",
+    "dbscan",
+    "deduplicate",
+    "knn",
+]

@@ -1,0 +1,91 @@
+"""DBSCAN density clustering from one similarity self-join.
+
+DBSCAN's expensive step is the ε-range query around every point — exactly
+the distance-similarity self-join. One join call yields every
+neighborhood; the rest is the classic labeling pass:
+
+- a point with ≥ ``min_pts`` ε-neighbors (itself included) is a *core*
+  point;
+- clusters are the connected components of core points under ε-adjacency;
+- non-core points adjacent to a core point join its cluster (border
+  points), everything else is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.unionfind import UnionFind
+from repro.core import OptimizationConfig, PRESETS, SelfJoin
+from repro.core.result import JoinResult
+
+__all__ = ["DBSCAN_NOISE", "DbscanResult", "dbscan"]
+
+DBSCAN_NOISE = -1
+
+
+@dataclass(frozen=True)
+class DbscanResult:
+    """Cluster labels plus the underlying join's simulated metrics."""
+
+    labels: np.ndarray  # cluster id per point, DBSCAN_NOISE for noise
+    core_mask: np.ndarray
+    join: JoinResult
+
+    @property
+    def num_clusters(self) -> int:
+        return len(np.unique(self.labels[self.labels != DBSCAN_NOISE]))
+
+    @property
+    def noise_count(self) -> int:
+        return int((self.labels == DBSCAN_NOISE).sum())
+
+
+def dbscan(
+    points,
+    eps: float,
+    min_pts: int,
+    *,
+    config: OptimizationConfig | None = None,
+    joiner: SelfJoin | None = None,
+) -> DbscanResult:
+    """Cluster ``points`` with DBSCAN parameters ``(eps, min_pts)``.
+
+    ``min_pts`` counts the point itself, as in the original formulation.
+    The underlying self-join runs with ``config`` (default: the paper's
+    combined optimizations) or a caller-supplied :class:`SelfJoin`.
+    """
+    if min_pts < 1:
+        raise ValueError("min_pts must be >= 1")
+    if joiner is None:
+        joiner = SelfJoin(config if config is not None else PRESETS["combined"])
+    result = joiner.execute(points, eps)
+    n = result.num_points
+
+    # neighbor counts straight from the pair list (self pairs included)
+    counts = np.bincount(result.pairs[:, 0], minlength=n)
+    core = counts >= min_pts
+
+    # clusters = connected components of core-core ε-edges
+    uf = UnionFind(n)
+    pairs = result.pairs
+    core_edges = pairs[core[pairs[:, 0]] & core[pairs[:, 1]]]
+    uf.union_pairs(core_edges)
+
+    labels = np.full(n, DBSCAN_NOISE, dtype=np.int64)
+    roots = uf.labels()
+    core_roots = np.unique(roots[core])
+    relabel = {int(r): i for i, r in enumerate(core_roots)}
+    for i in np.flatnonzero(core):
+        labels[i] = relabel[int(roots[i])]
+
+    # border points: non-core with at least one core neighbor — take the
+    # first core neighbor's cluster (order-deterministic, as classic
+    # DBSCAN's assignment is scan-order dependent too)
+    border_edges = pairs[~core[pairs[:, 0]] & core[pairs[:, 1]]]
+    for a, b in border_edges:
+        if labels[a] == DBSCAN_NOISE:
+            labels[a] = labels[b]
+    return DbscanResult(labels=labels, core_mask=core, join=result)

@@ -1,0 +1,77 @@
+"""Near-duplicate detection / data cleaning on the self-join.
+
+Records embedded as points are near-duplicates when within ε; duplicate
+*groups* are the connected components of the ε-pair graph. The canonical
+representative of each group is its lowest index (stable under input
+order), which is what a data-cleaning pipeline keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.unionfind import UnionFind
+from repro.core import OptimizationConfig, PRESETS, SelfJoin
+from repro.core.result import JoinResult
+
+__all__ = ["DedupResult", "deduplicate"]
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Duplicate grouping of a record set."""
+
+    representative: np.ndarray  # per record: lowest index of its group
+    join: JoinResult
+
+    @property
+    def num_records(self) -> int:
+        return len(self.representative)
+
+    @property
+    def keep_mask(self) -> np.ndarray:
+        """True for the one record to keep from each group."""
+        return self.representative == np.arange(self.num_records)
+
+    @property
+    def num_unique(self) -> int:
+        return int(self.keep_mask.sum())
+
+    @property
+    def num_duplicates(self) -> int:
+        return self.num_records - self.num_unique
+
+    def groups(self) -> dict[int, np.ndarray]:
+        """Duplicate groups with ≥2 members: ``{representative: members}``."""
+        out: dict[int, np.ndarray] = {}
+        order = np.argsort(self.representative, kind="stable")
+        reps = self.representative[order]
+        bounds = np.flatnonzero(np.diff(reps)) + 1
+        for chunk in np.split(order, bounds):
+            if len(chunk) > 1:
+                out[int(self.representative[chunk[0]])] = np.sort(chunk)
+        return out
+
+
+def deduplicate(
+    records,
+    eps: float,
+    *,
+    config: OptimizationConfig | None = None,
+    joiner: SelfJoin | None = None,
+) -> DedupResult:
+    """Group records within ``eps`` of each other (transitively)."""
+    if joiner is None:
+        joiner = SelfJoin(config if config is not None else PRESETS["combined"])
+    result = joiner.execute(records, eps)
+    uf = UnionFind(result.num_points)
+    uf.union_pairs(result.pairs)
+    roots = uf.labels()
+    # lowest member index per root = stable representative
+    rep_of_root: dict[int, int] = {}
+    for i, r in enumerate(roots):
+        rep_of_root.setdefault(int(r), i)
+    representative = np.array([rep_of_root[int(r)] for r in roots], dtype=np.int64)
+    return DedupResult(representative=representative, join=result)

@@ -1,0 +1,57 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Array-backed disjoint-set over the integers ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set (with path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns False if already one."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def union_pairs(self, pairs: np.ndarray) -> None:
+        """Merge along an ``(M, 2)`` edge list."""
+        pairs = np.asarray(pairs)
+        if pairs.size == 0:
+            return
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (M, 2), got {pairs.shape}")
+        for a, b in pairs:
+            if a != b:
+                self.union(int(a), int(b))
+
+    def labels(self) -> np.ndarray:
+        """Canonical component label (root id) of every element."""
+        return np.array([self.find(i) for i in range(len(self))], dtype=np.int64)
+
+    def component_count(self) -> int:
+        return len(np.unique(self.labels()))

@@ -1,0 +1,18 @@
+"""Reference baselines used for correctness validation.
+
+These are *oracles*, not performance contenders: a blocked O(N²) brute
+force and a scipy KD-tree wrapper. Every kernel, pattern and CPU algorithm
+in the package is tested against them.
+"""
+
+from repro.baselines.bruteforce import brute_force_neighbor_counts, brute_force_pairs
+from repro.baselines.ckdtree import kdtree_pairs
+from repro.baselines.verify import VerificationReport, verify_selfjoin_result
+
+__all__ = [
+    "VerificationReport",
+    "brute_force_neighbor_counts",
+    "brute_force_pairs",
+    "kdtree_pairs",
+    "verify_selfjoin_result",
+]

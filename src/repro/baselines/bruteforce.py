@@ -1,0 +1,70 @@
+"""Blocked O(N²) brute-force self-join — the correctness oracle.
+
+The double loop of the paper's introduction, vectorized in row blocks to
+keep peak memory at ``block × N`` distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import as_points_array, check_epsilon
+
+__all__ = ["brute_force_neighbor_counts", "brute_force_pairs"]
+
+_DEFAULT_BLOCK = 512
+
+
+def brute_force_pairs(
+    points,
+    epsilon: float,
+    *,
+    include_self: bool = True,
+    block: int = _DEFAULT_BLOCK,
+) -> np.ndarray:
+    """All ordered pairs ``(i, j)`` with ``dist(p_i, p_j) <= epsilon``.
+
+    Returned in lexicographic order, shape ``(M, 2)`` int64.
+    """
+    pts = as_points_array(points)
+    eps2 = check_epsilon(epsilon) ** 2
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    n = len(pts)
+    out: list[np.ndarray] = []
+    for start in range(0, n, block):
+        rows = pts[start : start + block]
+        d2 = ((rows[:, None, :] - pts[None, :, :]) ** 2).sum(axis=-1)
+        i_loc, j = np.nonzero(d2 <= eps2)
+        i = i_loc + start
+        if not include_self:
+            keep = i != j
+            i, j = i[keep], j[keep]
+        if len(i):
+            out.append(np.stack([i, j], axis=1))
+    if not out:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(out, axis=0).astype(np.int64)
+
+
+def brute_force_neighbor_counts(
+    points,
+    epsilon: float,
+    *,
+    include_self: bool = True,
+    block: int = _DEFAULT_BLOCK,
+) -> np.ndarray:
+    """Exact ε-neighbor count per point, shape ``(N,)`` int64."""
+    pts = as_points_array(points)
+    eps2 = check_epsilon(epsilon) ** 2
+    n = len(pts)
+    counts = np.zeros(n, dtype=np.int64)
+    for start in range(0, n, block):
+        rows = pts[start : start + block]
+        d2 = ((rows[:, None, :] - pts[None, :, :]) ** 2).sum(axis=-1)
+        hit = d2 <= eps2
+        if not include_self:
+            for r in range(len(rows)):
+                hit[r, start + r] = False
+        counts[start : start + len(rows)] = hit.sum(axis=1)
+    return counts

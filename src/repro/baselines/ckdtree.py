@@ -1,0 +1,37 @@
+"""scipy cKDTree oracle — an independent implementation to test against.
+
+Using a third-party spatial index as a second oracle guards against the
+brute force and the grid sharing a bug (e.g. a boundary-condition mistake
+in ``<=`` vs ``<``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.util import as_points_array, check_epsilon
+
+__all__ = ["kdtree_pairs"]
+
+
+def kdtree_pairs(points, epsilon: float, *, include_self: bool = True) -> np.ndarray:
+    """All ordered pairs within ``epsilon``, via scipy's KD-tree.
+
+    Lexicographically sorted, shape ``(M, 2)`` int64.
+    """
+    pts = as_points_array(points)
+    eps = check_epsilon(epsilon)
+    if len(pts) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    tree = cKDTree(pts)
+    unordered = tree.query_pairs(eps, output_type="ndarray")  # i < j, no self
+    if len(unordered):
+        both = np.concatenate([unordered, unordered[:, ::-1]], axis=0)
+    else:
+        both = np.empty((0, 2), dtype=np.int64)
+    if include_self:
+        diag = np.arange(len(pts), dtype=np.int64)
+        both = np.concatenate([both, np.stack([diag, diag], axis=1)], axis=0)
+    order = np.lexsort((both[:, 1], both[:, 0]))
+    return both[order].astype(np.int64)

@@ -1,0 +1,15 @@
+"""The experiment harness: one driver per paper table/figure.
+
+- :mod:`repro.bench.experiments` — the registry mapping each of the
+  paper's evaluation artifacts (Figures 9–13, Tables I & III–VI) to
+  datasets, ε sweeps and configurations at benchmark scale;
+- :mod:`repro.bench.runner` — executes a spec against the performance
+  model (and the SUPER-EGO baseline) and returns a
+  :class:`~repro.profiling.ProfileReport`;
+- :mod:`repro.bench.cli` — ``repro-bench`` / ``python -m repro.bench``.
+"""
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentSpec
+from repro.bench.runner import run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]

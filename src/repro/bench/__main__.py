@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — alias for the repro-bench CLI."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

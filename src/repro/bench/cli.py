@@ -1,0 +1,288 @@
+"""``repro-bench`` — run paper experiments from the command line.
+
+Usage::
+
+    repro-bench list
+    repro-bench run fig9 [--size N] [--trials T] [--out FILE] [--json FILE]
+    repro-bench all [--size N] [--out DIR]
+    repro-bench compare Gaia --eps 3.0 gpucalcglobal combined
+    repro-bench validate [--size N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import (
+    DEFAULT_SIZES,
+    EXPERIMENTS,
+    bench_size,
+)
+from repro.bench.runner import run_experiment
+from repro.data import CATALOG
+from repro.util import Table
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    t = Table(["id", "title", "datasets", "configs"], title="Experiments")
+    for spec in EXPERIMENTS.values():
+        t.add_row(
+            [
+                spec.exp_id,
+                spec.title,
+                len(spec.datasets),
+                len(spec.configs),
+            ]
+        )
+    print(t.render())
+    return 0
+
+
+def _render_table1() -> str:
+    t = Table(
+        ["dataset", "n", "paper |D|", "bench |D|", "distribution"],
+        title=EXPERIMENTS["table1"].title,
+    )
+    for name in sorted(DEFAULT_SIZES):
+        entry = CATALOG[name]
+        t.add_row(
+            [name, entry.ndim, entry.paper_size, bench_size(name), entry.distribution]
+        )
+    return t.render()
+
+
+def _run_one(exp_id: str, args) -> str:
+    if exp_id == "table1":
+        return _render_table1()
+    spec = EXPERIMENTS[exp_id]
+    report = run_experiment(
+        spec,
+        size=args.size,
+        seed=args.seed,
+        trials=args.trials,
+        selected_only=args.selected_only or exp_id.startswith("table"),
+        progress=(lambda msg: print(f"  {msg}", file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    if getattr(args, "json", None):
+        import json as _json
+        from pathlib import Path as _Path
+
+        _Path(args.json).write_text(
+            _json.dumps(
+                {"experiment": exp_id, "title": spec.title, "rows": report.to_records()},
+                indent=2,
+            )
+            + "\n"
+        )
+    out = report.render()
+    if exp_id.startswith("fig") and exp_id != "fig13":
+        from repro.bench.figures import render_figure
+
+        out = out + "\n\n" + render_figure(report)
+    if exp_id == "fig13":
+        lines = [out, "", "Speedups of `combined`:"]
+        for base in ("superego", "gpucalcglobal"):
+            sp = report.speedups(base)
+            vals = [v["combined"] for v in sp.values() if "combined" in v]
+            if vals:
+                lines.append(
+                    f"  vs {base}: avg {sum(vals) / len(vals):.2f}x, "
+                    f"max {max(vals):.2f}x, min {min(vals):.2f}x"
+                )
+        out = "\n".join(lines)
+    return out
+
+
+def _cmd_run(args) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; run `repro-bench list`",
+            file=sys.stderr,
+        )
+        return 2
+    out = _run_one(args.experiment, args)
+    print(out)
+    if args.out:
+        Path(args.out).write_text(out + "\n")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    outputs = []
+    for exp_id in EXPERIMENTS:
+        print(f"== {exp_id} ==", file=sys.stderr)
+        out = _run_one(exp_id, args)
+        outputs.append(f"== {exp_id} ==\n{out}")
+        print(out)
+    if args.out:
+        outdir = Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        (outdir / "all_experiments.txt").write_text("\n\n".join(outputs) + "\n")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    """Head-to-head comparison of presets on one dataset/ε grid."""
+    from repro.bench.experiments import bench_device, load_bench_dataset
+    from repro.bench.runner import BENCH_BATCH_CAPACITY
+    from repro.core import PRESETS
+    from repro.perfmodel import PerformanceModel
+    from repro.util import format_seconds
+
+    unknown = [p for p in args.presets if p not in PRESETS]
+    if unknown:
+        print(f"unknown presets: {unknown}; available: {sorted(PRESETS)}",
+              file=sys.stderr)
+        return 2
+    if args.dataset not in DEFAULT_SIZES:
+        print(f"unknown dataset {args.dataset!r}; available: "
+              f"{sorted(DEFAULT_SIZES)}", file=sys.stderr)
+        return 2
+
+    points = load_bench_dataset(args.dataset, size=args.size, seed=args.seed)
+    model = PerformanceModel(device=bench_device(), seed=args.seed)
+    profile = model.profile(points, args.eps)
+    t = Table(
+        ["preset", "simulated time", "WEE", "batches", "speedup vs first"],
+        title=f"{args.dataset}, |D|={len(points)}, eps={args.eps}",
+    )
+    base_time = None
+    for preset in args.presets:
+        cfg = PRESETS[preset].with_(batch_result_capacity=BENCH_BATCH_CAPACITY)
+        run = model.estimate(profile, cfg)
+        if base_time is None:
+            base_time = run.total_seconds
+        t.add_row(
+            [
+                preset,
+                format_seconds(run.total_seconds),
+                f"{100 * run.warp_execution_efficiency:.1f}%",
+                run.num_batches,
+                f"{base_time / run.total_seconds:.2f}x",
+            ]
+        )
+    print(t.render())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """VM-vs-model agreement check: run both on small workloads and
+    compare kernel time, WEE and result sizes."""
+    import numpy as np
+
+    from repro.core import PRESETS, SelfJoin
+    from repro.perfmodel import PerformanceModel
+    from repro.simt import CostParams
+
+    size = args.size if args.size else 400
+    costs = CostParams(c_emit=0.0)  # emission is the one modeled quantity
+    rng = np.random.default_rng(args.seed)
+    datasets = {
+        "uniform": rng.uniform(0, 6, (size, 2)),
+        "skewed": np.concatenate(
+            [rng.normal(2, 0.3, (size // 2, 2)), rng.uniform(0, 8, (size // 2, 2))]
+        ),
+    }
+    checks = 0
+    worst = 0.0
+    t = Table(
+        ["dataset", "preset", "VM kernel", "model kernel", "WEE delta", "rows"],
+        title="SIMT VM vs performance model",
+    )
+    for ds_name, pts in datasets.items():
+        model = PerformanceModel(costs=costs, seed=args.seed)
+        profile = model.profile(pts, 0.4)
+        for preset in ("gpucalcglobal", "lidunicomp", "workqueue_k8", "combined"):
+            cfg = PRESETS[preset]
+            vm = SelfJoin(cfg, costs=costs, seed=args.seed).execute(pts, 0.4)
+            run = model.estimate(profile, cfg)
+            rel = abs(run.kernel_seconds - vm.kernel_seconds) / max(
+                vm.kernel_seconds, 1e-30
+            )
+            wee_delta = abs(
+                run.warp_execution_efficiency - vm.warp_execution_efficiency
+            )
+            rows_ok = run.total_result_rows == vm.num_pairs
+            worst = max(worst, rel, wee_delta, 0.0 if rows_ok else 1.0)
+            checks += 1
+            t.add_row(
+                [
+                    ds_name,
+                    preset,
+                    f"{vm.kernel_seconds:.3e}s",
+                    f"{run.kernel_seconds:.3e}s",
+                    f"{wee_delta:.2e}",
+                    "ok" if rows_ok else "MISMATCH",
+                ]
+            )
+    print(t.render())
+    if worst < 1e-9:
+        print(f"\nvalidation passed: {checks} checks, max deviation {worst:.2e}")
+        return 0
+    print(f"\nvalidation FAILED: max deviation {worst:.2e}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the paper's tables and figures on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--size", type=int, default=None, help="points per dataset")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument(
+        "--selected-only",
+        action="store_true",
+        help="only the table-selected epsilon per dataset",
+    )
+    common.add_argument("--verbose", action="store_true")
+    common.add_argument("--out", default=None, help="write output to file/dir")
+    common.add_argument(
+        "--json", default=None, help="also write rows as JSON to this file"
+    )
+    common.add_argument(
+        "--trials", type=int, default=3,
+        help="response-time trials to average (paper: 3)",
+    )
+
+    run_p = sub.add_parser("run", parents=[common], help="run one experiment")
+    run_p.add_argument("experiment")
+    run_p.set_defaults(func=_cmd_run)
+
+    all_p = sub.add_parser("all", parents=[common], help="run every experiment")
+    all_p.set_defaults(func=_cmd_all)
+
+    val_p = sub.add_parser(
+        "validate", parents=[common], help="check VM-vs-model agreement"
+    )
+    val_p.set_defaults(func=_cmd_validate)
+
+    cmp_p = sub.add_parser(
+        "compare", parents=[common], help="compare presets on one dataset"
+    )
+    cmp_p.add_argument("dataset", help="catalog name, e.g. Gaia")
+    cmp_p.add_argument("--eps", type=float, required=True)
+    cmp_p.add_argument(
+        "presets", nargs="+", help="preset names, first is the baseline"
+    )
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

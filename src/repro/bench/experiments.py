@@ -1,0 +1,310 @@
+"""Registry of the paper's evaluation artifacts at benchmark scale.
+
+Scaling rules (recorded per experiment in EXPERIMENTS.md):
+
+- Dataset sizes shrink from the paper's millions to benchmark defaults
+  (``DEFAULT_SIZES``, overridable via the ``REPRO_BENCH_SCALE`` env var)
+  so the suite completes on one Python core.
+- **Uniform datasets preserve density**: the domain shrinks to
+  ``100 · (N_bench / N_paper)^(1/n)`` so the paper's ε values apply
+  unchanged and give the paper's per-point neighbor counts.
+- For the skewed datasets (Expo*, SW-like, Gaia-like) ε sweeps are
+  benchmark-scale values chosen to span the same workload regimes as the
+  paper's sweeps (from a few to O(1000) mean neighbors); the ε *axis* is
+  therefore not the paper's, the light-to-heavy progression is.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import CATALOG, uniform
+from repro.data.catalog import load_dataset
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "bench_cpu",
+    "bench_device",
+    "bench_scale",
+    "bench_size",
+    "load_bench_dataset",
+]
+
+#: benchmark-scale dataset sizes (points) before REPRO_BENCH_SCALE
+DEFAULT_SIZES: dict[str, int] = {
+    **{f"Unif{d}D2M": 10_000 for d in range(2, 7)},
+    **{f"Expo{d}D2M": 10_000 for d in range(2, 7)},
+    "SW2DA": 10_000,
+    "SW2DB": 26_000,
+    "SW3DA": 10_000,
+    "SW3DB": 26_000,
+    "Gaia": 25_000,
+}
+
+
+def bench_device():
+    """The simulated device used by the benchmarks.
+
+    The paper runs ~62 k warps per kernel on 112 warp slots (hundreds of
+    scheduling waves). At the bench's ~10 k-point datasets a full GP100
+    would swallow a kernel in 3 waves and every scheduling effect would
+    vanish, so the bench device keeps the GP100's warp size and clock but
+    scales the slot count down with the dataset (14 SMs × 2 = 28 slots),
+    preserving warps-per-slot ≫ 1. Absolute simulated times scale
+    accordingly; shapes are what's compared (EXPERIMENTS.md §scaling).
+    """
+    from repro.simt import DeviceSpec
+
+    return DeviceSpec(name="sim-gp100-bench-scaled", num_sms=14, warps_per_sm_slot=2)
+
+
+def bench_cpu():
+    """The modeled CPU used by the benchmarks' SUPER-EGO baseline.
+
+    Scaled down with :func:`bench_device` (4 of the paper's 16 cores, the
+    same ÷4 applied to the GPU's warp slots) so GPU-vs-CPU ratios are
+    preserved at bench scale.
+    """
+    from repro.simt.device import CpuSpec
+
+    return CpuSpec(name="sim-xeon-bench-scaled", num_cores=4)
+
+
+def bench_scale() -> float:
+    """Global size multiplier from the REPRO_BENCH_SCALE environment var."""
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        raise ValueError("REPRO_BENCH_SCALE must be a number") from None
+    if scale <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    return scale
+
+
+def bench_size(dataset: str) -> int:
+    """Benchmark point count for a named dataset."""
+    return max(64, int(DEFAULT_SIZES[dataset] * bench_scale()))
+
+
+def load_bench_dataset(name: str, *, size: int | None = None, seed: int = 0) -> np.ndarray:
+    """Generate a dataset at benchmark scale with the documented scaling.
+
+    Uniform datasets get the density-preserving shrunken domain; everything
+    else uses its generator unchanged at the benchmark size.
+    """
+    entry = CATALOG[name]
+    n = bench_size(name) if size is None else int(size)
+    if entry.distribution == "uniform":
+        high = 100.0 * (n / entry.paper_size) ** (1.0 / entry.ndim)
+        return uniform(n, entry.ndim, seed=seed, high=high)
+    return load_dataset(name, n, seed=seed)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper table/figure: datasets × ε sweep × configurations.
+
+    ``configs`` entries are :data:`repro.core.PRESETS` names, plus the
+    special name ``"superego"`` for the CPU baseline. ``selected_eps`` marks
+    the ε the paper's companion table profiles (None → all sweep values).
+    """
+
+    exp_id: str
+    title: str
+    datasets: tuple[str, ...]
+    eps: dict[str, tuple[float, ...]]
+    configs: tuple[str, ...]
+    selected_eps: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def sweep(self, dataset: str, *, selected_only: bool = False):
+        if selected_only and dataset in self.selected_eps:
+            return (self.selected_eps[dataset],)
+        return self.eps[dataset]
+
+
+# ---------------------------------------------------------------------------
+# ε sweeps at benchmark scale (see module docstring)
+_SYNTH_EPS: dict[str, tuple[float, ...]] = {
+    # paper ε apply directly (density-preserved domain)
+    "Unif2D2M": (0.2, 0.4, 0.6, 0.8, 1.0),
+    "Unif6D2M": (4.0, 5.0, 6.0, 8.0),
+    # bench-scale sweeps spanning light→heavy workloads
+    "Expo2D2M": (0.002, 0.005, 0.01, 0.015),
+    "Expo6D2M": (0.01, 0.015, 0.02, 0.03),
+}
+_SYNTH_SELECTED = {
+    "Expo2D2M": 0.01,  # paper Table III uses ε=0.2 (its heavy regime)
+    "Expo6D2M": 0.02,  # paper: ε=1.2
+    "Unif2D2M": 1.0,  # paper: ε=1.0
+    "Unif6D2M": 8.0,  # paper: ε=8.0
+}
+_REAL_EPS: dict[str, tuple[float, ...]] = {
+    "SW2DA": (2.0, 4.0, 6.0, 8.0),
+    "SW2DB": (2.0, 4.0, 6.0, 8.0),
+    "SW3DA": (3.0, 6.0, 9.0, 12.0),
+    "SW3DB": (3.0, 6.0, 9.0, 12.0),
+    "Gaia": (1.0, 2.0, 3.0, 5.0),
+}
+# bench ε whose mean-neighbor workload sits in the regime of the paper's
+# profiled ε (paper values: SW2DA 1.2, SW2DB 0.4, SW3DA 2.4, SW3DB 0.8,
+# Gaia 0.04 — at the paper's dataset sizes)
+_REAL_SELECTED = {
+    "SW2DA": 6.0,
+    "SW2DB": 4.0,
+    "SW3DA": 9.0,
+    "SW3DB": 6.0,
+    "Gaia": 3.0,
+}
+
+_SYNTH_DATASETS = ("Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M")
+_REAL_DATASETS = ("SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia")
+
+# Figure 13 spans *all* Table I datasets (the paper omits only the 3–5-D
+# synthetics from the intermediate plots, not from the summary); bench ε
+# chosen for the same moderate-to-heavy workload regime.
+_MIDDIM_SELECTED = {
+    "Unif3D2M": 2.0,
+    "Unif4D2M": 4.0,
+    "Unif5D2M": 6.0,
+    "Expo3D2M": 0.01,
+    "Expo4D2M": 0.02,
+    "Expo5D2M": 0.03,
+}
+_MIDDIM_DATASETS = tuple(sorted(_MIDDIM_SELECTED))
+
+_ALL_DATASETS = _SYNTH_DATASETS + _MIDDIM_DATASETS + _REAL_DATASETS
+_ALL_EPS = {**_SYNTH_EPS, **_REAL_EPS}
+_ALL_SELECTED = {**_SYNTH_SELECTED, **_MIDDIM_SELECTED, **_REAL_SELECTED}
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        exp_id="table1",
+        title="Table I — dataset summary",
+        datasets=tuple(sorted(DEFAULT_SIZES)),
+        eps={},
+        configs=(),
+        notes="inventory only; renders paper size, bench size, dims",
+    ),
+    "fig9": ExperimentSpec(
+        exp_id="fig9",
+        title="Figure 9 — response time vs ε: cell access patterns",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "unicomp", "lidunicomp"),
+        notes="k = 1 throughout, as in the paper",
+    ),
+    "table3": ExperimentSpec(
+        exp_id="table3",
+        title="Table III — WEE and time: cell access patterns",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "unicomp", "lidunicomp"),
+        selected_eps=_SYNTH_SELECTED,
+    ),
+    "fig10": ExperimentSpec(
+        exp_id="fig10",
+        title="Figure 10 — response time vs ε: k=1 vs k=8",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "k8"),
+    ),
+    "table4": ExperimentSpec(
+        exp_id="table4",
+        title="Table IV — WEE and time: k=1 vs k=8",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "k8"),
+        selected_eps=_SYNTH_SELECTED,
+    ),
+    "fig11": ExperimentSpec(
+        exp_id="fig11",
+        title="Figure 11 — response time vs ε: SORTBYWL and WORKQUEUE",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "sortbywl", "workqueue"),
+    ),
+    "table5": ExperimentSpec(
+        exp_id="table5",
+        title="Table V — WEE and time: WORKQUEUE with k=8",
+        datasets=_SYNTH_DATASETS,
+        eps=_SYNTH_EPS,
+        configs=("gpucalcglobal", "workqueue_k8"),
+        selected_eps=_SYNTH_SELECTED,
+    ),
+    "fig12": ExperimentSpec(
+        exp_id="fig12",
+        title="Figure 12 — real-world datasets: combined optimizations vs baselines",
+        datasets=_REAL_DATASETS,
+        eps=_REAL_EPS,
+        configs=(
+            "gpucalcglobal",
+            "superego",
+            "workqueue",
+            "workqueue_lidunicomp",
+            "workqueue_k8",
+            "combined",
+        ),
+    ),
+    "table6": ExperimentSpec(
+        exp_id="table6",
+        title="Table VI — WEE and time on real-world datasets",
+        datasets=_REAL_DATASETS,
+        eps=_REAL_EPS,
+        configs=(
+            "gpucalcglobal",
+            "workqueue",
+            "workqueue_lidunicomp",
+            "workqueue_k8",
+            "combined",
+        ),
+        selected_eps=_REAL_SELECTED,
+    ),
+    "fig13": ExperimentSpec(
+        exp_id="fig13",
+        title="Figure 13 — speedup of the combined optimizations",
+        datasets=_ALL_DATASETS,
+        eps={name: (eps,) for name, eps in _ALL_SELECTED.items()},
+        configs=("gpucalcglobal", "superego", "combined"),
+        notes="speedups of combined over SUPER-EGO (a) and GPUCALCGLOBAL (b)",
+    ),
+    # -- ablations beyond the paper (design-choice benches) ---------------
+    "abl_scheduler": ExperimentSpec(
+        exp_id="abl_scheduler",
+        title="Ablation — warp issue order in isolation",
+        datasets=("Expo2D2M",),
+        eps={"Expo2D2M": (0.01,)},
+        configs=("gpucalcglobal", "sortbywl", "workqueue"),
+        notes="separates warp composition (SORTBYWL) from forced order (WORKQUEUE)",
+    ),
+    "abl_estimator": ExperimentSpec(
+        exp_id="abl_estimator",
+        title="Ablation — result-size estimator sampling rate",
+        datasets=("Expo2D2M",),
+        eps={"Expo2D2M": (0.01,)},
+        configs=("gpucalcglobal", "workqueue"),
+        notes="sample_fraction swept by the bench itself",
+    ),
+    "abl_buffer": ExperimentSpec(
+        exp_id="abl_buffer",
+        title="Ablation — result buffer capacity (batch count vs time)",
+        datasets=("Expo2D2M",),
+        eps={"Expo2D2M": (0.01,)},
+        configs=("workqueue",),
+        notes="batch_result_capacity swept by the bench itself",
+    ),
+    "abl_warpsize": ExperimentSpec(
+        exp_id="abl_warpsize",
+        title="Ablation — warp size sensitivity",
+        datasets=("Expo2D2M",),
+        eps={"Expo2D2M": (0.01,)},
+        configs=("gpucalcglobal", "workqueue"),
+        notes="warp_size swept by the bench itself",
+    ),
+}

@@ -1,0 +1,93 @@
+"""Terminal rendering of the paper's figures: response time vs ε series.
+
+The paper's Figures 9–12 are per-dataset subplots of response time against
+ε, one series per configuration. :func:`render_figure` regenerates them as
+ASCII charts (log-scaled y-axis, one glyph per configuration) directly
+from a :class:`~repro.profiling.ProfileReport`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.profiling import ProfileReport
+from repro.util import format_seconds
+
+__all__ = ["render_figure", "render_series_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _log(v: float) -> float:
+    return math.log10(max(v, 1e-12))
+
+
+def render_series_plot(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+) -> str:
+    """One ASCII chart: x = ε, y = seconds (log scale by default).
+
+    ``series`` maps a configuration name to its (ε, seconds) points.
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return f"{title}\n  (no data)"
+    xs = sorted({p[0] for p in pts})
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_vals = [_log(y) for y in ys] if log_y else ys
+    y_lo, y_hi = min(y_vals), max(y_vals)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        yv = _log(y) if log_y else y
+        row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    legend = []
+    for gi, (name, points) in enumerate(series.items()):
+        glyph = _GLYPHS[gi % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in sorted(points):
+            place(x, y, glyph)
+
+    top = format_seconds(10**y_hi if log_y else y_hi)
+    bottom = format_seconds(10**y_lo if log_y else y_lo)
+    pad = max(len(top), len(bottom))
+    lines = [title, "  " + "  ".join(legend)]
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}|")
+    axis = f"{'':>{pad}} +{'-' * width}+"
+    xticks = f"{'':>{pad}}  {x_lo:<10g}{'eps':^{max(0, width - 20)}}{x_hi:>10g}"
+    lines.append(axis)
+    lines.append(xticks)
+    return "\n".join(lines)
+
+
+def render_figure(report: ProfileReport, *, width: int = 64, height: int = 12) -> str:
+    """Render a whole figure: one subplot per dataset in the report."""
+    datasets: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for row in report.rows:
+        datasets.setdefault(row.dataset, {}).setdefault(row.config, []).append(
+            (row.epsilon, row.seconds)
+        )
+    parts = [report.title] if report.title else []
+    for ds, series in datasets.items():
+        parts.append(
+            render_series_plot(
+                f"-- {ds} --", series, width=width, height=height
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,125 @@
+"""Execution of experiment specs against the performance model.
+
+One :class:`~repro.perfmodel.WorkloadProfile` is built per (dataset, ε) and
+shared across all GPU configurations; the ``"superego"`` config runs the
+real EGO-join in counting mode and converts its operation counts to modeled
+16-core seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.bench.experiments import (
+    ExperimentSpec,
+    bench_cpu,
+    bench_device,
+    load_bench_dataset,
+)
+from repro.core import PRESETS
+from repro.ego import SuperEgo
+from repro.perfmodel import PerformanceModel
+from repro.perfmodel.cputime import superego_seconds
+from repro.profiling import ProfileReport, ProfileRow
+
+__all__ = ["run_experiment", "run_superego_row"]
+
+# Bench-scale result buffers: large enough that heavy sweeps run a handful
+# of batches each holding multiple scheduling waves (the paper's regime);
+# the batching machinery itself is stressed by abl_buffer/abl_estimator and
+# the unit tests with deliberately small buffers.
+BENCH_BATCH_CAPACITY = 10_000_000
+
+
+def run_superego_row(points, epsilon: float, *, dataset: str, cpu=None) -> ProfileRow:
+    """Run SUPER-EGO in counting mode and model its parallel CPU time.
+
+    ``cpu`` defaults to the bench-scaled host (see
+    :func:`repro.bench.experiments.bench_cpu`).
+    """
+    ego = SuperEgo()
+    res = ego.join(points, epsilon, collect_pairs=False)
+    run = superego_seconds(
+        res.counts,
+        len(points),
+        points.shape[1],
+        cpu=cpu if cpu is not None else bench_cpu(),
+    )
+    return ProfileRow(
+        dataset=dataset,
+        epsilon=float(epsilon),
+        config="superego",
+        wee_percent=float("nan"),  # CPU: no warps
+        seconds=run.total_seconds,
+        num_batches=1,
+        num_warps=0,
+        result_rows=ego.result_rows(res.counts, len(points)),
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    size: int | None = None,
+    seed: int = 0,
+    trials: int = 3,
+    selected_only: bool = False,
+    model: PerformanceModel | None = None,
+    batch_capacity: int = BENCH_BATCH_CAPACITY,
+    datasets: Iterable[str] | None = None,
+    progress=None,
+) -> ProfileReport:
+    """Run every (dataset, ε, config) cell of an experiment.
+
+    ``trials`` follows the paper's methodology ("we average the response
+    times over three trials"): the reported time averages that many runs,
+    each perturbing the one stochastic component — the hardware
+    scheduler's issue-order seed. ``selected_only`` restricts each dataset
+    to the ε its companion table profiles. ``progress`` is an optional
+    callable receiving one status string per completed cell.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    model = model if model is not None else PerformanceModel(device=bench_device(), seed=seed)
+    report = ProfileReport(spec.title)
+    names = tuple(datasets) if datasets is not None else spec.datasets
+    for ds in names:
+        points = load_bench_dataset(ds, size=size, seed=seed)
+        for eps in spec.sweep(ds, selected_only=selected_only):
+            profile = None
+            for config in spec.configs:
+                if config == "superego":
+                    row = run_superego_row(points, eps, dataset=ds)
+                else:
+                    if profile is None:
+                        profile = model.profile(points, eps)
+                    cfg = PRESETS[config].with_(batch_result_capacity=batch_capacity)
+                    runs = [
+                        model.estimate(profile, cfg, seed=seed + t)
+                        for t in range(trials)
+                    ]
+                    run = runs[0]
+                    mean_seconds = sum(r.total_seconds for r in runs) / len(runs)
+                    row = ProfileRow(
+                        dataset=ds,
+                        epsilon=float(eps),
+                        config=config,
+                        wee_percent=100.0 * run.warp_execution_efficiency,
+                        seconds=mean_seconds,
+                        num_batches=run.num_batches,
+                        num_warps=run.num_warps,
+                        result_rows=run.total_result_rows,
+                    )
+                report.add(row)
+                if progress is not None:
+                    progress(
+                        f"{spec.exp_id}: {ds} eps={eps} {config} -> "
+                        f"{row.seconds * 1e3:.2f}ms"
+                        + (
+                            ""
+                            if math.isnan(row.wee_percent)
+                            else f" (WEE {row.wee_percent:.1f}%)"
+                        )
+                    )
+    return report

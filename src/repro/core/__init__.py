@@ -1,0 +1,60 @@
+"""The paper's contribution: load-imbalance-mitigated GPU self-join.
+
+Composable optimizations (Section III of the paper):
+
+- **cell access patterns** (:mod:`repro.core.patterns`) — ``full`` (the
+  GPUCALCGLOBAL 3**n search), ``unicomp`` (Gowanlock & Karsin's
+  parity-based unidirectional comparison) and ``lidunicomp`` (the paper's
+  linear-id unidirectional comparison);
+- **query granularity** ``k`` (:mod:`repro.core.granularity`) — k threads
+  share one query point's candidate set;
+- **SORTBYWL** (:mod:`repro.core.sortbywl`) — reorder points by quantified
+  workload so warps hold similar workloads;
+- **WORKQUEUE** (:mod:`repro.core.workqueue`) — an atomic-counter queue over
+  the workload-sorted array, forcing most-work-first warp execution;
+- the **batching scheme** (:mod:`repro.core.batching`) — result-size
+  estimation by sampling and bounded per-kernel result buffers.
+
+:class:`SelfJoin` is the public facade: configure with
+:class:`OptimizationConfig` (or a named preset), call
+:meth:`~repro.core.selfjoin.SelfJoin.execute`, receive a
+:class:`~repro.core.result.JoinResult` carrying the exact pair set plus the
+simulated profiler statistics.
+"""
+
+from repro.core.batching import (
+    BatchPlan,
+    estimate_result_size,
+    plan_batches,
+    plan_batches_balanced,
+)
+from repro.core.config import PRESETS, OptimizationConfig
+from repro.core.granularity import thread_share_counts
+from repro.core.join import SimilarityJoin
+from repro.core.patterns import (
+    PATTERN_NAMES,
+    pattern_cells_for_query,
+    pattern_offset_selector,
+)
+from repro.core.result import JoinResult
+from repro.core.selfjoin import SelfJoin
+from repro.core.sortbywl import cell_workloads, point_workloads, sort_by_workload
+
+__all__ = [
+    "BatchPlan",
+    "JoinResult",
+    "OptimizationConfig",
+    "PATTERN_NAMES",
+    "PRESETS",
+    "SelfJoin",
+    "SimilarityJoin",
+    "cell_workloads",
+    "estimate_result_size",
+    "pattern_cells_for_query",
+    "pattern_offset_selector",
+    "plan_batches",
+    "plan_batches_balanced",
+    "point_workloads",
+    "sort_by_workload",
+    "thread_share_counts",
+]

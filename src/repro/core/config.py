@@ -1,0 +1,121 @@
+"""Configuration of the self-join optimization stack.
+
+An :class:`OptimizationConfig` selects one value along each of the paper's
+four optimization axes; :data:`PRESETS` names the exact configurations the
+evaluation section compares (Table II notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["OptimizationConfig", "PRESETS"]
+
+_VALID_PATTERNS = ("full", "unicomp", "lidunicomp")
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """One point in the paper's optimization space.
+
+    Attributes
+    ----------
+    pattern:
+        Cell access pattern: ``"full"`` (GPUCALCGLOBAL's 3**n search),
+        ``"unicomp"`` or ``"lidunicomp"``.
+    k:
+        Threads per query point (Section III-A). Must divide the warp size.
+    sort_by_workload:
+        Apply SORTBYWL (Section III-C): points are reordered so cells with
+        the most work come first.
+    work_queue:
+        Apply WORKQUEUE (Section III-D): point assignment through a
+        persistent atomic counter over the workload-sorted array. Implies
+        ``sort_by_workload``.
+    balanced_batches:
+        With ``work_queue``, group batches dynamically so each yields a
+        similar estimated result size (the paper's Section V future-work
+        direction) instead of equal point counts.
+    batch_result_capacity:
+        Per-kernel result buffer size bs (pairs). The paper fixes 10**8; the
+        default here is scaled down with the default dataset sizes.
+    num_streams:
+        In-flight batches for the transfer pipeline (paper: 3).
+    sample_fraction:
+        Fraction of the dataset sampled by the result-size estimator
+        (paper: 1 %).
+    """
+
+    pattern: str = "full"
+    k: int = 1
+    sort_by_workload: bool = False
+    work_queue: bool = False
+    balanced_batches: bool = False
+    batch_result_capacity: int = 10**8
+    num_streams: int = 3
+    sample_fraction: float = 0.01
+
+    def __post_init__(self):
+        if self.pattern not in _VALID_PATTERNS:
+            raise ValueError(
+                f"pattern must be one of {_VALID_PATTERNS}, got {self.pattern!r}"
+            )
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.k & (self.k - 1):
+            raise ValueError("k must be a power of two so it divides the warp size")
+        if self.batch_result_capacity < 1:
+            raise ValueError("batch_result_capacity must be >= 1")
+        if self.num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        if not 0 < self.sample_fraction <= 1:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if self.balanced_batches and not self.work_queue:
+            raise ValueError("balanced_batches requires work_queue")
+        if self.work_queue and not self.sort_by_workload:
+            # WORKQUEUE consumes the workload-sorted array by construction.
+            object.__setattr__(self, "sort_by_workload", True)
+
+    @property
+    def uses_sorted_points(self) -> bool:
+        return self.sort_by_workload or self.work_queue
+
+    def with_(self, **changes) -> "OptimizationConfig":
+        """A copy with the given fields replaced (preset refinement)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``lidunicomp+queue, k=8``."""
+        parts = [self.pattern]
+        if self.work_queue:
+            parts.append("queue")
+        elif self.sort_by_workload:
+            parts.append("sortbywl")
+        tag = "+".join(parts)
+        return f"{tag}, k={self.k}"
+
+
+#: The named configurations of the paper's evaluation (Table II).
+PRESETS: dict[str, OptimizationConfig] = {
+    # original kernel of Gowanlock & Karsin 2018 — the GPU baseline
+    "gpucalcglobal": OptimizationConfig(pattern="full", k=1),
+    # original cell access pattern of Gowanlock & Karsin 2018
+    "unicomp": OptimizationConfig(pattern="unicomp", k=1),
+    # Section III-B
+    "lidunicomp": OptimizationConfig(pattern="lidunicomp", k=1),
+    # Section III-A at the paper's evaluated k
+    "k8": OptimizationConfig(pattern="full", k=8),
+    # Section III-C
+    "sortbywl": OptimizationConfig(pattern="full", sort_by_workload=True),
+    # Section III-D
+    "workqueue": OptimizationConfig(pattern="full", work_queue=True),
+    "workqueue_lidunicomp": OptimizationConfig(pattern="lidunicomp", work_queue=True),
+    "workqueue_k8": OptimizationConfig(pattern="full", work_queue=True, k=8),
+    # the combination the paper's Figures 12-13 headline
+    "combined": OptimizationConfig(pattern="lidunicomp", work_queue=True, k=8),
+    # Section V future work: dynamically grouped batches of similar result
+    # size on top of the combined optimizations
+    "combined_balanced": OptimizationConfig(
+        pattern="lidunicomp", work_queue=True, k=8, balanced_batches=True
+    ),
+}

@@ -1,0 +1,54 @@
+"""Query granularity: splitting one query point's candidates over k threads.
+
+Section III-A of the paper assigns ``k`` threads to each query point;
+thread ``r`` (0 ≤ r < k) takes every k-th candidate of the query's
+candidate stream — the strided split of Figure 4(b). The stride runs over
+the *flat* stream formed by concatenating the candidates of all visited
+cells (each thread keeps a running offset across cells), so the k shares
+differ by at most one candidate in total, no matter how candidates spread
+over cells — this is what makes "threads of the same query share the same
+workload" hold, the property the paper's WEE gains rest on.
+
+All k threads still *visit* every pattern cell (the traversal itself is
+not divisible), which is exactly why large-k hurts when cells hold few
+candidates: the per-cell overhead is duplicated k times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_candidates", "thread_share_counts"]
+
+
+def split_candidates(
+    candidates: np.ndarray, k: int, r: int, offset: int = 0
+) -> tuple[np.ndarray, int]:
+    """Candidates of one cell assigned to thread ``r`` of ``k``.
+
+    ``offset`` is the flat stream position at which this cell starts;
+    thread ``r`` owns the flat indices ≡ r (mod k). Returns the subset and
+    the offset for the next cell.
+    """
+    if not 0 <= r < k:
+        raise ValueError(f"thread rank {r} out of range for k={k}")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    start = (r - offset) % k
+    return candidates[start::k], (offset + len(candidates)) % k
+
+
+def thread_share_counts(cell_counts: np.ndarray, k: int) -> np.ndarray:
+    """Per-thread candidate counts for each cell under the strided split.
+
+    Given ``cell_counts`` of shape ``(...,)`` returns shape ``(k, ...)``
+    where entry ``[r]`` is ``len(candidates[r::k])`` — i.e.
+    ``max(0, ceil((count - r) / k))``. Thread 0 always holds the largest
+    share, so the warp-max workload of a query's thread group is row 0.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    counts = np.asarray(cell_counts, dtype=np.int64)
+    r = np.arange(k, dtype=np.int64).reshape((k,) + (1,) * counts.ndim)
+    share = (counts - r + k - 1) // k
+    return np.maximum(share, 0)

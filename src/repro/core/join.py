@@ -1,0 +1,249 @@
+"""The bipartite similarity join A ⋈_ε B on the simulated GPU.
+
+The paper treats the self-join; this module generalizes the same
+optimization stack to joining two different datasets — the "similarity
+join" of the literature the paper builds on (and the self-join's parent
+operation):
+
+- the ε-grid indexes the inner dataset B; queries come from A;
+- the unidirectional patterns do **not** apply (they exploit the symmetry
+  of the self-join's duplicate work, which a bipartite join does not
+  have), so the access pattern is always the full ≤3**n probe and the
+  configuration must use ``pattern="full"``;
+- k-granularity, SORTBYWL (sorting A's queries by quantified workload),
+  the WORKQUEUE and the batching scheme all carry over unchanged.
+
+Result pairs are ``(a_index, b_index)`` — one direction only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import plan_batches, plan_batches_balanced
+from repro.core.config import OptimizationConfig
+from repro.core.granularity import split_candidates
+from repro.core.result import JoinResult
+from repro.core.workqueue import fetch_query_slot
+from repro.grid import GridIndex
+from repro.grid.bipartite import bipartite_neighbor_counts, bipartite_workloads
+from repro.grid.neighbors import neighbor_offsets
+from repro.simt import (
+    AtomicCounter,
+    BufferOverflowError,
+    CostParams,
+    DeviceSpec,
+    GpuMachine,
+    ResultBuffer,
+    ThreadContext,
+)
+from repro.simt.streams import simulate_stream_pipeline
+from repro.util import as_points_array, check_epsilon, stable_argsort_desc
+
+__all__ = ["BipartiteKernelArgs", "SimilarityJoin", "bipartite_kernel"]
+
+_PAIR_BYTES = 16
+_MAX_REPLANS = 8
+
+
+@dataclass
+class BipartiteKernelArgs:
+    """Device-side arguments of one bipartite batch kernel."""
+
+    index: GridIndex  # over B
+    queries: np.ndarray  # A's coordinates
+    batch: np.ndarray  # query ids this batch serves
+    k: int = 1
+    queue_counter: AtomicCounter | None = None
+    queue_order: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.queries = as_points_array(self.queries)
+        self.batch = np.asarray(self.batch, dtype=np.int64)
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if (self.queue_counter is None) != (self.queue_order is None):
+            raise ValueError("queue_counter and queue_order must be given together")
+        self._eps2 = self.index.epsilon**2
+
+    @property
+    def uses_queue(self) -> bool:
+        return self.queue_counter is not None
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.batch) * self.k
+
+
+def bipartite_kernel(ctx: ThreadContext, args: BipartiteKernelArgs) -> None:
+    """One thread of the bipartite join kernel (full pattern, external
+    queries, flat k-way candidate split)."""
+    k = args.k
+    if ctx.tid >= args.num_threads:
+        return
+    if args.uses_queue:
+        slot = fetch_query_slot(ctx, k, args.queue_counter)
+        if slot >= len(args.queue_order):
+            return
+        q = int(args.queue_order[slot])
+    else:
+        q = int(args.batch[ctx.tid // k])
+    r = ctx.tid % k
+
+    ctx.charge_setup()
+    index = args.index
+    query = args.queries[q]
+    coords = index.spec.cell_coords(query.reshape(1, -1), clamp=False)[0]
+
+    offset = 0
+    for off in neighbor_offsets(index.ndim):
+        probe = coords + off
+        if not index.spec.in_bounds(probe.reshape(1, -1))[0]:
+            continue
+        ctx.charge_cell_visit()
+        rank = int(index.lookup(index.spec.linearize(probe.reshape(1, -1)))[0])
+        if rank < 0:
+            continue
+        cand = index.points_in_cell(rank)
+        mine, offset = split_candidates(cand, k, r, offset)
+        ctx.charge_candidates(len(mine), index.ndim)
+        if len(mine) == 0:
+            continue
+        d2 = ((index.points[mine] - query) ** 2).sum(axis=1)
+        hit = mine[d2 <= args._eps2]
+        if len(hit):
+            qcol = np.full(len(hit), q, dtype=np.int64)
+            ctx.emit_pairs(np.stack([qcol, hit], axis=1))
+
+
+class SimilarityJoin:
+    """Bipartite ε-join of two datasets on the simulated GPU.
+
+    Accepts the same :class:`OptimizationConfig` as :class:`SelfJoin`
+    (``pattern`` must stay ``"full"``). ``execute(left, right, eps)``
+    returns a :class:`JoinResult` whose pairs are ``(left_idx,
+    right_idx)``.
+    """
+
+    def __init__(
+        self,
+        config: OptimizationConfig | None = None,
+        *,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        seed: int = 0,
+    ):
+        self.config = config if config is not None else OptimizationConfig()
+        if self.config.pattern != "full":
+            raise ValueError(
+                "unidirectional patterns exploit self-join symmetry; the "
+                "bipartite join requires pattern='full'"
+            )
+        self.device = device if device is not None else DeviceSpec()
+        self.costs = costs if costs is not None else CostParams()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def execute(self, left, right, epsilon: float) -> JoinResult:
+        """Join ``left`` against ``right``: all pairs within ``epsilon``."""
+        check_epsilon(epsilon)
+        queries = as_points_array(left)
+        index = GridIndex(right, epsilon)
+        cfg = self.config
+        nq = len(queries)
+
+        workloads, _ = bipartite_workloads(index, queries)
+        if cfg.uses_sorted_points:
+            order = stable_argsort_desc(workloads)
+        else:
+            order = np.arange(nq, dtype=np.int64)
+
+        counts_exact = None
+        est = self._estimate(index, queries, order, workloads)
+        weights = workloads[order].astype(float) if cfg.balanced_batches else None
+
+        for _ in range(_MAX_REPLANS):
+            if cfg.balanced_batches:
+                plan = plan_batches_balanced(
+                    order, weights, est, cfg.batch_result_capacity
+                )
+            else:
+                plan = plan_batches(
+                    order, est, cfg.batch_result_capacity, strided=not cfg.work_queue
+                )
+            try:
+                return self._run_plan(index, queries, order, plan)
+            except BufferOverflowError:
+                est = max(est * 2, cfg.batch_result_capacity + 1)
+        raise RuntimeError(
+            f"batch planning failed to converge after {_MAX_REPLANS} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate(self, index, queries, order, workloads) -> int:
+        cfg = self.config
+        nq = len(queries)
+        if nq == 0:
+            return 0
+        sample_size = max(1, int(round(nq * cfg.sample_fraction)))
+        if cfg.work_queue:
+            sample = order[:sample_size]  # heaviest queries: overestimates
+        else:
+            step = max(1, nq // sample_size)
+            sample = np.arange(0, nq, step, dtype=np.int64)
+        counts = bipartite_neighbor_counts(index, queries[sample])
+        return int(np.ceil(counts.sum() * (nq / len(sample))))
+
+    def _run_plan(self, index, queries, order, plan) -> JoinResult:
+        cfg = self.config
+        machine = GpuMachine(
+            self.device,
+            self.costs,
+            issue_order="fifo" if cfg.work_queue else "random",
+            seed=self.seed,
+        )
+        counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
+
+        all_pairs, batch_stats = [], []
+        kernel_secs, transfer_secs = [], []
+        for batch in plan.batches:
+            args = BipartiteKernelArgs(
+                index=index,
+                queries=queries,
+                batch=batch,
+                k=cfg.k,
+                queue_counter=counter,
+                queue_order=order if cfg.work_queue else None,
+            )
+            buffer = ResultBuffer(cfg.batch_result_capacity)
+            stats = machine.launch(
+                bipartite_kernel,
+                args.num_threads,
+                args,
+                result_buffer=buffer,
+                coop_groups=cfg.work_queue and cfg.k > 1,
+            )
+            pairs = buffer.drain()
+            all_pairs.append(pairs)
+            batch_stats.append(stats)
+            kernel_secs.append(stats.seconds)
+            transfer_secs.append(len(pairs) * _PAIR_BYTES / self.device.pcie_bandwidth)
+
+        pipeline = simulate_stream_pipeline(
+            kernel_secs, transfer_secs, num_streams=cfg.num_streams
+        )
+        pairs = (
+            np.concatenate(all_pairs, axis=0)
+            if all_pairs
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        return JoinResult(
+            pairs=pairs,
+            epsilon=float(index.epsilon),
+            num_points=len(queries),
+            batch_stats=batch_stats,
+            pipeline=pipeline,
+            config_description=f"bipartite {cfg.describe()}",
+        )

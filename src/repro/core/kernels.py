@@ -1,0 +1,135 @@
+"""The self-join GPU kernels, written against the SIMT VM.
+
+One kernel body covers the whole optimization space (the CUDA original is
+likewise a single templated kernel): the :class:`KernelArgs` bundle decides
+the access pattern, the thread-per-query granularity ``k``, and whether the
+query point comes from the static batch mapping or the work-queue's atomic
+counter. Each thread:
+
+1. resolves its query point (static ``tid → batch`` mapping, Figure 1, or a
+   cooperative-group queue fetch, Figure 8);
+2. scans its own cell — one direction of emission, candidates strided over
+   the ``k`` threads of the query;
+3. walks the pattern's neighbor cells, refining candidates and emitting
+   mirrored pairs for the half-patterns (UNICOMP / LID-UNICOMP).
+
+All distances are actually computed: the VM kernels return the exact result
+pair set while the trace records the cycle costs the performance model
+reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.granularity import split_candidates
+from repro.core.patterns import pattern_cells_for_query
+from repro.core.workqueue import fetch_query_slot
+from repro.grid import GridIndex
+from repro.simt import AtomicCounter, ThreadContext
+
+__all__ = ["KernelArgs", "selfjoin_kernel"]
+
+
+@dataclass
+class KernelArgs:
+    """Device-side arguments of one self-join batch kernel."""
+
+    index: GridIndex
+    batch: np.ndarray  # point ids this batch serves (static mapping order)
+    k: int = 1
+    pattern: str = "full"
+    include_self: bool = True
+    # work-queue state (None => static mapping)
+    queue_counter: AtomicCounter | None = None
+    queue_order: np.ndarray | None = None  # D': workload-sorted point ids
+
+    def __post_init__(self):
+        self.batch = np.asarray(self.batch, dtype=np.int64)
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if (self.queue_counter is None) != (self.queue_order is None):
+            raise ValueError("queue_counter and queue_order must be given together")
+        self._eps2 = self.index.epsilon * self.index.epsilon
+
+    @property
+    def uses_queue(self) -> bool:
+        return self.queue_counter is not None
+
+    @property
+    def num_threads(self) -> int:
+        """Launch width: k threads per query point of the batch."""
+        return len(self.batch) * self.k
+
+
+def _refine_and_emit(
+    ctx: ThreadContext,
+    args: KernelArgs,
+    q: int,
+    candidates: np.ndarray,
+    *,
+    mirror: bool,
+) -> None:
+    """Distance-refine ``candidates`` against query ``q`` and emit hits."""
+    index = args.index
+    ctx.charge_candidates(len(candidates), index.ndim)
+    if len(candidates) == 0:
+        return
+    d2 = ((index.points[candidates] - index.points[q]) ** 2).sum(axis=1)
+    hit = candidates[d2 <= args._eps2]
+    if not args.include_self:
+        hit = hit[hit != q]
+    if len(hit) == 0:
+        return
+    qcol = np.full(len(hit), q, dtype=np.int64)
+    pairs = np.stack([qcol, hit], axis=1)
+    if mirror:
+        pairs = np.concatenate([pairs, pairs[:, ::-1]], axis=0)
+    ctx.emit_pairs(pairs)
+
+
+def selfjoin_kernel(ctx: ThreadContext, args: KernelArgs) -> None:
+    """One thread of the self-join kernel (Algorithm 1, with Section III
+    optimizations selected by ``args``)."""
+    k = args.k
+    if ctx.tid >= args.num_threads:
+        return  # guard thread beyond the batch, as in Algorithm 1 line 3
+
+    if args.uses_queue:
+        # Section III-D: the query point comes from the persistent queue.
+        # With k > 1 a cooperative group of k threads shares one fetch.
+        slot = fetch_query_slot(ctx, k, args.queue_counter)
+        if slot >= len(args.queue_order):
+            return  # queue drained (tail batch)
+        q = int(args.queue_order[slot])
+    else:
+        q = int(args.batch[ctx.tid // k])
+    r = ctx.tid % k  # this thread's stride offset within the query's group
+
+    ctx.charge_setup()
+    index = args.index
+    cell_rank = index.cell_of_point(q)
+
+    # Own cell: single-direction emission (the symmetric pair is produced
+    # by the candidate's own thread group). Candidates are strided over the
+    # k threads along the query's *flat* candidate stream — `offset` tracks
+    # the stream position across cells so the k shares stay within one
+    # candidate of each other (Figure 4(b) generalized to many cells).
+    offset = 0
+    ctx.charge_cell_visit()
+    own = index.points_in_cell(cell_rank)
+    mine, offset = split_candidates(own, k, r, offset)
+    _refine_and_emit(ctx, args, q, mine, mirror=False)
+
+    # Pattern cells: mirrored emission for the half-patterns.
+    mirror = args.pattern != "full"
+    _, ranks = pattern_cells_for_query(args.pattern, index, cell_rank)
+    for rank in ranks:
+        ctx.charge_cell_visit()  # probing an empty neighbor still costs
+        if rank < 0:
+            continue
+        cand = index.points_in_cell(int(rank))
+        mine, offset = split_candidates(cand, k, r, offset)
+        _refine_and_emit(ctx, args, q, mine, mirror=mirror)

@@ -1,0 +1,151 @@
+"""Cell access patterns: FULL, UNICOMP and LID-UNICOMP.
+
+A pattern decides, for every (origin cell, neighbor offset) pair, whether the
+origin's points compare against the neighbor's points. Patterns other than
+``full`` visit roughly half of the neighboring cells and *mirror* each found
+pair — exploiting the symmetry of the Euclidean distance — so the emitted
+pair set is identical across patterns.
+
+- ``full``      — visit all ≤3**n adjacent cells including the origin
+                  (Algorithm 1, GPUCALCGLOBAL). No mirroring: the symmetric
+                  pair is produced by the other point's own thread.
+- ``unicomp``   — Gowanlock & Karsin's parity pattern (Algorithm 2,
+                  generalized to n dimensions): a non-zero offset δ is taken
+                  iff the origin cell's coordinate is odd in the *last*
+                  dimension where δ is non-zero. Odd-coordinate cells
+                  compare to many neighbors, even-coordinate cells to none —
+                  the imbalance the paper's Figure 2 shows.
+- ``lidunicomp``— the paper's contribution (Algorithm 3): take δ iff the
+                  neighbor's linear id is greater than the origin's. Linear
+                  ids are affine in cell coordinates, so the selected offsets
+                  are the same for *every* cell — each inner cell compares to
+                  exactly (3**n - 1) / 2 neighbors (Figure 5), removing the
+                  per-cell variance of UNICOMP.
+
+Both half-patterns handle the origin cell itself the same way FULL does
+(each thread scans its own cell and emits one direction), which keeps
+per-thread work self-contained on the GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid import GridIndex, neighbor_offsets
+from repro.grid.neighbors import offset_linear_deltas
+
+__all__ = [
+    "PATTERN_NAMES",
+    "pattern_cells_for_query",
+    "pattern_offset_selector",
+    "unicomp_pivot_dims",
+]
+
+PATTERN_NAMES = ("full", "unicomp", "lidunicomp")
+
+
+def unicomp_pivot_dims(ndim: int) -> np.ndarray:
+    """For each non-zero neighbor offset, the dimension whose parity decides
+    UNICOMP membership: the last dimension where the offset is non-zero.
+
+    Returns an int array of length ``3**ndim`` with -1 at the zero offset.
+    """
+    offs = neighbor_offsets(ndim)
+    pivot = np.full(len(offs), -1, dtype=np.int64)
+    nz = offs != 0
+    has_nz = nz.any(axis=1)
+    # last nonzero dimension = ndim - 1 - argmax over reversed axes
+    rev_first = np.argmax(nz[:, ::-1], axis=1)
+    pivot[has_nz] = ndim - 1 - rev_first[has_nz]
+    return pivot
+
+
+def pattern_offset_selector(pattern: str, index: GridIndex):
+    """Vectorized pattern membership.
+
+    Returns ``selector(offset_idx) -> mask`` where ``mask`` is a boolean
+    array over the non-empty cells saying whether each cell takes the given
+    neighbor offset. The zero offset (the origin cell) is always excluded —
+    callers handle the origin cell explicitly, since its comparison rule
+    (one-directional emission) differs from pattern cells (mirrored
+    emission).
+    """
+    if pattern not in PATTERN_NAMES:
+        raise ValueError(f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}")
+    ndim = index.ndim
+    offs = neighbor_offsets(ndim)
+    num_cells = index.num_nonempty_cells
+    zero_idx = len(offs) // 2
+
+    if pattern == "full":
+
+        def selector(offset_idx: int) -> np.ndarray:
+            if offset_idx == zero_idx:
+                return np.zeros(num_cells, dtype=bool)
+            return np.ones(num_cells, dtype=bool)
+
+        return selector
+
+    if pattern == "lidunicomp":
+        deltas = offset_linear_deltas(index, offs)
+
+        def selector(offset_idx: int) -> np.ndarray:
+            if deltas[offset_idx] > 0:
+                return np.ones(num_cells, dtype=bool)
+            return np.zeros(num_cells, dtype=bool)
+
+        return selector
+
+    # unicomp
+    pivots = unicomp_pivot_dims(ndim)
+    coords = index.cell_coords_arr
+
+    def selector(offset_idx: int) -> np.ndarray:
+        piv = pivots[offset_idx]
+        if piv < 0:
+            return np.zeros(num_cells, dtype=bool)
+        return (coords[:, piv] & 1) == 1
+
+    return selector
+
+
+def pattern_cells_for_query(
+    pattern: str, index: GridIndex, cell_rank: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kernel-facing single-cell view of a pattern.
+
+    Returns ``(visited_offsets, neighbor_ranks)`` for the origin cell
+    ``cell_rank``:
+
+    - ``visited_offsets`` — indices (into :func:`neighbor_offsets`) of the
+      *in-bounds* pattern offsets the thread will probe (each probe costs a
+      cell lookup even when the neighbor turns out empty);
+    - ``neighbor_ranks`` — rank of the non-empty cell behind each visited
+      offset, or -1 when that cell is empty.
+
+    The origin cell itself is never included (see
+    :func:`pattern_offset_selector`).
+    """
+    if pattern not in PATTERN_NAMES:
+        raise ValueError(f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}")
+    ndim = index.ndim
+    offs = neighbor_offsets(ndim)
+    zero_idx = len(offs) // 2
+    origin = index.cell_coords_arr[cell_rank]
+
+    if pattern == "full":
+        take = np.ones(len(offs), dtype=bool)
+    elif pattern == "lidunicomp":
+        take = offset_linear_deltas(index, offs) > 0
+    else:  # unicomp
+        pivots = unicomp_pivot_dims(ndim)
+        take = np.zeros(len(offs), dtype=bool)
+        valid = pivots >= 0
+        take[valid] = (origin[pivots[valid]] & 1) == 1
+    take[zero_idx] = False
+
+    coords = origin + offs[take]
+    inside = index.spec.in_bounds(coords)
+    visited = np.flatnonzero(take)[inside]
+    ranks = index.lookup(index.spec.linearize(coords[inside]))
+    return visited, ranks

@@ -1,0 +1,90 @@
+"""Join results: exact pairs plus simulated execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt import KernelStats
+from repro.simt.streams import PipelineResult
+
+__all__ = ["JoinResult"]
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Outcome of a simulated self-join execution.
+
+    ``pairs`` is the exact ordered result set: every ``(i, j)`` with
+    ``dist(p_i, p_j) <= eps`` (including ``(i, i)`` unless the join was run
+    with ``include_self=False``). Times are simulated device seconds.
+    """
+
+    pairs: np.ndarray
+    epsilon: float
+    num_points: int
+    batch_stats: list[KernelStats] = field(repr=False)
+    pipeline: PipelineResult = field(repr=False)
+    config_description: str = ""
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_stats)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end simulated response time (kernels + exposed transfers)."""
+        return self.pipeline.total_seconds
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Kernel-only simulated time, summed over batches."""
+        return float(sum(s.seconds for s in self.batch_stats))
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        """Cycle-weighted WEE across every warp of every batch (the
+        profiler metric of Tables III–VI)."""
+        active = 0.0
+        busy = 0.0
+        warp_size = 32
+        for stats in self.batch_stats:
+            for w in stats.warp_stats:
+                active += w.active_cycles
+                busy += w.warp_cycles
+                warp_size = w.warp_size
+        if busy == 0:
+            return 1.0
+        return active / (warp_size * busy)
+
+    @property
+    def selectivity(self) -> float:
+        """Average result rows per query point."""
+        if self.num_points == 0:
+            return 0.0
+        return self.num_pairs / self.num_points
+
+    def neighbor_lists(self) -> dict[int, np.ndarray]:
+        """Result set grouped by query point: ``{i: sorted neighbor ids}``."""
+        out: dict[int, np.ndarray] = {}
+        if self.num_pairs == 0:
+            return out
+        order = np.lexsort((self.pairs[:, 1], self.pairs[:, 0]))
+        sorted_pairs = self.pairs[order]
+        qs, starts = np.unique(sorted_pairs[:, 0], return_index=True)
+        bounds = np.append(starts, len(sorted_pairs))
+        for q, a, b in zip(qs, bounds[:-1], bounds[1:]):
+            out[int(q)] = sorted_pairs[a:b, 1]
+        return out
+
+    def sorted_pairs(self) -> np.ndarray:
+        """Pairs in lexicographic order — canonical form for comparisons."""
+        if self.num_pairs == 0:
+            return self.pairs
+        order = np.lexsort((self.pairs[:, 1], self.pairs[:, 0]))
+        return self.pairs[order]

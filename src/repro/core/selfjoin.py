@@ -1,0 +1,195 @@
+"""The public self-join facade: plan batches, run kernels, collect results.
+
+:class:`SelfJoin` wires together the grid index, the optimization config,
+the batching scheme and the SIMT machine:
+
+1. build the ε-grid index;
+2. if SORTBYWL / WORKQUEUE: quantify workloads and produce D';
+3. estimate the result size (strided sample, or head-of-D' for WORKQUEUE)
+   and derive the batch plan;
+4. launch one kernel per batch on the VM — FIFO issue order when the
+   work-queue forces most-work-first, a seeded random order otherwise (the
+   hardware scheduler guarantees nothing);
+5. feed per-batch kernel and transfer durations through the 3-stream
+   pipeline model for the end-to-end simulated response time.
+
+If a batch overflows its result buffer (the estimator under-guessed), the
+run is re-planned with a doubled estimate — the same recovery a production
+implementation needs, and a tested code path here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batching import (
+    estimate_result_size,
+    plan_batches,
+    plan_batches_balanced,
+)
+from repro.core.config import OptimizationConfig
+from repro.core.kernels import KernelArgs, selfjoin_kernel
+from repro.core.result import JoinResult
+from repro.core.sortbywl import point_workloads, sort_by_workload
+from repro.grid import GridIndex
+from repro.simt import (
+    AtomicCounter,
+    BufferOverflowError,
+    CostParams,
+    DeviceSpec,
+    GpuMachine,
+    ResultBuffer,
+)
+from repro.simt.streams import simulate_stream_pipeline
+from repro.util import check_epsilon
+
+__all__ = ["SelfJoin"]
+
+_PAIR_BYTES = 16
+_MAX_REPLANS = 8
+
+
+class SelfJoin:
+    """Distance-similarity self-join on the simulated GPU.
+
+    Parameters
+    ----------
+    config:
+        The optimization selection; defaults to the GPUCALCGLOBAL baseline.
+    device, costs:
+        Simulated hardware; defaults match the paper's testbed class.
+    include_self:
+        Whether each point joins with itself (``dist = 0 <= eps``).
+    seed:
+        Seed for the hardware scheduler's issue-order shuffle (only used
+        when the work-queue is off).
+    replay_mode:
+        Warp replay fidelity: ``"aggregate"`` (region-boundary
+        reconvergence; matches the analytic model) or ``"lockstep"``
+        (event-by-event divergence serialization; slower-or-equal warp
+        times, see :mod:`repro.simt.warp`).
+    """
+
+    def __init__(
+        self,
+        config: OptimizationConfig | None = None,
+        *,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        include_self: bool = True,
+        seed: int = 0,
+        replay_mode: str = "aggregate",
+    ):
+        self.config = config if config is not None else OptimizationConfig()
+        self.device = device if device is not None else DeviceSpec()
+        self.costs = costs if costs is not None else CostParams()
+        self.include_self = include_self
+        self.seed = seed
+        self.replay_mode = replay_mode
+
+    # ------------------------------------------------------------------
+    def execute(self, points, epsilon: float) -> JoinResult:
+        """Run the self-join; returns exact pairs plus simulated metrics."""
+        check_epsilon(epsilon)
+        index = GridIndex(points, epsilon)
+        cfg = self.config
+
+        if cfg.uses_sorted_points:
+            order = sort_by_workload(index, cfg.pattern)
+        else:
+            order = np.arange(index.num_points, dtype=np.int64)
+
+        est = estimate_result_size(
+            index,
+            sample_fraction=cfg.sample_fraction,
+            mode="head" if cfg.work_queue else "strided",
+            order=order if cfg.work_queue else None,
+            include_self=self.include_self,
+        )
+
+        weights = (
+            point_workloads(index, cfg.pattern)[order].astype(float)
+            if cfg.balanced_batches
+            else None
+        )
+        for attempt in range(_MAX_REPLANS):
+            if cfg.balanced_batches:
+                plan = plan_batches_balanced(
+                    order, weights, est, cfg.batch_result_capacity
+                )
+            else:
+                plan = plan_batches(
+                    order,
+                    est,
+                    cfg.batch_result_capacity,
+                    strided=not cfg.work_queue,
+                )
+            try:
+                return self._run_plan(index, order, plan)
+            except BufferOverflowError:
+                # estimator under-guessed; double and re-plan
+                est = max(est * 2, cfg.batch_result_capacity + 1)
+        raise RuntimeError(
+            f"batch planning failed to converge after {_MAX_REPLANS} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    def _machine(self) -> GpuMachine:
+        issue = "fifo" if self.config.work_queue else "random"
+        return GpuMachine(
+            self.device,
+            self.costs,
+            issue_order=issue,
+            seed=self.seed,
+            replay_mode=self.replay_mode,
+        )
+
+    def _run_plan(self, index: GridIndex, order: np.ndarray, plan) -> JoinResult:
+        cfg = self.config
+        machine = self._machine()
+        counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
+
+        all_pairs: list[np.ndarray] = []
+        batch_stats = []
+        kernel_secs: list[float] = []
+        transfer_secs: list[float] = []
+        for batch in plan.batches:
+            args = KernelArgs(
+                index=index,
+                batch=batch,
+                k=cfg.k,
+                pattern=cfg.pattern,
+                include_self=self.include_self,
+                queue_counter=counter,
+                queue_order=order if cfg.work_queue else None,
+            )
+            buffer = ResultBuffer(cfg.batch_result_capacity)
+            stats = machine.launch(
+                selfjoin_kernel,
+                args.num_threads,
+                args,
+                result_buffer=buffer,
+                coop_groups=cfg.work_queue and cfg.k > 1,
+            )
+            pairs = buffer.drain()
+            all_pairs.append(pairs)
+            batch_stats.append(stats)
+            kernel_secs.append(stats.seconds)
+            transfer_secs.append(len(pairs) * _PAIR_BYTES / self.device.pcie_bandwidth)
+
+        pipeline = simulate_stream_pipeline(
+            kernel_secs, transfer_secs, num_streams=cfg.num_streams
+        )
+        pairs = (
+            np.concatenate(all_pairs, axis=0)
+            if all_pairs
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        return JoinResult(
+            pairs=pairs,
+            epsilon=index.epsilon,
+            num_points=index.num_points,
+            batch_stats=batch_stats,
+            pipeline=pipeline,
+            config_description=cfg.describe(),
+        )

@@ -1,0 +1,31 @@
+"""Dataset generators reproducing the paper's workload characteristics.
+
+The paper's results are driven by one dataset property: the distribution of
+per-point neighbor counts (uniform → balanced warps, exponential / real
+spatial data → heavy-tailed workloads). The generators here reproduce those
+properties:
+
+- :func:`uniform` / :func:`exponential` — the synthetic Unif*/Expo*
+  datasets (Section IV-A; exponential uses the paper's λ = 40);
+- :func:`sw_like` — proxy for the SW- space-weather datasets
+  (ground-track-clustered latitude/longitude, plus an ionosphere
+  total-electron-content third dimension);
+- :func:`gaia_like` — proxy for the Gaia star catalog excerpt
+  (galactic-plane-concentrated sky positions);
+- :mod:`repro.data.catalog` — the named Table I datasets with paper sizes
+  and the scaling rule used by the benchmarks.
+"""
+
+from repro.data.catalog import CATALOG, PaperDataset, load_dataset
+from repro.data.realworld import gaia_like, sw_like
+from repro.data.synthetic import exponential, uniform
+
+__all__ = [
+    "CATALOG",
+    "PaperDataset",
+    "exponential",
+    "gaia_like",
+    "load_dataset",
+    "sw_like",
+    "uniform",
+]

@@ -1,0 +1,89 @@
+"""Adversarial datasets — worst cases for grids, patterns and balancing.
+
+Pathological inputs a production spatial-join library must survive:
+boundary-exact coordinates (the ``<=`` vs ``<`` traps), fully degenerate
+geometry (every point identical — one cell holds everything), extreme
+two-scale skew (one cell with half the dataset), and lattice data aligned
+exactly on cell edges. The integration suite runs every optimization
+configuration over all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import resolve_rng
+
+__all__ = [
+    "ADVERSARIAL_GENERATORS",
+    "all_identical",
+    "cell_boundary_lattice",
+    "collinear",
+    "dense_core_sparse_halo",
+    "two_distant_blobs",
+]
+
+
+def all_identical(num_points: int, ndim: int = 2, *, seed=None) -> np.ndarray:
+    """Every point identical: one grid cell, quadratic result set."""
+    rng = resolve_rng(seed)
+    location = rng.uniform(0, 10, size=ndim)
+    return np.tile(location, (num_points, 1))
+
+
+def cell_boundary_lattice(side: int, ndim: int = 2, *, epsilon: float = 1.0) -> np.ndarray:
+    """Points exactly on cell-boundary multiples of ε.
+
+    Floating-point cell assignment of coordinates equal to k·ε is the
+    classic off-by-one-cell trap; distances between lattice neighbors are
+    exactly ε (inclusive-boundary trap).
+    """
+    if side < 1 or ndim < 1:
+        raise ValueError("side and ndim must be >= 1")
+    axes = [np.arange(side, dtype=np.float64) * epsilon] * ndim
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def collinear(num_points: int, ndim: int = 2, *, seed=None) -> np.ndarray:
+    """Points on a 1-D line embedded in n-D (degenerate bounding box)."""
+    rng = resolve_rng(seed)
+    t = np.sort(rng.uniform(0, 10, num_points))
+    direction = np.ones(ndim) / np.sqrt(ndim)
+    return t[:, None] * direction[None, :]
+
+
+def dense_core_sparse_halo(
+    num_points: int, ndim: int = 2, *, core_fraction: float = 0.5, seed=None
+) -> np.ndarray:
+    """Half the dataset inside one ε-sized core, the rest spread thin —
+    the maximal intra-warp imbalance case."""
+    if not 0 < core_fraction < 1:
+        raise ValueError("core_fraction must be in (0, 1)")
+    rng = resolve_rng(seed)
+    n_core = int(num_points * core_fraction)
+    core = rng.uniform(0.0, 0.5, size=(n_core, ndim))
+    halo = rng.uniform(0.0, 100.0, size=(num_points - n_core, ndim))
+    out = np.concatenate([core, halo])
+    return out[rng.permutation(len(out))]
+
+
+def two_distant_blobs(num_points: int, ndim: int = 2, *, seed=None) -> np.ndarray:
+    """Two tight blobs separated by a huge empty span (sparse grid ids)."""
+    rng = resolve_rng(seed)
+    half = num_points // 2
+    a = rng.normal(0.0, 0.3, size=(half, ndim))
+    b = rng.normal(1e4, 0.3, size=(num_points - half, ndim))
+    return np.concatenate([a, b])
+
+
+#: name -> generator(num_points, ndim, seed) for parametrized tests
+ADVERSARIAL_GENERATORS = {
+    "all_identical": lambda n, d, seed: all_identical(n, d, seed=seed),
+    "boundary_lattice": lambda n, d, seed: cell_boundary_lattice(
+        max(2, int(round(n ** (1.0 / d)))), d
+    ),
+    "collinear": lambda n, d, seed: collinear(n, d, seed=seed),
+    "dense_core": lambda n, d, seed: dense_core_sparse_halo(n, d, seed=seed),
+    "distant_blobs": lambda n, d, seed: two_distant_blobs(n, d, seed=seed),
+}

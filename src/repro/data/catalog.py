@@ -1,0 +1,92 @@
+"""The named datasets of the paper's Table I, with benchmark scaling.
+
+Every entry knows its paper-scale size and how to generate a seeded,
+smaller instance. The scaling rule keeps the *spatial domain fixed* and
+shrinks N, so ε sweeps need rescaled values to hold per-point workloads
+comparable — the per-experiment ε mappings live with the experiments
+(:mod:`repro.bench.experiments`) and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.realworld import gaia_like, sw_like
+from repro.data.synthetic import exponential, uniform
+
+__all__ = ["CATALOG", "PaperDataset", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class PaperDataset:
+    """One row of the paper's Table I."""
+
+    name: str
+    ndim: int
+    paper_size: int
+    distribution: str  # "uniform" | "exponential" | "sw" | "gaia"
+    generator: Callable[[int, int], np.ndarray]  # (size, seed) -> points
+
+    def generate(self, size: int | None = None, *, seed: int = 0) -> np.ndarray:
+        """Seeded instance; default size is the full paper size."""
+        n = self.paper_size if size is None else int(size)
+        if n < 0:
+            raise ValueError("size must be >= 0")
+        return self.generator(n, seed)
+
+
+def _entry(name, ndim, paper_size, distribution, generator) -> PaperDataset:
+    return PaperDataset(name, ndim, paper_size, distribution, generator)
+
+
+def _make_catalog() -> dict[str, PaperDataset]:
+    cat: dict[str, PaperDataset] = {}
+    for d in range(2, 7):
+        cat[f"Unif{d}D2M"] = _entry(
+            f"Unif{d}D2M",
+            d,
+            2_000_000,
+            "uniform",
+            lambda n, seed, d=d: uniform(n, d, seed=seed),
+        )
+        cat[f"Expo{d}D2M"] = _entry(
+            f"Expo{d}D2M",
+            d,
+            2_000_000,
+            "exponential",
+            lambda n, seed, d=d: exponential(n, d, seed=seed),
+        )
+    cat["SW2DA"] = _entry(
+        "SW2DA", 2, 1_864_620, "sw", lambda n, seed: sw_like(n, 2, seed=seed)
+    )
+    cat["SW2DB"] = _entry(
+        "SW2DB", 2, 5_159_737, "sw", lambda n, seed: sw_like(n, 2, seed=seed + 1)
+    )
+    cat["SW3DA"] = _entry(
+        "SW3DA", 3, 1_864_620, "sw", lambda n, seed: sw_like(n, 3, seed=seed)
+    )
+    cat["SW3DB"] = _entry(
+        "SW3DB", 3, 5_159_737, "sw", lambda n, seed: sw_like(n, 3, seed=seed + 1)
+    )
+    cat["Gaia"] = _entry(
+        "Gaia", 2, 50_000_000, "gaia", lambda n, seed: gaia_like(n, seed=seed)
+    )
+    return cat
+
+
+#: Table I registry.
+CATALOG: dict[str, PaperDataset] = _make_catalog()
+
+
+def load_dataset(name: str, size: int | None = None, *, seed: int = 0) -> np.ndarray:
+    """Generate a named Table I dataset at the requested size."""
+    try:
+        entry = CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+    return entry.generate(size, seed=seed)

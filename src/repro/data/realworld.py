@@ -1,0 +1,121 @@
+"""Proxies for the paper's real-world datasets.
+
+The originals are not redistributable here, so seeded generators reproduce
+the *workload-relevant structure* (see DESIGN.md's substitution table):
+
+- **SW-like** — the SW- space-weather datasets hold latitude/longitude of
+  ionosphere measurements taken along satellite ground tracks (optionally
+  with the total electron content, TEC, as a third dimension). The proxy
+  samples sinusoidal ground tracks over the globe with measurement noise
+  plus a diffuse background, giving the banded, locally dense spatial
+  distribution that makes per-point workloads heavy-tailed.
+- **Gaia-like** — star positions concentrate along the galactic plane with
+  a central bulge; the proxy mixes a Laplace-latitude disk, a Gaussian
+  bulge, and an isotropic background.
+
+Coordinates are degrees (longitude ∈ [-180, 180], latitude ∈ [-90, 90]),
+so the paper's ε values (fractions of a degree to a few degrees) carry
+over directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import resolve_rng
+
+__all__ = ["gaia_like", "sw_like"]
+
+
+def _wrap_lon(lon: np.ndarray) -> np.ndarray:
+    return (lon + 180.0) % 360.0 - 180.0
+
+
+def sw_like(
+    num_points: int,
+    ndim: int = 2,
+    *,
+    seed=None,
+    num_tracks: int = 24,
+    background_fraction: float = 0.08,
+) -> np.ndarray:
+    """Space-weather-like dataset: satellite ground tracks over the globe.
+
+    ``ndim = 2`` gives (longitude, latitude); ``ndim = 3`` appends a TEC
+    column (log-normal, scaled to a ~0–100 TECU range) as in the SW3D
+    datasets.
+    """
+    if ndim not in (2, 3):
+        raise ValueError("sw_like supports ndim of 2 or 3")
+    if num_points < 0:
+        raise ValueError("num_points must be >= 0")
+    if num_tracks < 1:
+        raise ValueError("num_tracks must be >= 1")
+    if not 0 <= background_fraction < 1:
+        raise ValueError("background_fraction must be in [0, 1)")
+    rng = resolve_rng(seed)
+
+    n_bg = int(num_points * background_fraction)
+    n_track = num_points - n_bg
+
+    # each sample sits on one of `num_tracks` inclined sinusoidal tracks
+    track = rng.integers(0, num_tracks, size=n_track)
+    phase = rng.uniform(0.0, 2 * np.pi, size=num_tracks)[track]
+    incl = rng.uniform(40.0, 75.0, size=num_tracks)[track]  # orbital inclination
+    t = rng.uniform(0.0, 2 * np.pi, size=n_track)
+    lon = _wrap_lon(np.degrees(t) * 2.03 + np.degrees(phase))  # precessing node
+    lat = incl * np.sin(t) + rng.normal(0.0, 0.8, size=n_track)
+    np.clip(lat, -90.0, 90.0, out=lat)
+
+    bg_lon = rng.uniform(-180.0, 180.0, size=n_bg)
+    bg_lat = np.degrees(np.arcsin(rng.uniform(-1.0, 1.0, size=n_bg)))
+
+    lon = np.concatenate([lon, bg_lon])
+    lat = np.concatenate([lat, bg_lat])
+    cols = [lon, lat]
+    if ndim == 3:
+        tec = rng.lognormal(mean=2.5, sigma=0.6, size=num_points)
+        cols.append(np.clip(tec, 0.0, 100.0))
+    out = np.stack(cols, axis=1)
+    return out[rng.permutation(num_points)]
+
+
+def gaia_like(
+    num_points: int,
+    *,
+    seed=None,
+    disk_scale_deg: float = 12.0,
+    bulge_fraction: float = 0.15,
+    background_fraction: float = 0.10,
+) -> np.ndarray:
+    """Gaia-catalog-like sky positions (galactic longitude, latitude).
+
+    A thin disk (Laplace latitude profile), a central bulge, and an
+    isotropic background — the heavy central concentration drives the same
+    workload skew as the paper's 50M-star excerpt.
+    """
+    if num_points < 0:
+        raise ValueError("num_points must be >= 0")
+    if disk_scale_deg <= 0:
+        raise ValueError("disk_scale_deg must be positive")
+    if not 0 <= bulge_fraction + background_fraction < 1:
+        raise ValueError("bulge and background fractions must sum below 1")
+    rng = resolve_rng(seed)
+
+    n_bulge = int(num_points * bulge_fraction)
+    n_bg = int(num_points * background_fraction)
+    n_disk = num_points - n_bulge - n_bg
+
+    disk_lon = rng.uniform(-180.0, 180.0, size=n_disk)
+    disk_lat = rng.laplace(0.0, disk_scale_deg, size=n_disk)
+
+    bulge_lon = rng.normal(0.0, 8.0, size=n_bulge)
+    bulge_lat = rng.normal(0.0, 6.0, size=n_bulge)
+
+    bg_lon = rng.uniform(-180.0, 180.0, size=n_bg)
+    bg_lat = np.degrees(np.arcsin(rng.uniform(-1.0, 1.0, size=n_bg)))
+
+    lon = _wrap_lon(np.concatenate([disk_lon, bulge_lon, bg_lon]))
+    lat = np.clip(np.concatenate([disk_lat, bulge_lat, bg_lat]), -90.0, 90.0)
+    out = np.stack([lon, lat], axis=1)
+    return out[rng.permutation(num_points)]

@@ -1,0 +1,29 @@
+"""SUPER-EGO — the state-of-the-art parallel CPU baseline (Kalashnikov 2013).
+
+The Epsilon Grid Order (EGO) join the paper compares against:
+
+1. **EGO-sort** (:mod:`repro.ego.egosort`): reorder dimensions for
+   selectivity, then sort points by their ε-cell coordinates
+   lexicographically;
+2. **EGO-join** (:mod:`repro.ego.egojoin`): recursively join contiguous
+   sequences of the sorted array, pruning sequence pairs whose cell
+   bounding boxes are farther than one cell apart, and switching to a
+   vectorized simple join below a size threshold;
+3. **SuperEgo** (:mod:`repro.ego.superego`): the driver — produces the
+   exact result pair set plus the operation counts
+   (:class:`~repro.ego.egojoin.EgoOpCounts`) that the CPU time model
+   (:mod:`repro.perfmodel.cputime`) converts into modeled 16-core seconds.
+"""
+
+from repro.ego.egojoin import EgoOpCounts, ego_join
+from repro.ego.egosort import EgoSorted, ego_preprocess
+from repro.ego.superego import SuperEgo, SuperEgoResult
+
+__all__ = [
+    "EgoOpCounts",
+    "EgoSorted",
+    "SuperEgo",
+    "SuperEgoResult",
+    "ego_join",
+    "ego_preprocess",
+]

@@ -1,0 +1,92 @@
+"""SUPER-EGO driver: sort, join, and map results to original point ids.
+
+Produces the same ordered result-set semantics as the GPU join (both
+directions of every pair, plus the identity pairs), so results are directly
+comparable. The returned :class:`EgoOpCounts` feeds the modeled 16-core
+execution time (:func:`repro.perfmodel.cputime.superego_seconds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ego.egojoin import EgoOpCounts, ego_join
+from repro.ego.egosort import EgoSorted, ego_preprocess
+from repro.util import as_points_array
+
+__all__ = ["SuperEgo", "SuperEgoResult"]
+
+
+@dataclass(frozen=True)
+class SuperEgoResult:
+    """Outcome of a SUPER-EGO self-join."""
+
+    pairs: np.ndarray  # ordered pairs in original ids (mirrored + self)
+    counts: EgoOpCounts
+    sorted_view: EgoSorted
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def sorted_pairs(self) -> np.ndarray:
+        if len(self.pairs) == 0:
+            return self.pairs
+        order = np.lexsort((self.pairs[:, 1], self.pairs[:, 0]))
+        return self.pairs[order]
+
+
+class SuperEgo:
+    """The CPU baseline algorithm.
+
+    Parameters
+    ----------
+    simple_join_size:
+        Sequence-length threshold below which the recursion switches to the
+        vectorized simple join.
+    include_self:
+        Emit the identity pairs (matching the GPU join's semantics).
+    """
+
+    def __init__(self, *, simple_join_size: int = 16, include_self: bool = True):
+        self.simple_join_size = simple_join_size
+        self.include_self = include_self
+
+    def join(self, points, epsilon: float, *, collect_pairs: bool = True) -> SuperEgoResult:
+        """Run EGO-sort + EGO-join.
+
+        ``collect_pairs=False`` runs in counting mode: the result pair array
+        is empty but all operation counts (and ``counts.result_pairs``) are
+        exact — the mode the benchmarks use at scale.
+        """
+        pts = as_points_array(points)
+        sorted_view = ego_preprocess(pts, epsilon)
+        raw, counts = ego_join(
+            sorted_view,
+            simple_join_size=self.simple_join_size,
+            collect_pairs=collect_pairs,
+        )
+        if collect_pairs:
+            orig = sorted_view.order
+            unordered = np.stack([orig[raw[:, 0]], orig[raw[:, 1]]], axis=1)
+            blocks = [unordered, unordered[:, ::-1]] if len(unordered) else []
+            if self.include_self:
+                diag = np.arange(len(pts), dtype=np.int64)
+                blocks.append(np.stack([diag, diag], axis=1))
+            pairs = (
+                np.concatenate(blocks, axis=0)
+                if blocks
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        return SuperEgoResult(pairs=pairs, counts=counts, sorted_view=sorted_view)
+
+    def result_rows(self, counts: EgoOpCounts, num_points: int) -> int:
+        """Ordered result rows implied by counting-mode op counts."""
+        rows = 2 * counts.result_pairs
+        if self.include_self:
+            rows += num_points
+        return rows

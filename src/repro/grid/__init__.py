@@ -1,0 +1,33 @@
+"""ε-grid spatial index (Gowanlock & Karsin 2018 style).
+
+The index partitions an ``n``-dimensional dataset into cells of side length
+``epsilon`` and stores **only the non-empty cells**, giving the O(|D|) memory
+footprint the paper relies on for GPU residency. A range query around a point
+only needs the ≤ 3**n cells adjacent to (and including) the point's own cell.
+
+Public surface:
+
+- :class:`GridSpec` — pure geometry: coordinates ↔ cell coordinates ↔ linear
+  cell ids.
+- :class:`GridIndex` — the built index: sorted unique linear ids of non-empty
+  cells, per-cell point ranges, and point lookup.
+- :mod:`repro.grid.neighbors` — neighbor-offset enumeration and vectorized
+  per-cell neighbor resolution used by both the kernels and the performance
+  model.
+"""
+
+from repro.grid.cells import GridSpec
+from repro.grid.index import GridIndex
+from repro.grid.neighbors import (
+    neighbor_offsets,
+    neighbor_ranks_for_offset,
+    neighbor_ranks_of_cell,
+)
+
+__all__ = [
+    "GridIndex",
+    "GridSpec",
+    "neighbor_offsets",
+    "neighbor_ranks_for_offset",
+    "neighbor_ranks_of_cell",
+]

@@ -1,0 +1,159 @@
+"""Grid geometry: mapping points to cells and cells to linear ids.
+
+A :class:`GridSpec` is pure arithmetic — it knows the bounding box, the cell
+edge length (ε) and the per-dimension cell counts, and converts between point
+coordinates, n-D cell coordinates, and row-major linear cell ids. It holds no
+point data; :class:`repro.grid.index.GridIndex` layers the non-empty-cell
+storage on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import as_points_array, check_epsilon
+
+__all__ = ["GridSpec"]
+
+# Safety margin below 2**63 when checking that the virtual (dense) grid's cell
+# count is linearizable in int64. The grid is never materialized densely; the
+# bound only protects the linear-id arithmetic.
+_MAX_LINEAR_CELLS = np.iinfo(np.int64).max // 4
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of an ε-grid over a bounding box.
+
+    Attributes
+    ----------
+    epsilon:
+        The query distance threshold.
+    cell_length:
+        Cell edge length. Normally equals ``epsilon``; when ε is so small
+        that the virtual dense grid would not linearize in int64 (e.g.
+        ε = 1e-9 over a unit box), cells are *coarsened* — the 3**n
+        adjacency guarantee only needs ``cell_length >= epsilon``, so
+        results stay exact while candidate sets grow (an honest cost the
+        performance model then charges).
+    mins, maxs:
+        Bounding box of the indexed data, shape ``(n,)`` each.
+    widths:
+        Number of cells along each dimension, shape ``(n,)`` int64.
+    strides:
+        Row-major strides such that ``linear_id = coords @ strides``.
+    """
+
+    epsilon: float
+    mins: np.ndarray
+    maxs: np.ndarray
+    cell_length: float = field(init=False)
+    widths: np.ndarray = field(init=False)
+    strides: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        eps = check_epsilon(self.epsilon)
+        mins = np.asarray(self.mins, dtype=np.float64)
+        maxs = np.asarray(self.maxs, dtype=np.float64)
+        if mins.ndim != 1 or mins.shape != maxs.shape:
+            raise ValueError("mins and maxs must be 1-D arrays of equal length")
+        if np.any(maxs < mins):
+            raise ValueError("maxs must be >= mins in every dimension")
+        object.__setattr__(self, "epsilon", eps)
+        object.__setattr__(self, "mins", mins)
+        object.__setattr__(self, "maxs", maxs)
+
+        spans = maxs - mins
+        length = eps
+        for _ in range(128):
+            # At least one cell per dimension; +1 guards the point sitting
+            # exactly on the upper boundary.
+            widths = np.floor(spans / length).astype(np.int64) + 1
+            total = 1
+            for w in widths.tolist():
+                total *= int(w)
+                if total > _MAX_LINEAR_CELLS:
+                    break
+            if total <= _MAX_LINEAR_CELLS:
+                break
+            length *= 2.0  # coarsen until the virtual grid linearizes
+        else:  # pragma: no cover - 2**128 coarsening always suffices
+            raise ValueError("could not coarsen the grid to a linearizable size")
+        strides = np.empty_like(widths)
+        strides[-1] = 1
+        for j in range(len(widths) - 2, -1, -1):
+            strides[j] = strides[j + 1] * widths[j + 1]
+        object.__setattr__(self, "cell_length", float(length))
+        object.__setattr__(self, "widths", widths)
+        object.__setattr__(self, "strides", strides)
+
+    @property
+    def is_coarsened(self) -> bool:
+        """True when cells are larger than ε (tiny-ε degradation mode)."""
+        return self.cell_length > self.epsilon
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points, epsilon: float) -> "GridSpec":
+        """Build the spec from a dataset's bounding box."""
+        pts = as_points_array(points)
+        if pts.shape[0] == 0:
+            n = pts.shape[1]
+            return cls(epsilon, np.zeros(n), np.zeros(n))
+        return cls(epsilon, pts.min(axis=0), pts.max(axis=0))
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the indexed space."""
+        return len(self.widths)
+
+    @property
+    def total_cells(self) -> int:
+        """Number of cells of the *virtual* dense grid (never materialized)."""
+        return int(np.prod(self.widths))
+
+    # ------------------------------------------------------------------
+    def cell_coords(self, points: np.ndarray, *, clamp: bool = True) -> np.ndarray:
+        """n-D cell coordinates of each point, shape ``(N, n)`` int64.
+
+        With ``clamp=True`` (the default, used when indexing), points
+        outside the bounding box are clamped to the boundary cells. Pass
+        ``clamp=False`` for *external query points* (the bipartite join):
+        their true — possibly out-of-grid — coordinates are returned, so a
+        query just outside the box still probes the boundary cells via its
+        in-bounds neighbor offsets, while a far-away query probes nothing.
+        """
+        pts = as_points_array(points)
+        if pts.shape[1] != self.ndim:
+            raise ValueError(
+                f"points have {pts.shape[1]} dimensions, grid has {self.ndim}"
+            )
+        coords = np.floor((pts - self.mins) / self.cell_length).astype(np.int64)
+        if clamp:
+            np.clip(coords, 0, self.widths - 1, out=coords)
+        return coords
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        """Row-major linear id of cell coordinates (``(..., n)`` → ``(...,)``).
+
+        This is the unique linear id the LID-UNICOMP pattern orders cells by.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        return coords @ self.strides
+
+    def delinearize(self, linear_ids: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`linearize` (``(...,)`` → ``(..., n)``)."""
+        ids = np.asarray(linear_ids, dtype=np.int64)
+        out = np.empty(ids.shape + (self.ndim,), dtype=np.int64)
+        rem = ids
+        for j in range(self.ndim):
+            out[..., j] = rem // self.strides[j]
+            rem = rem % self.strides[j]
+        return out
+
+    def in_bounds(self, coords: np.ndarray) -> np.ndarray:
+        """Boolean mask of cell coordinates inside the grid, shape ``(...,)``."""
+        coords = np.asarray(coords)
+        return np.logical_and(coords >= 0, coords < self.widths).all(axis=-1)

@@ -1,0 +1,125 @@
+"""The non-empty-cell ε-grid index.
+
+Array layout mirrors the GPU index of Gowanlock & Karsin (2018):
+
+- ``cell_ids``      — sorted unique linear ids of the non-empty cells
+                      (``C`` of them), so a cell lookup is a binary search;
+- ``cell_starts`` / ``cell_counts``
+                    — per non-empty cell, the slice of ``point_order`` that
+                      holds its points;
+- ``point_order``   — a permutation of ``range(N)`` grouping points by cell;
+- ``point_cell_rank`` — for each point, the rank (index into ``cell_ids``)
+                      of its cell.
+
+Total extra storage is ``O(N + C)`` with ``C <= N`` — the O(|D|) footprint
+the paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cells import GridSpec
+from repro.util import as_points_array
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """ε-grid over a dataset, storing only non-empty cells.
+
+    Parameters
+    ----------
+    points:
+        ``(N, n)`` array of points.
+    epsilon:
+        Cell edge length / query distance threshold.
+    spec:
+        Optional pre-built :class:`GridSpec`; by default the spec is derived
+        from the dataset's bounding box.
+    """
+
+    def __init__(self, points, epsilon: float, *, spec: GridSpec | None = None):
+        self.points = as_points_array(points)
+        self.spec = spec if spec is not None else GridSpec.from_points(self.points, epsilon)
+        if spec is not None and float(spec.epsilon) != float(epsilon):
+            raise ValueError("explicit spec epsilon disagrees with epsilon argument")
+
+        coords = self.spec.cell_coords(self.points)
+        linear = self.spec.linearize(coords)
+
+        # Group points by cell: one stable sort, then run-length encode.
+        order = np.argsort(linear, kind="stable")
+        sorted_ids = linear[order]
+        cell_ids, starts, counts = np.unique(
+            sorted_ids, return_index=True, return_counts=True
+        )
+
+        self.point_order: np.ndarray = order
+        self.cell_ids: np.ndarray = cell_ids
+        self.cell_starts: np.ndarray = starts.astype(np.int64)
+        self.cell_counts: np.ndarray = counts.astype(np.int64)
+        # rank of each point's cell (cell_ids is sorted, so searchsorted is exact)
+        self.point_cell_rank: np.ndarray = np.searchsorted(cell_ids, linear)
+        self.cell_coords_arr: np.ndarray = self.spec.delinearize(cell_ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.spec.ndim
+
+    @property
+    def epsilon(self) -> float:
+        return self.spec.epsilon
+
+    @property
+    def num_nonempty_cells(self) -> int:
+        return len(self.cell_ids)
+
+    # ------------------------------------------------------------------
+    def lookup(self, linear_ids: np.ndarray) -> np.ndarray:
+        """Rank of each linear id among the non-empty cells, or -1 if empty.
+
+        Vectorized binary search; accepts any shape and returns the same
+        shape of int64 ranks.
+        """
+        ids = np.asarray(linear_ids, dtype=np.int64)
+        pos = np.searchsorted(self.cell_ids, ids)
+        pos_clipped = np.minimum(pos, len(self.cell_ids) - 1) if len(self.cell_ids) else pos
+        if len(self.cell_ids) == 0:
+            return np.full(ids.shape, -1, dtype=np.int64)
+        found = self.cell_ids[pos_clipped] == ids
+        return np.where(found, pos_clipped, -1).astype(np.int64)
+
+    def points_in_cell(self, rank: int) -> np.ndarray:
+        """Original indices of the points stored in non-empty cell ``rank``."""
+        if not 0 <= rank < self.num_nonempty_cells:
+            raise IndexError(f"cell rank {rank} out of range")
+        s = self.cell_starts[rank]
+        return self.point_order[s : s + self.cell_counts[rank]]
+
+    def cell_of_point(self, i: int) -> int:
+        """Rank of the non-empty cell containing point ``i``."""
+        return int(self.point_cell_rank[i])
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the index arrays (excluding the point data itself)."""
+        arrays = (
+            self.point_order,
+            self.cell_ids,
+            self.cell_starts,
+            self.cell_counts,
+            self.point_cell_rank,
+            self.cell_coords_arr,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridIndex(N={self.num_points}, n={self.ndim}, eps={self.epsilon}, "
+            f"nonempty_cells={self.num_nonempty_cells})"
+        )

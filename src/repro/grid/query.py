@@ -1,0 +1,135 @@
+"""Vectorized exact range queries over the ε-grid.
+
+This is the host-side (NumPy) reference path: it produces exact candidate
+blocks, neighbor counts and the full self-join pair set using the FULL
+access pattern. It serves three roles:
+
+1. the batching scheme's result-size estimator (Section II-C2) runs it on a
+   sample of points;
+2. tests cross-check every VM kernel against it;
+3. examples use it when they only need results, not simulated hardware
+   metrics.
+
+The pair construction is loop-free: for each of the 3**n neighbor offsets,
+all (query point, candidate) index pairs are materialized with
+repeat/gather arithmetic and refined with one vectorized distance pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.grid.index import GridIndex
+from repro.grid.neighbors import neighbor_offsets, neighbor_ranks_for_offset
+from repro.util import gather_slices
+
+__all__ = [
+    "grid_neighbor_counts",
+    "grid_selfjoin_pairs",
+    "iter_candidate_blocks",
+]
+
+_DEFAULT_CHUNK = 4_000_000  # candidate pairs per processed block
+
+
+def iter_candidate_blocks(
+    index: GridIndex,
+    point_ids: np.ndarray | None = None,
+    *,
+    chunk_pairs: int = _DEFAULT_CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(query_idx, candidate_idx)`` blocks covering all candidates.
+
+    Every (query, candidate-in-adjacent-cell) index pair — including the
+    query's own cell and the identity pair — appears in exactly one yielded
+    block. ``point_ids`` restricts the query side (default: all points).
+    Blocks are bounded by ``chunk_pairs`` to cap peak memory.
+    """
+    if chunk_pairs < 1:
+        raise ValueError("chunk_pairs must be >= 1")
+    if point_ids is None:
+        queries = np.arange(index.num_points, dtype=np.int64)
+    else:
+        queries = np.asarray(point_ids, dtype=np.int64)
+    if queries.size == 0 or index.num_points == 0:
+        return
+    q_rank = index.point_cell_rank[queries]
+
+    for off in neighbor_offsets(index.ndim):
+        nbr_of_cell = neighbor_ranks_for_offset(index, off)
+        nbr = nbr_of_cell[q_rank]
+        valid = nbr >= 0
+        if not valid.any():
+            continue
+        q_sel = queries[valid]
+        n_sel = nbr[valid]
+        lengths = index.cell_counts[n_sel]
+        # emit in chunks of queries whose cumulative candidate count fits
+        csum = np.cumsum(lengths)
+        start = 0
+        while start < len(q_sel):
+            base = csum[start - 1] if start > 0 else 0
+            # largest stop with csum[stop-1] - base <= chunk_pairs, but at
+            # least one query per block so oversized cells still progress
+            stop = int(np.searchsorted(csum, base + chunk_pairs, side="right"))
+            stop = min(max(stop, start + 1), len(q_sel))
+            sl = slice(start, stop)
+            lens = lengths[sl]
+            qi = np.repeat(q_sel[sl], lens)
+            cj = gather_slices(
+                index.point_order, index.cell_starts[n_sel[sl]], lens
+            )
+            if qi.size:
+                yield qi, cj
+            start = stop
+
+
+def grid_neighbor_counts(
+    index: GridIndex,
+    point_ids: np.ndarray | None = None,
+    *,
+    include_self: bool = True,
+    chunk_pairs: int = _DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Exact ε-neighbor count of each requested point (result-set row count).
+
+    Returned counts align with ``point_ids`` order (or all points).
+    """
+    if point_ids is None:
+        queries = np.arange(index.num_points, dtype=np.int64)
+    else:
+        queries = np.asarray(point_ids, dtype=np.int64)
+    counts = np.zeros(index.num_points, dtype=np.int64)
+    eps2 = index.epsilon * index.epsilon
+    pts = index.points
+    for qi, cj in iter_candidate_blocks(index, queries, chunk_pairs=chunk_pairs):
+        d2 = ((pts[qi] - pts[cj]) ** 2).sum(axis=1)
+        hit = d2 <= eps2
+        if not include_self:
+            hit &= qi != cj
+        np.add.at(counts, qi[hit], 1)
+    return counts[queries]
+
+
+def grid_selfjoin_pairs(
+    index: GridIndex,
+    *,
+    include_self: bool = True,
+    chunk_pairs: int = _DEFAULT_CHUNK,
+) -> np.ndarray:
+    """The exact self-join result: all ordered pairs within ε, shape (M, 2)."""
+    eps2 = index.epsilon * index.epsilon
+    pts = index.points
+    found: list[np.ndarray] = []
+    for qi, cj in iter_candidate_blocks(index, chunk_pairs=chunk_pairs):
+        d2 = ((pts[qi] - pts[cj]) ** 2).sum(axis=1)
+        hit = d2 <= eps2
+        if not include_self:
+            hit &= qi != cj
+        if hit.any():
+            found.append(np.stack([qi[hit], cj[hit]], axis=1))
+    if not found:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(found, axis=0)

@@ -1,0 +1,17 @@
+"""Dataset and result persistence.
+
+Plain-file interop so the library slots into pipelines: datasets load from
+CSV or ``.npy``/``.npz``; join results save as ``.npz`` bundles (pairs +
+metadata) or CSV pair lists, and round-trip losslessly.
+"""
+
+from repro.io.datasets import load_points, save_points
+from repro.io.results import load_result_bundle, save_result_bundle, write_pairs_csv
+
+__all__ = [
+    "load_points",
+    "load_result_bundle",
+    "save_points",
+    "save_result_bundle",
+    "write_pairs_csv",
+]

@@ -1,0 +1,53 @@
+"""Loading and saving point datasets (CSV and NumPy formats)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.util import as_points_array
+
+__all__ = ["load_points", "save_points"]
+
+
+def load_points(path) -> np.ndarray:
+    """Load a point dataset from ``.csv``, ``.npy`` or ``.npz``.
+
+    CSV files may carry a header row (detected and skipped); ``.npz``
+    archives must hold the dataset under the key ``points``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        return as_points_array(np.load(path))
+    if suffix == ".npz":
+        with np.load(path) as archive:
+            if "points" not in archive:
+                raise ValueError(f"{path} holds no 'points' array")
+            return as_points_array(archive["points"])
+    if suffix == ".csv":
+        try:
+            data = np.loadtxt(path, delimiter=",", ndmin=2)
+        except ValueError:
+            data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+        return as_points_array(data)
+    raise ValueError(f"unsupported dataset format {suffix!r} (csv/npy/npz)")
+
+
+def save_points(path, points) -> None:
+    """Save a dataset in the format implied by the file suffix."""
+    path = Path(path)
+    pts = as_points_array(points)
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        np.save(path, pts)
+    elif suffix == ".npz":
+        np.savez_compressed(path, points=pts)
+    elif suffix == ".csv":
+        header = ",".join(f"x{j}" for j in range(pts.shape[1]))
+        np.savetxt(path, pts, delimiter=",", header=header, comments="")
+    else:
+        raise ValueError(f"unsupported dataset format {suffix!r} (csv/npy/npz)")

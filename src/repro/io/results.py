@@ -1,0 +1,67 @@
+"""Persisting join results.
+
+A *result bundle* is an ``.npz`` with the pair array plus the run's
+metadata (ε, dataset size, configuration tag, simulated metrics), enough
+to rehydrate an analysis without rerunning the join.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import JoinResult
+
+__all__ = ["load_result_bundle", "save_result_bundle", "write_pairs_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_result_bundle(path, result: JoinResult) -> None:
+    """Save a :class:`JoinResult`'s pairs and metadata as ``.npz``."""
+    path = Path(path)
+    if path.suffix.lower() != ".npz":
+        raise ValueError("result bundles are .npz files")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "epsilon": result.epsilon,
+        "num_points": result.num_points,
+        "config": result.config_description,
+        "num_batches": result.num_batches,
+        "total_seconds": result.total_seconds,
+        "warp_execution_efficiency": result.warp_execution_efficiency,
+    }
+    np.savez_compressed(
+        path,
+        pairs=result.pairs,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_result_bundle(path) -> tuple[np.ndarray, dict]:
+    """Load ``(pairs, metadata)`` from a result bundle."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"result bundle not found: {path}")
+    with np.load(path) as archive:
+        if "pairs" not in archive or "meta" not in archive:
+            raise ValueError(f"{path} is not a result bundle")
+        pairs = archive["pairs"].astype(np.int64)
+        meta = json.loads(archive["meta"].tobytes().decode())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle version {meta.get('format_version')!r}"
+        )
+    return pairs, meta
+
+
+def write_pairs_csv(path, pairs: np.ndarray) -> None:
+    """Write a pair list as two-column CSV (``left,right``)."""
+    pairs = np.asarray(pairs)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (M, 2), got {pairs.shape}")
+    np.savetxt(
+        Path(path), pairs, delimiter=",", fmt="%d", header="left,right", comments=""
+    )

@@ -1,0 +1,37 @@
+"""Vectorized performance model — the VM's analytic twin at scale.
+
+The SIMT VM executes real kernels thread by thread, which is exact but
+Python-speed. For paper-scale datasets (millions of points) this package
+evaluates *the same cost equations* with NumPy over whole arrays:
+
+- per-thread cycles from the grid's exact candidate populations
+  (:mod:`repro.perfmodel.workload`),
+- warp durations as per-label lock-step maxima and WEE
+  (:mod:`repro.perfmodel.warps`),
+- kernel makespan by greedy scheduling onto the device's warp slots, batch
+  composition, and the 3-stream transfer pipeline
+  (:mod:`repro.perfmodel.kerneltime`),
+- the SUPER-EGO CPU baseline's time from its measured operation counts
+  (:mod:`repro.perfmodel.cputime`).
+
+Agreement with the VM is enforced by tests: for any small input, model
+warp durations, WEE and makespan must match the VM's measurements exactly
+(with emission cost disabled, the one quantity the model estimates rather
+than measures).
+"""
+
+from repro.perfmodel.constants import CpuCostParams
+from repro.perfmodel.kerneltime import SimulatedRun
+from repro.perfmodel.model import PerformanceModel
+from repro.perfmodel.sensitivity import SensitivityReport, sweep_cost_sensitivity
+from repro.perfmodel.workload import BipartiteProfile, WorkloadProfile
+
+__all__ = [
+    "BipartiteProfile",
+    "CpuCostParams",
+    "PerformanceModel",
+    "SensitivityReport",
+    "SimulatedRun",
+    "WorkloadProfile",
+    "sweep_cost_sensitivity",
+]

@@ -1,0 +1,56 @@
+"""CPU-side cost constants for the SUPER-EGO baseline model.
+
+GPU costs live in :class:`repro.simt.CostParams` (shared with the VM). The
+CPU model charges cycles per operation on a Xeon E5-2620v4-class core; the
+throughput-relevant constant — cycles per candidate distance computation —
+is the one calibrated constant of the GPU-vs-CPU comparison (see
+EXPERIMENTS.md §calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuCostParams"]
+
+
+@dataclass(frozen=True)
+class CpuCostParams:
+    """Per-operation cycle costs of the modeled CPU baseline.
+
+    Attributes
+    ----------
+    c_dist_base, c_dist_dim:
+        Cycles per candidate distance computation
+        (``c_dist_base + ndim * c_dist_dim``), *before* the SIMD divisor
+        (``CpuSpec.simd_lanes``). SUPER-EGO's inner loop is vectorized but
+        branchy and memory-bound; the defaults put the modeled 16-core
+        refinement throughput at ~7.6e8 candidates/s in 2-D — the regime
+        published measurements of SUPER-EGO fall in (1e8–1e9/s).
+    c_sort_per_key:
+        Cycles per key per comparison level of the EGO sort
+        (≈ c · N log N total).
+    c_reorder_per_point:
+        Dimension-reordering pass per point per dimension.
+    """
+
+    c_dist_base: float = 100.0
+    c_dist_dim: float = 25.0
+    c_sort_per_key: float = 8.0
+    c_reorder_per_point: float = 4.0
+
+    def __post_init__(self):
+        for name in (
+            "c_dist_base",
+            "c_dist_dim",
+            "c_sort_per_key",
+            "c_reorder_per_point",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def dist_cost(self, ndim: int) -> float:
+        """Cycles for one candidate distance computation in ``ndim`` dims."""
+        if ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        return self.c_dist_base + ndim * self.c_dist_dim

@@ -1,0 +1,72 @@
+"""Modeled SUPER-EGO execution time on the paper's 16-core testbed.
+
+The algorithm's *work* is measured (exact operation counts from the real
+EGO-join); only the machine is modeled: a 2×E5-2620v4 with hand-vectorized
+(SIMD) refinement and a parallel sort, as in Kalashnikov's implementation.
+
+Time composition::
+
+    T = reorder + sort/P' + (sequence overhead + refinement/SIMD)/P'
+
+with ``P' = cores × parallel_efficiency``. The distance-refinement constant
+is the single calibrated scalar of the GPU-vs-CPU comparison
+(EXPERIMENTS.md §calibration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ego.egojoin import EgoOpCounts
+from repro.perfmodel.constants import CpuCostParams
+from repro.simt.device import CPU_XEON_E5_2620V4, CpuSpec
+
+__all__ = ["CpuRun", "superego_seconds"]
+
+_SEQ_COMPARE_CYCLES = 60.0  # slice bookkeeping + bbox compare per sequence pair
+
+
+@dataclass(frozen=True)
+class CpuRun:
+    """Modeled CPU execution of one SUPER-EGO join."""
+
+    total_seconds: float
+    sort_seconds: float
+    join_seconds: float
+    distance_computations: int
+
+    @property
+    def config_description(self) -> str:
+        return "super-ego (16-core model)"
+
+
+def superego_seconds(
+    counts: EgoOpCounts,
+    num_points: int,
+    ndim: int,
+    *,
+    cpu: CpuSpec = CPU_XEON_E5_2620V4,
+    costs: CpuCostParams | None = None,
+) -> CpuRun:
+    """Convert measured EGO-join op counts into modeled wall seconds."""
+    if num_points < 0 or ndim < 1:
+        raise ValueError("num_points must be >= 0 and ndim >= 1")
+    c = costs if costs is not None else CpuCostParams()
+    p_eff = cpu.num_cores * cpu.parallel_efficiency
+
+    reorder = num_points * ndim * c.c_reorder_per_point
+    log_n = math.log2(num_points) if num_points > 1 else 1.0
+    sort = num_points * log_n * c.c_sort_per_key
+
+    refine = counts.distance_computations * c.dist_cost(ndim) / cpu.simd_lanes
+    seq = counts.sequence_comparisons * _SEQ_COMPARE_CYCLES
+
+    sort_cycles = (reorder + sort) / p_eff
+    join_cycles = (refine + seq) / p_eff
+    return CpuRun(
+        total_seconds=cpu.cycles_to_seconds(sort_cycles + join_cycles),
+        sort_seconds=cpu.cycles_to_seconds(sort_cycles),
+        join_seconds=cpu.cycles_to_seconds(join_cycles),
+        distance_computations=counts.distance_computations,
+    )

@@ -1,0 +1,125 @@
+"""From warp durations to end-to-end simulated response time.
+
+Per batch: greedy-schedule warp durations onto the device's warp slots
+(random issue order for the stock scheduler, in-order for the work-queue's
+forced most-work-first), convert cycles to seconds, attach the batch's
+result-transfer time, then push all batches through the 3-stream pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt import CostParams, DeviceSpec, makespan
+from repro.simt.streams import PipelineResult, simulate_stream_pipeline
+
+__all__ = ["BatchTiming", "SimulatedRun", "schedule_batches"]
+
+_PAIR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Per-batch modeled quantities."""
+
+    kernel_seconds: float
+    transfer_seconds: float
+    num_warps: int
+    busy_cycles: float
+    active_cycles: float
+    result_rows: int
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Modeled outcome of one self-join execution — the analytic analogue
+    of :class:`repro.core.JoinResult` (metrics without the pairs)."""
+
+    total_seconds: float
+    batches: list[BatchTiming] = field(repr=False)
+    pipeline: PipelineResult = field(repr=False)
+    warp_size: int = 32
+    config_description: str = ""
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def kernel_seconds(self) -> float:
+        return float(sum(b.kernel_seconds for b in self.batches))
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        active = sum(b.active_cycles for b in self.batches)
+        busy = sum(b.busy_cycles for b in self.batches)
+        if busy == 0:
+            return 1.0
+        return active / (self.warp_size * busy)
+
+    @property
+    def total_result_rows(self) -> int:
+        return int(sum(b.result_rows for b in self.batches))
+
+    @property
+    def num_warps(self) -> int:
+        return int(sum(b.num_warps for b in self.batches))
+
+
+def schedule_batches(
+    batch_models,
+    batch_result_rows,
+    device: DeviceSpec,
+    costs: CostParams,
+    *,
+    issue_order: str,
+    num_streams: int,
+    seed: int = 0,
+    config_description: str = "",
+) -> SimulatedRun:
+    """Schedule each batch's warps and compose the stream pipeline.
+
+    Parameters
+    ----------
+    batch_models:
+        Sequence of :class:`repro.perfmodel.warps.BatchWarpModel`.
+    batch_result_rows:
+        Result rows produced by each batch (drives transfer time).
+    issue_order:
+        ``"fifo"`` (work-queue: warps already in most-work-first order) or
+        ``"random"`` (stock hardware scheduler).
+    """
+    timings: list[BatchTiming] = []
+    warp_size = 32
+    for model, rows in zip(batch_models, batch_result_rows):
+        warp_size = model.warp_size
+        durations = model.durations_with_launch(costs)
+        sched = makespan(
+            durations, device.warp_slots, order=issue_order, seed=seed
+        )
+        kern_s = device.cycles_to_seconds(sched.makespan_cycles)
+        xfer_s = rows * _PAIR_BYTES / device.pcie_bandwidth
+        timings.append(
+            BatchTiming(
+                kernel_seconds=kern_s,
+                transfer_seconds=xfer_s,
+                num_warps=model.num_warps,
+                busy_cycles=float(model.busy.sum()),
+                active_cycles=float(model.active.sum()),
+                result_rows=int(rows),
+            )
+        )
+    pipeline = simulate_stream_pipeline(
+        [t.kernel_seconds for t in timings],
+        [t.transfer_seconds for t in timings],
+        num_streams=num_streams,
+    )
+    return SimulatedRun(
+        total_seconds=pipeline.total_seconds,
+        batches=timings,
+        pipeline=pipeline,
+        warp_size=warp_size,
+        config_description=config_description,
+    )

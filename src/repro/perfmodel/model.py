@@ -1,0 +1,213 @@
+"""The performance-model facade.
+
+Mirrors :class:`repro.core.SelfJoin` step for step — same sorted order,
+same estimators, same batch plan, same issue order — but evaluates the cost
+equations vectorially instead of executing kernels, so it scales to the
+paper's dataset sizes. Tests pin the two implementations together on small
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batching import plan_batches, plan_batches_balanced
+from repro.core.config import OptimizationConfig
+from repro.grid import GridIndex
+from repro.perfmodel.kerneltime import SimulatedRun, schedule_batches
+from repro.perfmodel.warps import model_batch_warps, model_warps_from_arrays
+from repro.perfmodel.workload import BipartiteProfile, WorkloadProfile
+from repro.simt import CostParams, DeviceSpec
+from repro.util import check_epsilon
+
+__all__ = ["PerformanceModel"]
+
+_MAX_REPLANS = 8
+
+
+class PerformanceModel:
+    """Analytic simulator of the self-join on the modeled GPU.
+
+    Parameters mirror :class:`repro.core.SelfJoin`. A single model instance
+    can evaluate many configurations against one cached
+    :class:`WorkloadProfile` — the intended benchmark-sweep usage::
+
+        model = PerformanceModel()
+        profile = model.profile(points, eps)
+        for name, cfg in PRESETS.items():
+            run = model.estimate(profile, cfg)
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        *,
+        include_self: bool = True,
+        seed: int = 0,
+    ):
+        self.device = device if device is not None else DeviceSpec()
+        self.costs = costs if costs is not None else CostParams()
+        self.include_self = include_self
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def profile(self, points, epsilon: float) -> WorkloadProfile:
+        """Build (once) the workload profile of a (dataset, ε) pair."""
+        check_epsilon(epsilon)
+        return WorkloadProfile(GridIndex(points, epsilon), include_self=self.include_self)
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        profile: WorkloadProfile,
+        config: OptimizationConfig | None = None,
+        *,
+        seed: int | None = None,
+    ) -> SimulatedRun:
+        """Model one configuration's execution over a cached profile.
+
+        ``seed`` overrides the scheduler-shuffle seed for this run only —
+        how trial averaging varies the one stochastic component (the
+        hardware scheduler's issue order).
+        """
+        cfg = config if config is not None else OptimizationConfig()
+        index = profile.index
+        n = index.num_points
+
+        if cfg.uses_sorted_points:
+            order = profile.sorted_order(cfg.pattern)
+        else:
+            order = np.arange(n, dtype=np.int64)
+
+        if cfg.work_queue:
+            est = profile.estimate_head(cfg.sample_fraction, cfg.pattern)
+        else:
+            est = profile.estimate_strided(cfg.sample_fraction)
+
+        # Mirror SelfJoin's overflow recovery: if any batch would emit more
+        # rows than the buffer holds, the estimate doubles and re-plans.
+        emitted = profile.emitted_rows(cfg.pattern)
+        weights = (
+            profile.components(cfg.pattern, 1).candidates[
+                index.point_cell_rank[order]
+            ].astype(float)
+            if cfg.balanced_batches
+            else None
+        )
+        for _ in range(_MAX_REPLANS):
+            if cfg.balanced_batches:
+                plan = plan_batches_balanced(
+                    order, weights, est, cfg.batch_result_capacity
+                )
+            else:
+                plan = plan_batches(
+                    order, est, cfg.batch_result_capacity, strided=not cfg.work_queue
+                )
+            batch_rows = [int(emitted[batch].sum()) for batch in plan.batches]
+            if all(r <= cfg.batch_result_capacity for r in batch_rows):
+                break
+            est = max(est * 2, cfg.batch_result_capacity + 1)
+        else:
+            raise RuntimeError(
+                f"batch planning failed to converge after {_MAX_REPLANS} attempts"
+            )
+
+        batch_models = [
+            model_batch_warps(
+                profile,
+                batch,
+                k=cfg.k,
+                pattern=cfg.pattern,
+                costs=self.costs,
+                work_queue=cfg.work_queue,
+                warp_size=self.device.warp_size,
+            )
+            for batch in plan.batches
+        ]
+
+        return schedule_batches(
+            batch_models,
+            batch_rows,
+            self.device,
+            self.costs,
+            issue_order="fifo" if cfg.work_queue else "random",
+            num_streams=cfg.num_streams,
+            seed=self.seed if seed is None else seed,
+            config_description=cfg.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_points(
+        self, points, epsilon: float, config: OptimizationConfig | None = None
+    ) -> SimulatedRun:
+        """One-shot convenience: profile + estimate."""
+        return self.estimate(self.profile(points, epsilon), config)
+
+    # ------------------------------------------------------------------
+    def profile_bipartite(self, left, right, epsilon: float) -> BipartiteProfile:
+        """Workload profile of a bipartite join (index on ``right``)."""
+        check_epsilon(epsilon)
+        return BipartiteProfile(GridIndex(right, epsilon), left)
+
+    def estimate_bipartite(
+        self,
+        profile: BipartiteProfile,
+        config: OptimizationConfig | None = None,
+    ) -> SimulatedRun:
+        """Model a bipartite join execution (full pattern only)."""
+        cfg = config if config is not None else OptimizationConfig()
+        if cfg.pattern != "full":
+            raise ValueError("the bipartite join requires pattern='full'")
+        nq = profile.num_queries
+
+        if cfg.uses_sorted_points:
+            order = profile.sorted_order
+        else:
+            order = np.arange(nq, dtype=np.int64)
+        est = profile.estimate(cfg.sample_fraction, head=cfg.work_queue)
+        weights = (
+            profile.candidates[order].astype(float) if cfg.balanced_batches else None
+        )
+
+        for _ in range(_MAX_REPLANS):
+            if cfg.balanced_batches:
+                plan = plan_batches_balanced(
+                    order, weights, est, cfg.batch_result_capacity
+                )
+            else:
+                plan = plan_batches(
+                    order, est, cfg.batch_result_capacity, strided=not cfg.work_queue
+                )
+            batch_rows = [int(profile.counts[b].sum()) for b in plan.batches]
+            if all(r <= cfg.batch_result_capacity for r in batch_rows):
+                break
+            est = max(est * 2, cfg.batch_result_capacity + 1)
+        else:
+            raise RuntimeError(
+                f"batch planning failed to converge after {_MAX_REPLANS} attempts"
+            )
+
+        batch_models = [
+            model_warps_from_arrays(
+                profile.visited_cells[batch],
+                profile.candidates[batch],
+                profile.counts[batch],
+                ndim=profile.index.ndim,
+                k=cfg.k,
+                costs=self.costs,
+                work_queue=cfg.work_queue,
+                warp_size=self.device.warp_size,
+            )
+            for batch in plan.batches
+        ]
+        return schedule_batches(
+            batch_models,
+            batch_rows,
+            self.device,
+            self.costs,
+            issue_order="fifo" if cfg.work_queue else "random",
+            num_streams=cfg.num_streams,
+            seed=self.seed,
+            config_description=f"bipartite {cfg.describe()}",
+        )

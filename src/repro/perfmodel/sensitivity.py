@@ -1,0 +1,118 @@
+"""Sensitivity analysis: do the paper's orderings survive cost-constant
+perturbation?
+
+The cost model has calibrated constants (EXPERIMENTS.md §calibration). A
+reproduction is only credible if its *qualitative* conclusions do not
+hinge on those choices, so this module re-evaluates a set of
+configurations under multiplicative perturbations of each cost constant
+and reports every pairwise time-ordering that flips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import OptimizationConfig
+from repro.perfmodel.model import PerformanceModel
+from repro.perfmodel.workload import WorkloadProfile
+from repro.simt import CostParams, DeviceSpec
+from repro.util import Table
+
+__all__ = ["OrderingFlip", "SensitivityReport", "sweep_cost_sensitivity"]
+
+_COST_FIELDS = (
+    "c_setup",
+    "c_cell",
+    "c_dist_base",
+    "c_dist_dim",
+    "c_emit",
+    "c_atomic",
+    "c_warp_launch",
+)
+
+
+@dataclass(frozen=True)
+class OrderingFlip:
+    """One pairwise ordering that changed under a perturbation."""
+
+    field: str
+    factor: float
+    faster: str  # config that wins under the perturbation
+    slower: str  # config that won at baseline
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Outcome of a sensitivity sweep."""
+
+    baseline_order: list[str]  # configs fastest-first at baseline constants
+    flips: list[OrderingFlip]
+    cells_checked: int
+
+    @property
+    def is_robust(self) -> bool:
+        return not self.flips
+
+    def render(self) -> str:
+        t = Table(
+            ["perturbed constant", "factor", "new winner", "baseline winner"],
+            title=(
+                f"Sensitivity: baseline order {' < '.join(self.baseline_order)}"
+                f" ({self.cells_checked} perturbations)"
+            ),
+        )
+        if not self.flips:
+            t.add_row(["(none)", "-", "-", "-"])
+        for f in self.flips:
+            t.add_row([f.field, f.factor, f.faster, f.slower])
+        return t.render()
+
+
+def sweep_cost_sensitivity(
+    profile: WorkloadProfile,
+    configs: dict[str, OptimizationConfig],
+    *,
+    factors: tuple[float, ...] = (0.5, 2.0),
+    fields: tuple[str, ...] = _COST_FIELDS,
+    device: DeviceSpec | None = None,
+    base_costs: CostParams | None = None,
+    seed: int = 0,
+) -> SensitivityReport:
+    """Perturb each cost constant by each factor; collect ordering flips.
+
+    ``configs`` maps display names to configurations; the report's
+    ``baseline_order`` is their time-ordering at the unperturbed constants
+    and ``flips`` lists every pairwise inversion any perturbation causes.
+    """
+    if not configs:
+        raise ValueError("configs must not be empty")
+    base_costs = base_costs if base_costs is not None else CostParams()
+    device = device if device is not None else DeviceSpec()
+
+    def times_under(costs: CostParams) -> dict[str, float]:
+        model = PerformanceModel(device=device, costs=costs, seed=seed)
+        return {
+            name: model.estimate(profile, cfg).total_seconds
+            for name, cfg in configs.items()
+        }
+
+    baseline = times_under(base_costs)
+    baseline_order = sorted(baseline, key=baseline.get)
+
+    flips: list[OrderingFlip] = []
+    cells = 0
+    for field in fields:
+        for factor in factors:
+            cells += 1
+            perturbed = dataclasses.replace(
+                base_costs, **{field: getattr(base_costs, field) * factor}
+            )
+            times = times_under(perturbed)
+            for i, a in enumerate(baseline_order):
+                for b in baseline_order[i + 1 :]:
+                    if times[b] < times[a]:  # b overtook a
+                        flips.append(OrderingFlip(field, factor, b, a))
+    return SensitivityReport(
+        baseline_order=baseline_order, flips=flips, cells_checked=cells
+    )

@@ -1,0 +1,151 @@
+"""Warp assembly and per-warp duration/WEE, vectorized.
+
+Mirrors the VM's aggregate lock-step replay: every thread's cycles are a
+sum over control-flow regions (setup, cell traversal, distance refinement,
+emission, queue fetch), and a warp's duration is the sum over regions of the
+per-region lane maximum. Evaluating regions as separate arrays keeps the
+exact VM semantics while processing millions of threads per NumPy pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.granularity import thread_share_counts
+from repro.perfmodel.workload import WorkloadProfile
+from repro.simt import CostParams
+
+__all__ = ["BatchWarpModel", "model_batch_warps", "model_warps_from_arrays"]
+
+
+@dataclass(frozen=True)
+class BatchWarpModel:
+    """Per-warp cycle accounting of one batch kernel.
+
+    ``busy`` excludes the fixed warp-launch overhead (matching
+    :class:`repro.simt.WarpStats.warp_cycles`); ``durations`` includes it
+    (what the scheduler sees).
+    """
+
+    busy: np.ndarray
+    active: np.ndarray
+    warp_size: int
+
+    def durations_with_launch(self, costs: CostParams) -> np.ndarray:
+        """Scheduler-visible warp durations (busy + fixed launch overhead)."""
+        return self.busy + costs.c_warp_launch
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.busy)
+
+
+def _pad_to_warps(values: np.ndarray, warp_size: int) -> np.ndarray:
+    """Reshape a per-thread vector to (num_warps, warp_size), zero-padded."""
+    n = len(values)
+    num_warps = -(-n // warp_size) if n else 0
+    padded = np.zeros(num_warps * warp_size, dtype=np.float64)
+    padded[:n] = values
+    return padded.reshape(num_warps, warp_size)
+
+
+def model_warps_from_arrays(
+    visited_cells: np.ndarray,
+    candidate_totals: np.ndarray,
+    result_rows: np.ndarray,
+    *,
+    ndim: int,
+    k: int,
+    costs: CostParams,
+    work_queue: bool,
+    warp_size: int = 32,
+) -> BatchWarpModel:
+    """Warp durations and active cycles from per-query workload arrays.
+
+    The join-agnostic core: callers supply, per query of the batch in
+    thread order, the probed-cell count, the total candidate count and the
+    result-row count. Both the self-join and the bipartite join models map
+    onto this.
+    """
+    nq = len(candidate_totals)
+    if nq == 0:
+        return BatchWarpModel(np.zeros(0), np.zeros(0), warp_size)
+
+    # per-thread component vectors, thread order = (query, rank) row-major
+    # shape (nq, k) -> flatten
+    setup = np.full((nq, k), costs.c_setup)
+    cells = np.broadcast_to(
+        (np.asarray(visited_cells) * costs.c_cell)[:, None], (nq, k)
+    )
+    # flat-stream candidate split: thread r owns the flat indices ≡ r (mod
+    # k) of the query's whole candidate stream, so its share is the ceil
+    # split of the per-point total — exactly the kernel's running-offset
+    # stride
+    dist = (
+        thread_share_counts(np.asarray(candidate_totals, dtype=np.int64), k).T
+        * costs.dist_cost(ndim)
+    )  # (nq, k)
+    emit = np.broadcast_to(
+        (np.asarray(result_rows) * (costs.c_emit / k))[:, None], (nq, k)
+    )
+    components = {
+        "setup": setup.ravel(),
+        "cells": np.ascontiguousarray(cells).ravel(),
+        "dist": np.ascontiguousarray(dist).ravel(),
+        "emit": np.ascontiguousarray(emit).ravel(),
+    }
+    if work_queue:
+        fetch = np.zeros((nq, k))
+        fetch[:, 0] = costs.c_atomic  # leader (or every thread when k == 1)
+        components["atomic"] = fetch.ravel()
+        if k > 1:
+            shfl = np.full((nq, k), costs.c_shfl)
+            shfl[:, 0] = 0.0
+            components["shfl"] = shfl.ravel()
+
+    busy = None
+    active = None
+    for vec in components.values():
+        mat = _pad_to_warps(vec, warp_size)
+        label_max = mat.max(axis=1)
+        label_sum = mat.sum(axis=1)
+        busy = label_max if busy is None else busy + label_max
+        active = label_sum if active is None else active + label_sum
+    return BatchWarpModel(busy=busy, active=active, warp_size=warp_size)
+
+
+def model_batch_warps(
+    profile: WorkloadProfile,
+    batch_points: np.ndarray,
+    *,
+    k: int,
+    pattern: str,
+    costs: CostParams,
+    work_queue: bool,
+    warp_size: int = 32,
+) -> BatchWarpModel:
+    """Self-join batch model: warp durations and active cycles.
+
+    ``batch_points`` lists the query point ids in *query order*; thread
+    ``t`` of the launch serves query ``batch_points[t // k]`` with rank
+    ``t % k`` — identical to the kernel's static mapping, and identical to
+    the queue mapping when the queue hands out slots in issue order.
+    """
+    index = profile.index
+    batch_points = np.asarray(batch_points, dtype=np.int64)
+    if len(batch_points) == 0:
+        return BatchWarpModel(np.zeros(0), np.zeros(0), warp_size)
+    comps = profile.components(pattern, 1)
+    cell_rank = index.point_cell_rank[batch_points]
+    return model_warps_from_arrays(
+        comps.visited_cells[cell_rank],
+        comps.candidates[cell_rank],
+        profile.neighbor_counts()[batch_points],
+        ndim=index.ndim,
+        k=k,
+        costs=costs,
+        work_queue=work_queue,
+        warp_size=warp_size,
+    )

@@ -1,0 +1,19 @@
+"""nvprof-style profiling reports over simulated runs.
+
+The paper reports warp execution efficiency and response time per
+configuration (Tables III–VI). :class:`ProfileReport` collects those rows
+from either VM :class:`~repro.core.JoinResult` objects or model
+:class:`~repro.perfmodel.SimulatedRun` objects and renders paper-style
+tables.
+"""
+
+from repro.profiling.profiler import ProfileReport, ProfileRow, profile_run
+from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
+
+__all__ = [
+    "ProfileReport",
+    "ProfileRow",
+    "WorkloadStats",
+    "gini_coefficient",
+    "profile_run",
+]

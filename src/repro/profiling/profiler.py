@@ -1,0 +1,120 @@
+"""Collection and rendering of per-configuration profiling rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import Table, format_seconds
+
+__all__ = ["ProfileReport", "ProfileRow", "profile_run"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One (dataset, ε, configuration) measurement — a row of the paper's
+    Tables III–VI."""
+
+    dataset: str
+    epsilon: float
+    config: str
+    wee_percent: float
+    seconds: float
+    num_batches: int = 0
+    num_warps: int = 0
+    result_rows: int = 0
+
+
+def profile_run(run, *, dataset: str, epsilon: float, config: str | None = None) -> ProfileRow:
+    """Build a row from a VM ``JoinResult`` or a model ``SimulatedRun``.
+
+    Duck-typed on the shared metric surface (``total_seconds``,
+    ``warp_execution_efficiency``, ``num_batches``).
+    """
+    result_rows = getattr(run, "num_pairs", None)
+    if result_rows is None:
+        result_rows = getattr(run, "total_result_rows", 0)
+    num_warps = getattr(run, "num_warps", 0)
+    if not isinstance(num_warps, int):  # JoinResult has no num_warps property
+        num_warps = 0
+    return ProfileRow(
+        dataset=dataset,
+        epsilon=float(epsilon),
+        config=config if config is not None else run.config_description,
+        wee_percent=100.0 * run.warp_execution_efficiency,
+        seconds=float(run.total_seconds),
+        num_batches=run.num_batches,
+        num_warps=int(num_warps),
+        result_rows=int(result_rows),
+    )
+
+
+class ProfileReport:
+    """An ordered collection of profile rows with paper-style rendering."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.rows: list[ProfileRow] = []
+
+    def add(self, row: ProfileRow) -> None:
+        self.rows.append(row)
+
+    def add_run(self, run, *, dataset: str, epsilon: float, config: str | None = None) -> None:
+        self.add(profile_run(run, dataset=dataset, epsilon=epsilon, config=config))
+
+    def render(self) -> str:
+        """The paper's table layout: dataset, ε, then WEE%/time per config."""
+        t = Table(
+            ["dataset", "eps", "config", "WEE (%)", "time", "batches", "rows"],
+            title=self.title,
+        )
+        for r in self.rows:
+            t.add_row(
+                [
+                    r.dataset,
+                    r.epsilon,
+                    r.config,
+                    f"{r.wee_percent:.1f}",
+                    format_seconds(r.seconds),
+                    r.num_batches,
+                    r.result_rows,
+                ]
+            )
+        return t.render()
+
+    def speedups(self, baseline_config: str) -> dict[tuple[str, float], dict[str, float]]:
+        """Per (dataset, ε): speedup of every config over the baseline."""
+        by_key: dict[tuple[str, float], dict[str, float]] = {}
+        for r in self.rows:
+            by_key.setdefault((r.dataset, r.epsilon), {})[r.config] = r.seconds
+        out: dict[tuple[str, float], dict[str, float]] = {}
+        for key, times in by_key.items():
+            if baseline_config not in times:
+                continue
+            base = times[baseline_config]
+            out[key] = {
+                cfg: base / t if t > 0 else np.inf
+                for cfg, t in times.items()
+                if cfg != baseline_config
+            }
+        return out
+
+    def to_records(self) -> list[dict]:
+        """Rows as JSON-ready dicts (machine-readable experiment output)."""
+        return [
+            {
+                "dataset": r.dataset,
+                "epsilon": r.epsilon,
+                "config": r.config,
+                "wee_percent": None if r.wee_percent != r.wee_percent else r.wee_percent,
+                "seconds": r.seconds,
+                "num_batches": r.num_batches,
+                "num_warps": r.num_warps,
+                "result_rows": r.result_rows,
+            }
+            for r in self.rows
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

@@ -1,0 +1,111 @@
+"""Workload-skew statistics — quantifying *why* the optimizations help.
+
+The paper's gains track the dispersion of per-point workloads ("some
+points will have few neighbors, and some will have many, potentially
+spanning several orders of magnitude"). This module turns that into
+numbers: coefficient of variation, Gini coefficient, tail shares and the
+idealized WEE a random 32-lane packing would achieve — the diagnostic a
+user runs to predict whether SORTBYWL/WORKQUEUE will pay off on their
+dataset before running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sortbywl import point_workloads
+from repro.grid import GridIndex
+from repro.util import Table
+
+__all__ = ["WorkloadStats", "gini_coefficient"]
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution, in [0, 1).
+
+    0 = perfectly even workloads (uniform data), → 1 = all work
+    concentrated in a vanishing fraction of points (extreme skew).
+    """
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if len(v) == 0:
+        return 0.0
+    if (v < 0).any():
+        raise ValueError("values must be non-negative")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = len(v)
+    # Gini = (2 * sum(i * v_i) / (n * sum v)) - (n + 1) / n, i is 1-based
+    ranks = np.arange(1, n + 1)
+    return float(2 * (ranks * v).sum() / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Dispersion summary of a dataset's per-point workloads."""
+
+    num_points: int
+    mean: float
+    median: float
+    maximum: int
+    cv: float  # std / mean
+    gini: float
+    top1_share: float  # fraction of total work held by the heaviest 1 %
+    random_packing_wee: float  # expected WEE of unsorted 32-lane warps
+
+    @classmethod
+    def from_index(
+        cls, index: GridIndex, pattern: str = "full", *, warp_size: int = 32, seed: int = 0
+    ) -> "WorkloadStats":
+        """Compute the stats from an index's quantified workloads."""
+        w = point_workloads(index, pattern).astype(np.float64)
+        return cls.from_workloads(w, warp_size=warp_size, seed=seed)
+
+    @classmethod
+    def from_workloads(
+        cls, workloads: np.ndarray, *, warp_size: int = 32, seed: int = 0
+    ) -> "WorkloadStats":
+        w = np.asarray(workloads, dtype=np.float64)
+        if len(w) == 0:
+            return cls(0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 1.0)
+        mean = float(w.mean())
+        top_k = max(1, len(w) // 100)
+        top_share = float(np.sort(w)[-top_k:].sum() / w.sum()) if w.sum() else 0.0
+
+        # expected WEE of random warp packing: shuffle, pack, measure
+        rng = np.random.default_rng(seed)
+        shuffled = rng.permutation(w)
+        pad = (-len(shuffled)) % warp_size
+        if pad:
+            shuffled = np.concatenate([shuffled, np.zeros(pad)])
+        warps = shuffled.reshape(-1, warp_size)
+        maxes = warps.max(axis=1)
+        busy = maxes.sum()
+        wee = float(warps.sum() / (warp_size * busy)) if busy else 1.0
+
+        return cls(
+            num_points=len(w),
+            mean=mean,
+            median=float(np.median(w)),
+            maximum=int(w.max()),
+            cv=float(w.std() / mean) if mean else 0.0,
+            gini=gini_coefficient(w),
+            top1_share=top_share,
+            random_packing_wee=wee,
+        )
+
+    def render(self) -> str:
+        t = Table(["metric", "value"], title="Workload dispersion")
+        t.add_row(["points", self.num_points])
+        t.add_row(["mean candidates/point", f"{self.mean:.1f}"])
+        t.add_row(["median", f"{self.median:.1f}"])
+        t.add_row(["max", self.maximum])
+        t.add_row(["coefficient of variation", f"{self.cv:.2f}"])
+        t.add_row(["Gini coefficient", f"{self.gini:.3f}"])
+        t.add_row(["top-1% share of work", f"{100 * self.top1_share:.1f}%"])
+        t.add_row(
+            ["random-packing WEE", f"{100 * self.random_packing_wee:.1f}%"]
+        )
+        return t.render()

@@ -1,0 +1,52 @@
+"""A warp-level SIMT virtual machine.
+
+The paper's optimizations are statements about *which threads share a warp*
+and *in which order warps execute*. Real hardware exposes the consequences
+only through profiler counters; this simulator makes them first-class:
+
+- :class:`DeviceSpec` — the simulated GPU (warp size, SM count, warp issue
+  slots, clock), defaulting to a Quadro GP100-like device as in the paper;
+- :class:`CostParams` — the instruction cost model shared verbatim with the
+  vectorized performance model (:mod:`repro.perfmodel`), so VM measurements
+  and large-scale estimates are mutually checkable;
+- :class:`GpuMachine` — launches kernels written against
+  :class:`ThreadContext`, executes them thread-by-thread in warp issue
+  order (so atomics observe a realistic order), replays each warp in
+  lock-step to obtain warp cycles and warp execution efficiency, and
+  schedules warps onto issue slots to obtain the kernel makespan;
+- :class:`AtomicCounter`, :class:`ResultBuffer`, :class:`CoopGroupTable` —
+  the device-memory objects kernels interact with;
+- :func:`simulate_stream_pipeline` — the 3-stream kernel/transfer overlap
+  model used by the batching scheme.
+"""
+
+from repro.simt.atomics import AtomicCounter
+from repro.simt.costs import CostParams
+from repro.simt.device import DeviceSpec
+from repro.simt.machine import GpuMachine, KernelStats
+from repro.simt.metrics import KernelProfile, profile_kernel
+from repro.simt.memory import BufferOverflowError, ResultBuffer
+from repro.simt.coop import CoopGroupTable
+from repro.simt.context import ThreadContext
+from repro.simt.scheduler import issue_order_permutation, makespan
+from repro.simt.streams import simulate_stream_pipeline
+from repro.simt.warp import WarpStats, replay_warp
+
+__all__ = [
+    "AtomicCounter",
+    "BufferOverflowError",
+    "CoopGroupTable",
+    "CostParams",
+    "DeviceSpec",
+    "GpuMachine",
+    "KernelProfile",
+    "KernelStats",
+    "ResultBuffer",
+    "ThreadContext",
+    "WarpStats",
+    "issue_order_permutation",
+    "makespan",
+    "profile_kernel",
+    "replay_warp",
+    "simulate_stream_pipeline",
+]

@@ -1,0 +1,41 @@
+"""Device-global atomic counter.
+
+The WORKQUEUE optimization replaces the static thread→point mapping with a
+queue head advanced by ``atomicAdd``. The VM counter additionally tracks the
+number of operations so the cost model can charge atomic latency and
+contention.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AtomicCounter"]
+
+
+class AtomicCounter:
+    """A monotonically increasing integer with fetch-and-add semantics."""
+
+    def __init__(self, initial: int = 0, *, name: str = "counter"):
+        self.name = name
+        self._value = int(initial)
+        self.num_ops = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def fetch_add(self, amount: int = 1) -> int:
+        """Atomically add ``amount`` and return the previous value."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        old = self._value
+        self._value += int(amount)
+        self.num_ops += 1
+        return old
+
+    def reset(self, value: int = 0) -> None:
+        """Host-side reset between kernel invocations (the queue persists
+        across batches in the paper, so callers normally do *not* reset)."""
+        self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AtomicCounter({self.name}={self._value}, ops={self.num_ops})"

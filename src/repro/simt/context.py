@@ -1,0 +1,123 @@
+"""Per-thread execution context and trace recording.
+
+A VM kernel is a plain Python function ``kernel(ctx, ...)`` executed once per
+thread. All *costed* actions go through the :class:`ThreadContext`, which
+
+- records a trace of ``(label, cycles)`` events — the label identifies the
+  control-flow region (loop) the cycles belong to, which is what the warp
+  replay uses to model SIMT reconvergence;
+- mediates side effects on device objects (atomic counters, the result
+  buffer, cooperative-group shuffles) so their observed order matches the
+  warp issue order the machine chose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.atomics import AtomicCounter
+from repro.simt.costs import CostParams
+from repro.simt.memory import ResultBuffer
+
+__all__ = ["ThreadContext", "ThreadTrace"]
+
+
+class ThreadTrace:
+    """Ordered ``(label, cycles)`` events plus totals for one thread."""
+
+    __slots__ = ("events", "total_cycles")
+
+    def __init__(self):
+        self.events: list[tuple[str, float]] = []
+        self.total_cycles = 0.0
+
+    def add(self, label: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.events.append((label, float(cycles)))
+        self.total_cycles += cycles
+
+    def label_totals(self) -> dict[str, float]:
+        """Cycles per label, preserving first-appearance order."""
+        out: dict[str, float] = {}
+        for label, cycles in self.events:
+            out[label] = out.get(label, 0.0) + cycles
+        return out
+
+
+class ThreadContext:
+    """The device API a kernel sees for one thread.
+
+    Attributes
+    ----------
+    tid:
+        Global thread id within the launch.
+    lane:
+        Lane index within the warp (``tid % warp_size``).
+    warp_id:
+        Warp index within the launch (``tid // warp_size``).
+    costs:
+        The machine's :class:`CostParams`, so kernels charge canonical costs.
+    """
+
+    __slots__ = ("tid", "lane", "warp_id", "costs", "trace", "_buffer", "_groups")
+
+    def __init__(
+        self,
+        tid: int,
+        warp_size: int,
+        costs: CostParams,
+        buffer: ResultBuffer | None,
+        groups=None,
+    ):
+        self.tid = tid
+        self.lane = tid % warp_size
+        self.warp_id = tid // warp_size
+        self.costs = costs
+        self.trace = ThreadTrace()
+        self._buffer = buffer
+        self._groups = groups
+
+    # -- cost recording -------------------------------------------------
+    def work(self, label: str, cycles: float) -> None:
+        """Charge ``cycles`` of computation under control-flow region ``label``."""
+        self.trace.add(label, cycles)
+
+    def charge_setup(self) -> None:
+        """Charge the kernel prologue (global-id computation, point load)."""
+        self.trace.add("setup", self.costs.c_setup)
+
+    def charge_cell_visit(self) -> None:
+        """Charge one neighbor-cell lookup."""
+        self.trace.add("cells", self.costs.c_cell)
+
+    def charge_candidates(self, count: int, ndim: int) -> None:
+        """Charge ``count`` candidate distance computations."""
+        if count:
+            self.trace.add("dist", count * self.costs.dist_cost(ndim))
+
+    # -- device side effects --------------------------------------------
+    def atomic_add(self, counter: AtomicCounter, amount: int = 1) -> int:
+        """Fetch-and-add on a global counter, charging atomic latency."""
+        self.trace.add("atomic", self.costs.c_atomic)
+        return counter.fetch_add(amount)
+
+    def emit_pairs(self, pairs: np.ndarray) -> None:
+        """Append result pairs to the launch's result buffer, charging the
+        per-pair emission cost."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return
+        if self._buffer is None:
+            raise RuntimeError("kernel launched without a result buffer")
+        self._buffer.append_pairs(pairs)
+        self.trace.add("emit", len(pairs) * self.costs.c_emit)
+
+    # -- cooperative groups ----------------------------------------------
+    def coop_group(self, k: int):
+        """The cooperative group (of ``k`` consecutive threads) this thread
+        belongs to. Requires the machine to have been launched with group
+        support (``GpuMachine.launch(..., coop_group_size=k)``)."""
+        if self._groups is None:
+            raise RuntimeError("launch has no cooperative-group table")
+        return self._groups.group_for(self, k)

@@ -1,0 +1,74 @@
+"""Cooperative groups (CUDA 9 style) for the VM.
+
+The paper uses cooperative groups of size ``k`` when combining the
+WORKQUEUE with ``k > 1`` threads per query point: only the group leader
+increments the global queue counter and the fetched index is shuffled to the
+other group members. The VM reproduces exactly that protocol: the leader
+(lowest lane of the group) pays atomic latency; followers pay a shuffle.
+Threads execute in lane order inside a warp, so the leader's fetch always
+happens before followers read it.
+"""
+
+from __future__ import annotations
+
+from repro.simt.atomics import AtomicCounter
+from repro.simt.context import ThreadContext
+
+__all__ = ["CoopGroup", "CoopGroupTable"]
+
+
+class CoopGroup:
+    """A tile of ``k`` consecutive threads cooperating on one query point."""
+
+    __slots__ = ("group_id", "size", "_slot")
+
+    def __init__(self, group_id: int, size: int):
+        self.group_id = group_id
+        self.size = size
+        self._slot: int | None = None
+
+    def leader_fetch_add(self, ctx: ThreadContext, counter: AtomicCounter, amount: int = 1) -> int:
+        """Group-wide fetch-and-add: leader performs the atomic, everyone
+        else receives the value via warp shuffle.
+
+        Every member must call this (it is a converged operation, like the
+        CUDA ``coalesced_group`` idiom); the return value is identical for
+        all members.
+        """
+        if ctx.tid // self.size != self.group_id:
+            raise RuntimeError(
+                f"thread {ctx.tid} does not belong to coop group {self.group_id}"
+            )
+        if ctx.tid % self.size == 0:  # leader
+            self._slot = ctx.atomic_add(counter, amount)
+        else:
+            if self._slot is None:
+                raise RuntimeError(
+                    "group member read shuffle slot before leader fetch — "
+                    "threads executed out of lane order"
+                )
+            ctx.work("shfl", ctx.costs.c_shfl)
+        return self._slot
+
+
+class CoopGroupTable:
+    """Lazy per-launch registry of cooperative groups keyed by group id."""
+
+    def __init__(self, warp_size: int):
+        self.warp_size = warp_size
+        self._groups: dict[tuple[int, int], CoopGroup] = {}
+
+    def group_for(self, ctx: ThreadContext, k: int) -> CoopGroup:
+        if k < 1:
+            raise ValueError("group size must be >= 1")
+        if self.warp_size % k != 0:
+            raise ValueError(
+                f"group size {k} must evenly divide the warp size {self.warp_size}"
+            )
+        gid = ctx.tid // k
+        key = (gid, k)
+        group = self._groups.get(key)
+        if group is None:
+            group = CoopGroup(gid, k)
+            self._groups[key] = group
+        return group

@@ -1,0 +1,76 @@
+"""Instruction cost model shared by the SIMT VM and the performance model.
+
+All values are in device cycles *per issue slot* of the throughput model:
+the device executes ``warp_slots`` warps concurrently (112 ≈ GP100's 3584
+CUDA cores / 32), so a cost of C cycles means one slot is occupied for C
+cycles. The self-join kernel is latency/memory-bound on real hardware —
+the dominant ``c_dist_*`` constants are calibrated to the ~2.4e9
+candidates/s effective refinement throughput a GP100 sustains on this
+workload, not to the FLOP count of a distance computation. EXPERIMENTS.md
+documents which figures are sensitive to which constants. The same :class:`CostParams` instance must be
+handed to both :class:`repro.simt.GpuMachine` and
+:class:`repro.perfmodel.PerformanceModel` when cross-validating the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParams"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Per-operation cycle costs of the simulated GPU.
+
+    Attributes
+    ----------
+    c_setup:
+        Kernel prologue per thread: computing the global id, loading the
+        query point, resolving the origin cell.
+    c_cell:
+        Per neighbor-cell visit: neighbor coordinate arithmetic plus the
+        binary search into the non-empty-cell array.
+    c_dist_base, c_dist_dim:
+        Candidate refinement: a distance computation costs
+        ``c_dist_base + ndim * c_dist_dim`` cycles (coordinate loads, FMA
+        chain, compare).
+    c_emit:
+        Appending one result pair to the global result buffer.
+    c_atomic:
+        Latency of a global-memory atomic add (work-queue head fetch).
+    c_shfl:
+        Warp shuffle broadcasting the fetched queue index inside a
+        cooperative group.
+    c_warp_launch:
+        Fixed per-warp scheduling overhead charged when a warp is issued.
+    """
+
+    c_setup: float = 200.0
+    c_cell: float = 400.0
+    c_dist_base: float = 1200.0
+    c_dist_dim: float = 250.0
+    c_emit: float = 150.0
+    c_atomic: float = 600.0
+    c_shfl: float = 10.0
+    c_warp_launch: float = 100.0
+
+    def __post_init__(self):
+        for name in (
+            "c_setup",
+            "c_cell",
+            "c_dist_base",
+            "c_dist_dim",
+            "c_emit",
+            "c_atomic",
+            "c_shfl",
+            "c_warp_launch",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def dist_cost(self, ndim: int) -> float:
+        """Cycles for one candidate distance computation in ``ndim`` dimensions."""
+        if ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        return self.c_dist_base + ndim * self.c_dist_dim

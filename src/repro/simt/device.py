@@ -1,0 +1,72 @@
+"""Simulated GPU device description.
+
+Defaults approximate the Nvidia Quadro GP100 used in the paper's testbed
+(56 SMs, 16 GiB HBM2). ``warps_per_sm_slot`` is the number of warps an SM
+makes *forward progress on* concurrently in our model — an abstraction of
+the interleaved-issue pipeline, not the (much larger) number of resident
+warps. The product ``warp_slots`` is the slot count the makespan scheduler
+fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "CPU_XEON_E5_2620V4"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of the simulated accelerator."""
+
+    name: str = "sim-quadro-gp100"
+    warp_size: int = 32
+    num_sms: int = 56
+    # 2 warps per SM in simultaneous execution ≈ GP100's 3584 CUDA cores
+    # divided into 32-lane groups (112 warps in flight)
+    warps_per_sm_slot: int = 2
+    clock_hz: float = 1.30e9
+    global_mem_bytes: int = 16 * 2**30
+    pcie_bandwidth: float = 12.0e9  # effective pinned host<->device bytes/s
+
+    def __post_init__(self):
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+        if self.num_sms < 1 or self.warps_per_sm_slot < 1:
+            raise ValueError("num_sms and warps_per_sm_slot must be >= 1")
+        if self.clock_hz <= 0 or self.pcie_bandwidth <= 0:
+            raise ValueError("clock_hz and pcie_bandwidth must be positive")
+
+    @property
+    def warp_slots(self) -> int:
+        """Number of warps making concurrent progress — the scheduler width."""
+        return self.num_sms * self.warps_per_sm_slot
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert device cycles to simulated wall-clock seconds."""
+        return float(cycles) / self.clock_hz
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Parameters of the modeled CPU baseline host (SUPER-EGO's platform)."""
+
+    name: str = "sim-2x-xeon-e5-2620v4"
+    num_cores: int = 16
+    clock_hz: float = 2.10e9
+    simd_lanes: int = 4  # AVX2 doubles per instruction
+    parallel_efficiency: float = 0.85
+
+    def __post_init__(self):
+        if self.num_cores < 1 or self.simd_lanes < 1:
+            raise ValueError("num_cores and simd_lanes must be >= 1")
+        if not 0 < self.parallel_efficiency <= 1:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return float(cycles) / self.clock_hz
+
+
+CPU_XEON_E5_2620V4 = CpuSpec()

@@ -1,0 +1,175 @@
+"""The GPU machine: kernel launch, warp-ordered execution, and metrics.
+
+``GpuMachine.launch`` runs a kernel function once per thread, *in warp issue
+order*. Executing whole warps in the order the scheduler would dispatch them
+makes device side effects realistic — in particular, the work-queue's atomic
+counter hands out query points in exactly the order warps are issued, which
+is the mechanism (Section III-D) by which the paper forces most-work-first
+execution.
+
+After execution the machine replays every warp in lock-step
+(:func:`repro.simt.warp.replay_warp`) and schedules the warp durations onto
+the device's issue slots (:func:`repro.simt.scheduler.makespan`), yielding
+kernel cycles, seconds, and the profiler-style warp execution efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt.context import ThreadContext, ThreadTrace
+from repro.simt.coop import CoopGroupTable
+from repro.simt.costs import CostParams
+from repro.simt.device import DeviceSpec
+from repro.simt.memory import ResultBuffer
+from repro.simt.scheduler import ScheduleResult, issue_order_permutation, makespan
+from repro.simt.warp import WarpStats, replay_warp
+from repro.util import ceil_div
+
+__all__ = ["GpuMachine", "KernelStats"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Profiler output of one simulated kernel invocation."""
+
+    num_threads: int
+    num_warps: int
+    cycles: float
+    seconds: float
+    warp_stats: list[WarpStats] = field(repr=False)
+    schedule: ScheduleResult = field(repr=False)
+    traces: list[ThreadTrace] | None = field(default=None, repr=False)
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        """Cycle-weighted average fraction of active lanes per executed warp
+        — the Nvidia profiler metric the paper reports (in percent)."""
+        total_active = sum(w.active_cycles for w in self.warp_stats)
+        total_warp = sum(w.warp_cycles for w in self.warp_stats)
+        if total_warp == 0:
+            return 1.0
+        warp_size = self.warp_stats[0].warp_size if self.warp_stats else 32
+        return total_active / (warp_size * total_warp)
+
+    @property
+    def mean_warp_wee(self) -> float:
+        """Unweighted per-warp mean WEE (useful for diagnostics)."""
+        if not self.warp_stats:
+            return 1.0
+        return float(np.mean([w.wee for w in self.warp_stats]))
+
+
+class GpuMachine:
+    """A simulated SIMT accelerator.
+
+    Parameters
+    ----------
+    device:
+        Hardware description; defaults to the paper's Quadro GP100 class.
+    costs:
+        Instruction cost model shared with :mod:`repro.perfmodel`.
+    issue_order:
+        ``"fifo"``, ``"random"`` or ``"workload_desc"`` — how the hardware
+        scheduler orders warp dispatch. The work-queue kernels force
+        ``"fifo"`` over a workload-sorted array, which *is* most-work-first.
+    seed:
+        Seed for the ``"random"`` issue order.
+    replay_mode:
+        ``"aggregate"`` (reconverge at region boundaries; matches the
+        analytic model) or ``"lockstep"`` (event-by-event serialization).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        *,
+        issue_order: str = "fifo",
+        seed=None,
+        replay_mode: str = "aggregate",
+    ):
+        self.device = device if device is not None else DeviceSpec()
+        self.costs = costs if costs is not None else CostParams()
+        self.issue_order = issue_order
+        self.seed = seed
+        self.replay_mode = replay_mode
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel,
+        num_threads: int,
+        *args,
+        result_buffer: ResultBuffer | None = None,
+        coop_groups: bool = False,
+        keep_traces: bool = False,
+    ) -> KernelStats:
+        """Run ``kernel(ctx, *args)`` for ``num_threads`` threads.
+
+        Threads execute sequentially, whole warps at a time, in the
+        scheduler's issue order; lanes within a warp run in lane order.
+        ``keep_traces=True`` retains the per-thread traces on the returned
+        stats for profiler post-analysis (:mod:`repro.simt.metrics`).
+        """
+        if num_threads < 0:
+            raise ValueError("num_threads must be non-negative")
+        ws = self.device.warp_size
+        num_warps = int(ceil_div(num_threads, ws)) if num_threads else 0
+        groups = CoopGroupTable(ws) if coop_groups else None
+
+        # Issue order must be decided before execution (it shapes atomics),
+        # so it cannot depend on measured durations. "workload_desc" is only
+        # meaningful post-hoc and is rejected here; the work-queue achieves
+        # most-work-first by sorting the *data*, not the warp ids.
+        if self.issue_order == "fifo":
+            warp_order = np.arange(num_warps)
+        elif self.issue_order == "random":
+            warp_order = issue_order_permutation(
+                np.zeros(num_warps), "random", seed=self.seed
+            )
+        else:
+            raise ValueError(
+                "GpuMachine.launch supports issue_order 'fifo' or 'random'; "
+                "most-work-first execution comes from sorted input data"
+            )
+
+        traces: list[ThreadTrace | None] = [None] * num_threads
+        for w in warp_order:
+            base = int(w) * ws
+            for tid in range(base, min(base + ws, num_threads)):
+                ctx = ThreadContext(tid, ws, self.costs, result_buffer, groups)
+                kernel(ctx, *args)
+                traces[tid] = ctx.trace
+
+        warp_stats: list[WarpStats] = []
+        for w in range(num_warps):
+            lane_traces = [t for t in traces[w * ws : (w + 1) * ws] if t is not None]
+            warp_stats.append(replay_warp(lane_traces, ws, self.replay_mode))
+
+        durations = np.array(
+            [s.warp_cycles + self.costs.c_warp_launch for s in warp_stats]
+        )
+        # scheduling must follow the same issue order used for execution
+        sched = self._schedule(durations, warp_order)
+        cycles = sched.makespan_cycles
+        return KernelStats(
+            num_threads=num_threads,
+            num_warps=num_warps,
+            cycles=cycles,
+            seconds=self.device.cycles_to_seconds(cycles),
+            warp_stats=warp_stats,
+            schedule=sched,
+            traces=[t for t in traces if t is not None] if keep_traces else None,
+        )
+
+    def _schedule(self, durations: np.ndarray, warp_order: np.ndarray) -> ScheduleResult:
+        # Reuse makespan() but with the explicit permutation chosen at launch.
+        reordered = durations[warp_order]
+        sched = makespan(reordered, self.device.warp_slots, order="fifo")
+        # map start times back to warp-id indexing
+        starts = np.zeros_like(sched.start_cycles)
+        starts[warp_order] = sched.start_cycles
+        return ScheduleResult(sched.makespan_cycles, sched.slot_finish_cycles, starts)

@@ -1,0 +1,81 @@
+"""Global-memory result buffer with capacity accounting.
+
+The self-join's result set can exceed device memory (Section II-C2 of the
+paper); the batching scheme exists precisely to bound the per-kernel result
+size. The VM buffer therefore enforces a hard capacity and raises
+:class:`BufferOverflowError` on overflow — tests use this to prove the
+batching estimator actually prevents overflow, and that a mis-sized buffer
+is *detected* rather than silently truncated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferOverflowError", "ResultBuffer"]
+
+_PAIR_BYTES = 16  # two int64 indices per result pair
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when a kernel writes more result pairs than the buffer holds."""
+
+
+class ResultBuffer:
+    """An append-only pair buffer of fixed capacity (in pairs).
+
+    Appends are chunked numpy arrays; :meth:`pairs` concatenates on demand.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._chunks: list[np.ndarray] = []
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Number of pairs currently stored."""
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes this buffer's contents occupy (for transfer modeling)."""
+        return self._size * _PAIR_BYTES
+
+    def append_pairs(self, pairs: np.ndarray) -> None:
+        """Append an ``(M, 2)`` int64 pair block.
+
+        Raises :class:`BufferOverflowError` if capacity would be exceeded;
+        like the real GPU buffer, nothing is partially written in that case
+        (the batch must be re-planned).
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (M, 2), got {pairs.shape}")
+        if self._size + len(pairs) > self.capacity:
+            raise BufferOverflowError(
+                f"result buffer overflow: size {self._size} + {len(pairs)} "
+                f"exceeds capacity {self.capacity}"
+            )
+        self._chunks.append(pairs)
+        self._size += len(pairs)
+
+    def pairs(self) -> np.ndarray:
+        """All stored pairs as one ``(size, 2)`` array."""
+        if not self._chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+        return self._chunks[0]
+
+    def drain(self) -> np.ndarray:
+        """Return all pairs and empty the buffer (the host-transfer step
+        between batches)."""
+        out = self.pairs()
+        self._chunks = []
+        self._size = 0
+        return out

@@ -1,0 +1,117 @@
+"""Profiler post-analysis of kernel traces — the nvprof metric set.
+
+The paper reports warp execution efficiency, chosen "among those we have
+collected" from the Nvidia profiler. This module derives the rest of that
+family from a launch run with ``keep_traces=True``:
+
+- per-region cycle breakdown (where do active and stalled cycles go:
+  setup / cell traversal / refinement / emission / queue fetch);
+- achieved occupancy (fraction of slot-time the scheduler kept busy);
+- per-warp workload dispersion (the imbalance the optimizations attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simt.device import DeviceSpec
+from repro.simt.machine import KernelStats
+from repro.util import Table
+
+__all__ = ["KernelProfile", "profile_kernel"]
+
+
+@dataclass(frozen=True)
+class LabelBreakdown:
+    """Cycle accounting for one control-flow region across the kernel."""
+
+    label: str
+    active_cycles: float  # sum over lanes of busy cycles in this region
+    busy_cycles: float  # sum over warps of the region's lock-step time
+    warp_size: int = 32
+
+    @property
+    def efficiency(self) -> float:
+        """Region-local WEE: active / (warp_size * busy)."""
+        if self.busy_cycles == 0:
+            return 1.0
+        return self.active_cycles / (self.warp_size * self.busy_cycles)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Derived profiler metrics of one kernel launch."""
+
+    breakdown: list[LabelBreakdown]
+    warp_execution_efficiency: float
+    achieved_occupancy: float
+    warp_cycles_cv: float  # coefficient of variation of warp durations
+    total_cycles: float
+
+    def render(self) -> str:
+        t = Table(
+            ["region", "active cycles", "lockstep cycles", "region WEE"],
+            title="Kernel profile",
+        )
+        for b in sorted(self.breakdown, key=lambda b: -b.busy_cycles):
+            t.add_row(
+                [
+                    b.label,
+                    f"{b.active_cycles:.0f}",
+                    f"{b.busy_cycles:.0f}",
+                    f"{100 * b.efficiency:.1f}%",
+                ]
+            )
+        footer = (
+            f"WEE {100 * self.warp_execution_efficiency:.1f}%  |  occupancy "
+            f"{100 * self.achieved_occupancy:.1f}%  |  warp-duration CV "
+            f"{self.warp_cycles_cv:.2f}"
+        )
+        return t.render() + "\n" + footer
+
+
+def profile_kernel(stats: KernelStats, device: DeviceSpec) -> KernelProfile:
+    """Compute the profiler metric set from a traced launch.
+
+    Requires the launch to have been run with ``keep_traces=True``.
+    """
+    if stats.traces is None:
+        raise ValueError("launch was not traced; pass keep_traces=True")
+    ws = device.warp_size
+
+    # per-label accounting, replayed with the same aggregate rule the warp
+    # model uses (max over lanes per region)
+    active: dict[str, float] = {}
+    busy: dict[str, float] = {}
+    for w in range(stats.num_warps):
+        lane_traces = stats.traces[w * ws : (w + 1) * ws]
+        per_lane = [t.label_totals() for t in lane_traces]
+        labels = {label for totals in per_lane for label in totals}
+        for label in labels:
+            vals = [t.get(label, 0.0) for t in per_lane]
+            active[label] = active.get(label, 0.0) + sum(vals)
+            busy[label] = busy.get(label, 0.0) + max(vals)
+
+    breakdown = [
+        LabelBreakdown(label, active[label], busy[label], ws)
+        for label in sorted(active)
+    ]
+
+    total_active = sum(b.active_cycles for b in breakdown)
+    total_busy = sum(b.busy_cycles for b in breakdown)
+    wee = total_active / (ws * total_busy) if total_busy else 1.0
+
+    durations = np.array([w.warp_cycles for w in stats.warp_stats])
+    slot_time = stats.cycles * device.warp_slots
+    occupancy = float(durations.sum() / slot_time) if slot_time else 1.0
+    cv = float(durations.std() / durations.mean()) if durations.size and durations.mean() else 0.0
+
+    return KernelProfile(
+        breakdown=breakdown,
+        warp_execution_efficiency=wee,
+        achieved_occupancy=min(1.0, occupancy),
+        warp_cycles_cv=cv,
+        total_cycles=stats.cycles,
+    )

@@ -1,0 +1,115 @@
+"""Lock-step warp replay: from per-thread traces to warp cycles and WEE.
+
+Two replay modes:
+
+``aggregate`` (default)
+    Threads reconverge at control-flow region (label) boundaries. The warp's
+    time in region ℓ is the *maximum* over lanes of their total cycles in ℓ
+    — lanes that finish a loop early wait for the longest lane, which is the
+    lock-step semantics of a SIMT loop with uniform per-iteration cost. This
+    is exactly the formula the vectorized performance model evaluates, so
+    VM and model agree to the cycle.
+
+``lockstep``
+    Event-by-event serialization: at each step the warp selects one label
+    among the lanes' next events (divergent paths execute one at a time) and
+    lanes on that label advance together; everyone else idles. Strictly
+    slower-or-equal to ``aggregate``'s idealized reconvergence; used in
+    tests to bound the abstraction error.
+
+Warp execution efficiency (WEE) is defined as in the Nvidia profiler: the
+average fraction of active threads per executed warp cycle —
+``active_lane_cycles / (warp_size * warp_cycles)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simt.context import ThreadTrace
+
+__all__ = ["WarpStats", "replay_warp"]
+
+
+@dataclass(frozen=True)
+class WarpStats:
+    """Replay outcome for one warp.
+
+    ``warp_cycles`` excludes the fixed per-warp launch overhead (the machine
+    adds it when scheduling); ``active_cycles`` is the sum over lanes of
+    their busy cycles; ``lanes`` is the number of populated lanes (< warp
+    size for the tail warp).
+    """
+
+    warp_cycles: float
+    active_cycles: float
+    lanes: int
+    warp_size: int
+
+    @property
+    def wee(self) -> float:
+        """Warp execution efficiency in [0, 1]."""
+        if self.warp_cycles <= 0:
+            return 1.0
+        return self.active_cycles / (self.warp_size * self.warp_cycles)
+
+
+def replay_warp(
+    traces: list[ThreadTrace], warp_size: int, mode: str = "aggregate"
+) -> WarpStats:
+    """Replay one warp's thread traces in lock-step."""
+    if not traces:
+        return WarpStats(0.0, 0.0, 0, warp_size)
+    if len(traces) > warp_size:
+        raise ValueError(f"{len(traces)} traces exceed warp size {warp_size}")
+    if mode == "aggregate":
+        return _replay_aggregate(traces, warp_size)
+    if mode == "lockstep":
+        return _replay_lockstep(traces, warp_size)
+    raise ValueError(f"unknown replay mode {mode!r}")
+
+
+def _replay_aggregate(traces: list[ThreadTrace], warp_size: int) -> WarpStats:
+    # Union of labels in first-appearance order across lanes keeps the
+    # canonical region ordering without assuming all lanes visit all regions.
+    label_order: list[str] = []
+    seen: set[str] = set()
+    per_lane: list[dict[str, float]] = []
+    for tr in traces:
+        totals = tr.label_totals()
+        per_lane.append(totals)
+        for label in totals:
+            if label not in seen:
+                seen.add(label)
+                label_order.append(label)
+
+    warp_cycles = 0.0
+    for label in label_order:
+        warp_cycles += max(t.get(label, 0.0) for t in per_lane)
+    active = sum(tr.total_cycles for tr in traces)
+    return WarpStats(warp_cycles, active, len(traces), warp_size)
+
+
+def _replay_lockstep(traces: list[ThreadTrace], warp_size: int) -> WarpStats:
+    pointers = [0] * len(traces)
+    events = [tr.events for tr in traces]
+    warp_cycles = 0.0
+    while True:
+        # labels of each live lane's next event
+        next_labels = {
+            ev[p][0]
+            for ev, p in zip(events, pointers)
+            if p < len(ev)
+        }
+        if not next_labels:
+            break
+        # divergence: execute one label per step; deterministic pick
+        label = min(next_labels)
+        step = 0.0
+        for i, (ev, p) in enumerate(zip(events, pointers)):
+            if p < len(ev) and ev[p][0] == label:
+                step = max(step, ev[p][1])
+                pointers[i] = p + 1
+        warp_cycles += step
+    active = sum(tr.total_cycles for tr in traces)
+    return WarpStats(warp_cycles, active, len(traces), warp_size)

@@ -1,0 +1,26 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the package (dataset generators, the hardware
+scheduler's issue-order perturbation, sampling estimators) accepts either a
+seed or a :class:`numpy.random.Generator`; this module centralizes the
+coercion so behaviour is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+
+def resolve_rng(seed_or_rng=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    ``None`` yields a freshly seeded generator (non-reproducible); an int (or
+    anything :func:`numpy.random.default_rng` accepts as a seed) yields a
+    deterministic generator; an existing ``Generator`` is passed through so
+    callers can share a stream.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)

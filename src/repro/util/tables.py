@@ -1,0 +1,75 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its evaluation as tables (Tables III–VI) and figures; the
+benchmark harness renders the same rows as monospace tables so a terminal
+diff against the paper is straightforward.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with precision matched to its magnitude."""
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 100.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds:.0f}s"
+
+
+class Table:
+    """A minimal column-aligned ASCII table.
+
+    >>> t = Table(["dataset", "eps", "time"])
+    >>> t.add_row(["Unif2D", 1.0, "5.70s"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 1e-3:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,99 @@
+"""Tests for self-join-powered DBSCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import DBSCAN_NOISE, dbscan
+from repro.core import PRESETS, SelfJoin
+
+
+@pytest.fixture
+def blobs(rng):
+    a = rng.normal((2, 2), 0.25, (150, 2))
+    b = rng.normal((8, 8), 0.25, (150, 2))
+    noise = rng.uniform(0, 10, (30, 2))
+    return np.concatenate([a, b, noise])
+
+
+class TestDbscan:
+    def test_recovers_planted_blobs(self, blobs):
+        res = dbscan(blobs, eps=0.4, min_pts=6)
+        assert res.num_clusters == 2
+        # each blob lands in one cluster (ignore the few noise-labeled)
+        for lo, hi in ((0, 150), (150, 300)):
+            lab = res.labels[lo:hi]
+            lab = lab[lab != DBSCAN_NOISE]
+            assert len(np.unique(lab)) == 1
+            assert len(lab) > 140
+        # the two blobs are different clusters
+        assert res.labels[0] != res.labels[200]
+
+    def test_all_noise_when_eps_tiny(self, blobs):
+        res = dbscan(blobs, eps=1e-9, min_pts=3)
+        assert res.num_clusters == 0
+        assert res.noise_count == len(blobs)
+
+    def test_single_cluster_when_eps_huge(self, blobs):
+        res = dbscan(blobs, eps=100.0, min_pts=3)
+        assert res.num_clusters == 1
+        assert res.noise_count == 0
+
+    def test_min_pts_controls_core(self, blobs):
+        loose = dbscan(blobs, eps=0.4, min_pts=2)
+        strict = dbscan(blobs, eps=0.4, min_pts=40)
+        assert loose.core_mask.sum() > strict.core_mask.sum()
+
+    def test_border_points_join_clusters(self):
+        # a line of core points; a border point within eps of only the
+        # first core point, so it cannot reach min_pts itself
+        core = np.stack([-0.1 * np.arange(10), np.zeros(10)], axis=1)
+        border = np.array([[0.45, 0.0]])
+        pts = np.concatenate([core, border])
+        res = dbscan(pts, eps=0.5, min_pts=5)
+        assert res.core_mask[0]
+        assert not res.core_mask[10]
+        assert res.labels[10] == res.labels[0] != -1
+
+    def test_labels_invariant_to_config(self, blobs):
+        a = dbscan(blobs, eps=0.4, min_pts=6, config=PRESETS["gpucalcglobal"])
+        b = dbscan(blobs, eps=0.4, min_pts=6, config=PRESETS["combined"])
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_custom_joiner(self, blobs):
+        joiner = SelfJoin(PRESETS["workqueue"])
+        res = dbscan(blobs, eps=0.4, min_pts=6, joiner=joiner)
+        assert res.num_clusters == 2
+        assert "queue" in res.join.config_description
+
+    def test_validation(self, blobs):
+        with pytest.raises(ValueError):
+            dbscan(blobs, eps=0.4, min_pts=0)
+
+    def test_matches_naive_dbscan(self, rng):
+        """Cross-check cluster partitions against a naive reference."""
+        pts = rng.uniform(0, 5, (120, 2))
+        eps, min_pts = 0.5, 4
+        res = dbscan(pts, eps, min_pts)
+
+        # naive reference
+        d = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        adj = d <= eps
+        core = adj.sum(axis=1) >= min_pts
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(np.flatnonzero(core))
+        ii, jj = np.nonzero(adj)
+        g.add_edges_from(
+            (a, b) for a, b in zip(ii, jj) if core[a] and core[b] and a < b
+        )
+        comps = list(nx.connected_components(g))
+        # same number of clusters, same core mask
+        np.testing.assert_array_equal(res.core_mask, core)
+        assert res.num_clusters == len(comps)
+        # same core partition
+        for comp in comps:
+            comp = sorted(comp)
+            assert len({res.labels[i] for i in comp}) == 1

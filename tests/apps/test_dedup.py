@@ -1,0 +1,57 @@
+"""Tests for near-duplicate grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import deduplicate
+
+
+@pytest.fixture
+def records(rng):
+    base = rng.uniform(0, 10, (200, 3))
+    dupes = base[:40] + rng.normal(0, 1e-4, (40, 3))
+    return np.concatenate([base, dupes])
+
+
+class TestDeduplicate:
+    def test_planted_duplicates_found(self, records):
+        res = deduplicate(records, eps=0.01)
+        assert res.num_duplicates == 40
+        for d in range(40):
+            assert res.representative[200 + d] == d
+
+    def test_keep_mask_selects_representatives(self, records):
+        res = deduplicate(records, eps=0.01)
+        assert res.keep_mask.sum() == res.num_unique == 200
+        # representatives are their own representative
+        reps = np.flatnonzero(res.keep_mask)
+        np.testing.assert_array_equal(res.representative[reps], reps)
+
+    def test_groups_contain_members(self, records):
+        res = deduplicate(records, eps=0.01)
+        groups = res.groups()
+        assert len(groups) == 40
+        for rep, members in groups.items():
+            assert rep == members.min()
+            assert len(members) == 2
+
+    def test_transitive_grouping(self):
+        # a chain a-b-c where a and c are NOT within eps directly
+        pts = np.array([[0.0, 0.0], [0.9, 0.0], [1.8, 0.0]])
+        res = deduplicate(pts, eps=1.0)
+        assert res.num_unique == 1
+        assert (res.representative == 0).all()
+
+    def test_no_duplicates(self, rng):
+        pts = rng.uniform(0, 100, (50, 2))
+        res = deduplicate(pts, eps=1e-9)
+        assert res.num_duplicates == 0
+        assert res.groups() == {}
+
+    def test_identical_records(self):
+        pts = np.zeros((5, 2))
+        res = deduplicate(pts, eps=0.1)
+        assert res.num_unique == 1
+        assert list(res.groups()) == [0]

@@ -1,0 +1,93 @@
+"""Tests for kNN via adaptive ε-expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import knn
+from repro.core import PRESETS
+
+
+def brute_knn(pts: np.ndarray, k: int):
+    d = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+    np.fill_diagonal(d, np.inf)
+    idx = np.argsort(d, axis=1, kind="stable")[:, :k]
+    return idx, np.take_along_axis(d, idx, axis=1)
+
+
+class TestKnn:
+    def test_matches_brute_force_uniform(self, rng):
+        pts = rng.uniform(0, 10, (250, 2))
+        res = knn(pts, 5)
+        _, expect_d = brute_knn(pts, 5)
+        np.testing.assert_allclose(np.sort(res.distances, axis=1), expect_d)
+
+    def test_matches_brute_force_skewed(self, rng):
+        pts = np.concatenate(
+            [rng.normal(1, 0.1, (150, 2)), rng.uniform(0, 20, (150, 2))]
+        )
+        res = knn(pts, 4)
+        _, expect_d = brute_knn(pts, 4)
+        np.testing.assert_allclose(np.sort(res.distances, axis=1), expect_d)
+        assert res.rounds >= 1  # sparse points force expansion rounds
+
+    def test_neighbors_sorted_by_distance(self, rng):
+        pts = rng.uniform(0, 5, (120, 3))
+        res = knn(pts, 6)
+        assert (np.diff(res.distances, axis=1) >= -1e-12).all()
+
+    def test_no_self_neighbors(self, rng):
+        pts = rng.uniform(0, 5, (100, 2))
+        res = knn(pts, 3)
+        own = np.arange(100)[:, None]
+        assert not (res.indices == own).any()
+
+    def test_k1(self, rng):
+        pts = rng.uniform(0, 5, (60, 2))
+        res = knn(pts, 1)
+        _, expect_d = brute_knn(pts, 1)
+        np.testing.assert_allclose(res.distances, expect_d)
+
+    def test_duplicate_points(self):
+        pts = np.repeat(np.random.default_rng(0).uniform(0, 3, (20, 2)), 2, axis=0)
+        res = knn(pts, 1)
+        # each point's nearest neighbor is its duplicate at distance 0
+        np.testing.assert_allclose(res.distances[:, 0], 0.0, atol=1e-12)
+
+    def test_validation(self, rng):
+        pts = rng.uniform(0, 1, (10, 2))
+        with pytest.raises(ValueError):
+            knn(pts, 0)
+        with pytest.raises(ValueError):
+            knn(pts, 10)
+        with pytest.raises(ValueError):
+            knn(pts, 2, epsilon0=-1.0)
+
+    def test_explicit_small_epsilon_forces_rounds(self, rng):
+        pts = rng.uniform(0, 10, (150, 2))
+        res = knn(pts, 4, epsilon0=1e-3)
+        assert res.rounds > 3
+        _, expect_d = brute_knn(pts, 4)
+        np.testing.assert_allclose(np.sort(res.distances, axis=1), expect_d)
+
+    def test_config_invariance(self, rng):
+        pts = rng.uniform(0, 6, (100, 2))
+        a = knn(pts, 3, config=PRESETS["gpucalcglobal"])
+        b = knn(pts, 3, config=PRESETS["workqueue_k8"])
+        np.testing.assert_allclose(
+            np.sort(a.distances, axis=1), np.sort(b.distances, axis=1)
+        )
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 6), ndim=st.integers(1, 3))
+    def test_property_exact(self, seed, k, ndim):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 4, (80, ndim))
+        res = knn(pts, k)
+        _, expect_d = brute_knn(pts, k)
+        np.testing.assert_allclose(
+            np.sort(res.distances, axis=1), expect_d, rtol=1e-12, atol=1e-12
+        )

@@ -1,0 +1,62 @@
+"""Tests for the disjoint-set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.component_count() == 5
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert not uf.union(1, 0)  # already merged
+        assert uf.find(2) != uf.find(0)
+
+    def test_union_pairs(self):
+        uf = UnionFind(6)
+        uf.union_pairs(np.array([[0, 1], [1, 2], [4, 5], [3, 3]]))
+        labels = uf.labels()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[4] == labels[5]
+        assert uf.component_count() == 3
+
+    def test_empty(self):
+        uf = UnionFind(0)
+        assert len(uf) == 0
+        assert uf.component_count() == 0
+        uf.union_pairs(np.empty((0, 2), dtype=np.int64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+        with pytest.raises(ValueError):
+            UnionFind(3).union_pairs(np.zeros((2, 3)))
+
+    @given(
+        n=st.integers(1, 60),
+        edges=st.lists(st.tuples(st.integers(0, 59), st.integers(0, 59)), max_size=80),
+    )
+    def test_matches_networkx_components(self, n, edges):
+        import networkx as nx
+
+        edges = [(a % n, b % n) for a, b in edges]
+        uf = UnionFind(n)
+        uf.union_pairs(np.array(edges).reshape(-1, 2))
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        assert uf.component_count() == nx.number_connected_components(g)
+        labels = uf.labels()
+        for comp in nx.connected_components(g):
+            comp = sorted(comp)
+            assert len({labels[i] for i in comp}) == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the experiment registry and bench scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    DEFAULT_SIZES,
+    EXPERIMENTS,
+    bench_scale,
+    bench_size,
+    load_bench_dataset,
+)
+from repro.core import PRESETS
+from repro.data import CATALOG
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        for exp_id in (
+            "table1",
+            "fig9",
+            "table3",
+            "fig10",
+            "table4",
+            "fig11",
+            "table5",
+            "fig12",
+            "table6",
+            "fig13",
+        ):
+            assert exp_id in EXPERIMENTS
+
+    def test_ablations_present(self):
+        assert {e for e in EXPERIMENTS if e.startswith("abl_")} == {
+            "abl_scheduler",
+            "abl_estimator",
+            "abl_buffer",
+            "abl_warpsize",
+        }
+
+    def test_configs_resolve_to_presets(self):
+        for spec in EXPERIMENTS.values():
+            for config in spec.configs:
+                assert config == "superego" or config in PRESETS, (
+                    spec.exp_id,
+                    config,
+                )
+
+    def test_datasets_resolve_to_catalog(self):
+        for spec in EXPERIMENTS.values():
+            for ds in spec.datasets:
+                assert ds in CATALOG, (spec.exp_id, ds)
+
+    def test_eps_defined_for_every_dataset(self):
+        for spec in EXPERIMENTS.values():
+            if spec.exp_id == "table1":
+                continue
+            for ds in spec.datasets:
+                assert len(spec.eps[ds]) >= 1, (spec.exp_id, ds)
+
+    def test_selected_eps_in_sweep_or_annotated(self):
+        for spec in EXPERIMENTS.values():
+            for ds, eps in spec.selected_eps.items():
+                assert eps in spec.eps[ds], (spec.exp_id, ds, eps)
+
+    def test_sweep_selected_only(self):
+        spec = EXPERIMENTS["table3"]
+        ds = spec.datasets[0]
+        assert len(spec.sweep(ds, selected_only=True)) == 1
+        assert len(spec.sweep(ds, selected_only=False)) == len(spec.eps[ds])
+
+    def test_fig13_covers_synth_and_real(self):
+        spec = EXPERIMENTS["fig13"]
+        assert any(d.startswith("Unif") for d in spec.datasets)
+        assert any(d.startswith("SW") for d in spec.datasets)
+        assert "superego" in spec.configs
+
+
+class TestScaling:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+        assert bench_size("Gaia") == int(DEFAULT_SIZES["Gaia"] * 2.5)
+
+    def test_bad_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_uniform_density_preserved(self):
+        """The documented rule: paper density == bench density."""
+        entry = CATALOG["Unif2D2M"]
+        pts = load_bench_dataset("Unif2D2M", size=5000, seed=0)
+        span = pts.max(axis=0) - pts.min(axis=0)
+        bench_density = 5000 / np.prod(span)
+        paper_density = entry.paper_size / 100.0**2
+        assert bench_density == pytest.approx(paper_density, rel=0.05)
+
+    def test_non_uniform_unscaled_domain(self):
+        pts = load_bench_dataset("Gaia", size=3000, seed=0)
+        assert pts[:, 0].max() > 90  # full longitude range retained
+
+    def test_minimum_size_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1e-9")
+        assert bench_size("Unif2D2M") == 64

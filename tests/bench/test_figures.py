@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+from repro.bench.figures import render_figure, render_series_plot
+from repro.profiling import ProfileReport, ProfileRow
+
+
+class TestSeriesPlot:
+    def test_contains_glyphs_and_legend(self):
+        out = render_series_plot(
+            "t",
+            {"a": [(0.1, 1.0), (0.2, 2.0)], "b": [(0.1, 3.0), (0.2, 0.5)]},
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out.replace("o=a", "") and "x" in out.replace("x=b", "")
+
+    def test_empty(self):
+        assert "(no data)" in render_series_plot("t", {})
+
+    def test_single_point(self):
+        out = render_series_plot("t", {"a": [(0.5, 1.0)]})
+        assert "o" in out
+
+    def test_extremes_on_borders(self):
+        out = render_series_plot(
+            "t", {"a": [(0.0, 1e-3), (1.0, 10.0)]}, width=20, height=8, log_y=True
+        )
+        lines = out.splitlines()
+        plot_lines = [l for l in lines if "|" in l]
+        # min lands on the bottom plot row, max on the top one
+        assert "o" in plot_lines[0]
+        assert "o" in plot_lines[-1]
+
+    def test_linear_scale(self):
+        out = render_series_plot("t", {"a": [(0, 1.0), (1, 2.0)]}, log_y=False)
+        assert "o" in out
+
+
+class TestFigure:
+    def test_one_subplot_per_dataset(self):
+        rep = ProfileReport("Fig X")
+        for ds in ("A", "B"):
+            for eps in (0.1, 0.2):
+                rep.add(ProfileRow(ds, eps, "cfg", 50.0, eps * 2))
+        out = render_figure(rep)
+        assert "Fig X" in out
+        assert "-- A --" in out and "-- B --" in out

@@ -1,0 +1,134 @@
+"""Tests for the balanced (future-work) batch grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_pairs
+from repro.core import PRESETS, OptimizationConfig, SelfJoin, plan_batches_balanced
+from repro.core.sortbywl import point_workloads, sort_by_workload
+from repro.grid import GridIndex
+
+
+class TestPlanBatchesBalanced:
+    def test_every_point_once_contiguous(self):
+        order = np.arange(100)
+        w = np.ones(100)
+        plan = plan_batches_balanced(order, w, estimated_total=1000, capacity=100)
+        merged = np.concatenate(plan.batches)
+        np.testing.assert_array_equal(merged, order)
+
+    def test_heavy_head_gets_smaller_batches(self):
+        """Decreasing weights (sorted D') => batch sizes grow along D'."""
+        order = np.arange(1000)
+        w = np.linspace(100, 1, 1000)
+        plan = plan_batches_balanced(order, w, estimated_total=50_000, capacity=2000)
+        sizes = [len(b) for b in plan.batches]
+        assert len(sizes) > 2
+        assert sizes[0] < sizes[-1]
+
+    def test_estimated_rows_per_batch_bounded(self):
+        order = np.arange(500)
+        rng = np.random.default_rng(0)
+        w = rng.exponential(1.0, 500)
+        est = 10_000
+        cap = 1500
+        plan = plan_batches_balanced(order, w, est, cap, fill_target=0.8)
+        rows = w * (est / w.sum())
+        start = 0
+        for b in plan.batches[:-1]:
+            batch_rows = rows[start : start + len(b)].sum()
+            # each batch fills the budget but exceeds it by at most one point
+            assert batch_rows <= 0.8 * cap + rows[start : start + len(b)].max()
+            start += len(b)
+
+    def test_single_batch_when_everything_fits(self):
+        order = np.arange(10)
+        plan = plan_batches_balanced(order, np.ones(10), 50, 1000)
+        assert plan.num_batches == 1
+
+    def test_zero_weight_or_estimate(self):
+        order = np.arange(5)
+        plan = plan_batches_balanced(order, np.zeros(5), 100, 10)
+        assert plan.num_batches == 1
+        plan = plan_batches_balanced(order, np.ones(5), 0, 10)
+        assert plan.num_batches == 1
+
+    def test_empty(self):
+        plan = plan_batches_balanced(np.array([], dtype=np.int64), np.array([]), 0, 10)
+        assert plan.num_batches == 0
+
+    def test_validation(self):
+        order = np.arange(4)
+        with pytest.raises(ValueError, match="align"):
+            plan_batches_balanced(order, np.ones(3), 10, 10)
+        with pytest.raises(ValueError):
+            plan_batches_balanced(order, np.ones(4), 10, 0)
+        with pytest.raises(ValueError):
+            plan_batches_balanced(order, np.ones(4), -1, 10)
+        with pytest.raises(ValueError):
+            plan_batches_balanced(order, np.ones(4), 10, 10, fill_target=0.0)
+
+    @given(seed=st.integers(0, 2**31 - 1), cap=st.integers(10, 5000))
+    def test_property_partition(self, seed, cap):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(1, 200)
+        order = rng.permutation(n)
+        w = rng.exponential(1.0, n)
+        plan = plan_batches_balanced(order, w, int(w.sum() * 10), cap)
+        merged = np.concatenate(plan.batches) if plan.batches else np.array([])
+        np.testing.assert_array_equal(merged, order)
+
+
+class TestConfigIntegration:
+    def test_requires_work_queue(self):
+        with pytest.raises(ValueError, match="requires work_queue"):
+            OptimizationConfig(balanced_batches=True)
+
+    def test_preset_exists(self):
+        cfg = PRESETS["combined_balanced"]
+        assert cfg.balanced_batches and cfg.work_queue and cfg.k == 8
+
+    def test_exactness_with_balanced_batches(self):
+        rng = np.random.default_rng(4)
+        pts = np.concatenate(
+            [rng.normal(1, 0.15, (250, 2)), rng.uniform(0, 5, (250, 2))]
+        )
+        cfg = PRESETS["combined_balanced"].with_(batch_result_capacity=3000)
+        res = SelfJoin(cfg).execute(pts, 0.3)
+        assert res.num_batches > 1
+        np.testing.assert_array_equal(res.sorted_pairs(), brute_force_pairs(pts, 0.3))
+
+    def test_result_size_variance_reduced_vs_plain_queue(self):
+        """The future-work goal: per-batch result sizes become similar."""
+        rng = np.random.default_rng(9)
+        pts = np.concatenate(
+            [rng.normal(1, 0.1, (400, 2)), rng.uniform(0, 6, (400, 2))]
+        )
+        cap = 8000
+        plain = SelfJoin(PRESETS["workqueue"].with_(batch_result_capacity=cap)).execute(
+            pts, 0.3
+        )
+        balanced = SelfJoin(
+            PRESETS["workqueue"].with_(batch_result_capacity=cap, balanced_batches=True)
+        ).execute(pts, 0.3)
+        assert plain.num_batches > 1 and balanced.num_batches > 1
+
+        # per-batch emitted rows are not kept on JoinResult; recover them
+        # from the pipeline transfer times, which are proportional to rows
+        plain_rows = _batch_rows(plain)
+        bal_rows = _batch_rows(balanced)
+        rel_spread = lambda a: a.std() / a.mean()
+        assert rel_spread(bal_rows) < rel_spread(plain_rows)
+
+
+def _batch_rows(result):
+    """Per-batch emitted rows, recovered from the pipeline transfer times."""
+    xfer = result.pipeline.transfer_end - np.maximum(
+        result.pipeline.kernel_end,
+        np.concatenate([[0.0], result.pipeline.transfer_end[:-1]]),
+    )
+    return xfer  # proportional to rows (bytes / bandwidth)

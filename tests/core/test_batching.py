@@ -1,0 +1,110 @@
+"""Unit tests for the result-size estimator and batch planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_neighbor_counts
+from repro.core.batching import estimate_result_size, plan_batches
+from repro.core.sortbywl import sort_by_workload
+from repro.grid import GridIndex
+
+
+@pytest.fixture
+def skewed_index(rng):
+    # dense blob + sparse halo: heavy-tailed workload
+    dense = rng.normal(2.0, 0.2, size=(400, 2))
+    sparse = rng.uniform(0, 10, size=(400, 2))
+    return GridIndex(np.concatenate([dense, sparse]), 0.4)
+
+
+class TestEstimator:
+    def test_full_sample_is_exact(self, skewed_index):
+        est = estimate_result_size(skewed_index, sample_fraction=1.0)
+        true = brute_force_neighbor_counts(skewed_index.points, 0.4).sum()
+        assert est == true
+
+    def test_strided_sample_close_to_truth(self, skewed_index):
+        est = estimate_result_size(skewed_index, sample_fraction=0.25)
+        true = brute_force_neighbor_counts(skewed_index.points, 0.4).sum()
+        assert 0.5 * true <= est <= 2.0 * true
+
+    def test_head_sample_overestimates_on_sorted_order(self, skewed_index):
+        """Sampling the heaviest 10% of D' must overestimate — that is the
+        WORKQUEUE safety property (Section III-D)."""
+        order = sort_by_workload(skewed_index, "full")
+        est_head = estimate_result_size(
+            skewed_index, sample_fraction=0.1, mode="head", order=order
+        )
+        true = brute_force_neighbor_counts(skewed_index.points, 0.4).sum()
+        assert est_head >= true
+
+    def test_head_requires_order(self, skewed_index):
+        with pytest.raises(ValueError, match="order"):
+            estimate_result_size(skewed_index, mode="head")
+
+    def test_unknown_mode(self, skewed_index):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            estimate_result_size(skewed_index, mode="oracle")
+
+    def test_bad_fraction(self, skewed_index):
+        with pytest.raises(ValueError):
+            estimate_result_size(skewed_index, sample_fraction=0.0)
+
+    def test_empty_dataset(self):
+        idx = GridIndex(np.empty((0, 2)), 1.0)
+        assert estimate_result_size(idx) == 0
+
+    def test_include_self_flag(self, skewed_index):
+        with_self = estimate_result_size(skewed_index, sample_fraction=1.0)
+        without = estimate_result_size(
+            skewed_index, sample_fraction=1.0, include_self=False
+        )
+        assert with_self == without + skewed_index.num_points
+
+
+class TestPlanBatches:
+    def test_single_batch_when_estimate_fits(self):
+        order = np.arange(100)
+        plan = plan_batches(order, estimated_total=50, capacity=1000)
+        assert plan.num_batches == 1
+        np.testing.assert_array_equal(plan.batches[0], order)
+
+    def test_strided_assignment_matches_figure1(self):
+        order = np.arange(12)
+        plan = plan_batches(order, estimated_total=30, capacity=10, strided=True)
+        assert plan.num_batches == 3
+        np.testing.assert_array_equal(plan.batches[0], [0, 3, 6, 9])
+        np.testing.assert_array_equal(plan.batches[1], [1, 4, 7, 10])
+        np.testing.assert_array_equal(plan.batches[2], [2, 5, 8, 11])
+
+    def test_contiguous_assignment(self):
+        order = np.arange(10)
+        plan = plan_batches(order, estimated_total=30, capacity=10, strided=False)
+        assert plan.num_batches == 3
+        np.testing.assert_array_equal(plan.batches[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(plan.batches[-1], [8, 9])
+
+    def test_every_point_in_exactly_one_batch(self):
+        order = np.random.default_rng(0).permutation(57)
+        for strided in (True, False):
+            plan = plan_batches(order, 100, 7, strided=strided)
+            merged = np.concatenate(plan.batches)
+            assert sorted(merged.tolist()) == sorted(order.tolist())
+            assert plan.num_points == 57
+
+    def test_never_more_batches_than_points(self):
+        plan = plan_batches(np.arange(3), estimated_total=10**9, capacity=1)
+        assert plan.num_batches == 3
+
+    def test_empty_order(self):
+        plan = plan_batches(np.array([], dtype=np.int64), 0, 10)
+        assert plan.num_batches == 0
+        assert plan.num_points == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_batches(np.arange(3), 10, 0)
+        with pytest.raises(ValueError):
+            plan_batches(np.arange(3), -1, 10)

@@ -1,0 +1,76 @@
+"""Unit tests for OptimizationConfig and the named presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PRESETS, OptimizationConfig
+
+
+class TestValidation:
+    def test_defaults_are_gpucalcglobal(self):
+        cfg = OptimizationConfig()
+        assert cfg.pattern == "full"
+        assert cfg.k == 1
+        assert not cfg.sort_by_workload
+        assert not cfg.work_queue
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            OptimizationConfig(pattern="zigzag")
+
+    @pytest.mark.parametrize("k", [0, -1, 3, 5, 6, 7])
+    def test_bad_k(self, k):
+        with pytest.raises(ValueError):
+            OptimizationConfig(k=k)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16, 32])
+    def test_good_k(self, k):
+        assert OptimizationConfig(k=k).k == k
+
+    def test_workqueue_implies_sort(self):
+        cfg = OptimizationConfig(work_queue=True)
+        assert cfg.sort_by_workload
+        assert cfg.uses_sorted_points
+
+    def test_bad_sample_fraction(self):
+        with pytest.raises(ValueError):
+            OptimizationConfig(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            OptimizationConfig(sample_fraction=1.5)
+
+    def test_bad_capacity_and_streams(self):
+        with pytest.raises(ValueError):
+            OptimizationConfig(batch_result_capacity=0)
+        with pytest.raises(ValueError):
+            OptimizationConfig(num_streams=0)
+
+    def test_with_creates_modified_copy(self):
+        a = OptimizationConfig()
+        b = a.with_(k=8)
+        assert a.k == 1 and b.k == 8
+        assert b.pattern == a.pattern
+
+
+class TestPresets:
+    def test_all_paper_presets_exist(self):
+        for name in (
+            "gpucalcglobal",
+            "unicomp",
+            "lidunicomp",
+            "sortbywl",
+            "workqueue",
+            "combined",
+        ):
+            assert name in PRESETS
+
+    def test_combined_is_the_headline_config(self):
+        c = PRESETS["combined"]
+        assert c.pattern == "lidunicomp"
+        assert c.work_queue
+        assert c.k == 8
+
+    def test_describe(self):
+        assert PRESETS["gpucalcglobal"].describe() == "full, k=1"
+        assert "queue" in PRESETS["combined"].describe()
+        assert "sortbywl" in PRESETS["sortbywl"].describe()

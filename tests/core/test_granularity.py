@@ -1,0 +1,108 @@
+"""Unit and property tests for the k-thread candidate split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.granularity import split_candidates, thread_share_counts
+
+
+class TestSplitCandidates:
+    def test_even_split(self):
+        cand = np.arange(8)
+        a, off_a = split_candidates(cand, 2, 0)
+        b, off_b = split_candidates(cand, 2, 1)
+        np.testing.assert_array_equal(a, [0, 2, 4, 6])
+        np.testing.assert_array_equal(b, [1, 3, 5, 7])
+        assert off_a == off_b == 0  # 8 % 2
+
+    def test_union_is_disjoint_cover(self):
+        cand = np.arange(13)
+        parts = [split_candidates(cand, 4, r)[0] for r in range(4)]
+        merged = np.concatenate(parts)
+        assert sorted(merged.tolist()) == list(range(13))
+
+    def test_flat_stream_across_cells_balances(self):
+        """With a running offset, the k shares of a multi-cell stream
+        differ by at most one even when every cell holds one candidate."""
+        cells = [np.array([i]) for i in range(10)]  # ten 1-candidate cells
+        totals = []
+        for r in range(4):
+            offset = 0
+            mine = []
+            for cand in cells:
+                got, offset = split_candidates(cand, 4, r, offset)
+                mine.extend(got.tolist())
+            totals.append(len(mine))
+        assert max(totals) - min(totals) <= 1
+        assert sum(totals) == 10
+
+    def test_flat_stream_matches_share_counts(self):
+        """Per-thread flat-stream lengths equal the ceil split of the
+        total — the identity the performance model relies on."""
+        rng = np.random.default_rng(0)
+        cell_sizes = rng.integers(0, 7, size=20)
+        cells = [np.arange(c) for c in cell_sizes]
+        total = int(cell_sizes.sum())
+        for k in (2, 4, 8):
+            expected = thread_share_counts(np.array([total]), k)[:, 0]
+            for r in range(k):
+                offset = 0
+                count = 0
+                for cand in cells:
+                    got, offset = split_candidates(cand, k, r, offset)
+                    count += len(got)
+                assert count == expected[r], (k, r)
+
+    def test_bad_rank_and_offset(self):
+        with pytest.raises(ValueError):
+            split_candidates(np.arange(3), 2, 2)
+        with pytest.raises(ValueError):
+            split_candidates(np.arange(3), 2, -1)
+        with pytest.raises(ValueError):
+            split_candidates(np.arange(3), 2, 0, offset=-1)
+
+
+class TestThreadShareCounts:
+    def test_matches_actual_split_lengths(self):
+        for cnt in range(0, 20):
+            cand = np.arange(cnt)
+            shares = thread_share_counts(np.array([cnt]), 4)[:, 0]
+            actual = [len(split_candidates(cand, 4, r)[0]) for r in range(4)]
+            np.testing.assert_array_equal(shares, actual)
+
+    @given(
+        counts=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+        k=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    def test_work_conservation(self, counts, k):
+        """The k shares of each cell sum to the cell's candidate count."""
+        c = np.array(counts, dtype=np.int64)
+        shares = thread_share_counts(c, k)
+        np.testing.assert_array_equal(shares.sum(axis=0), c)
+
+    @given(
+        counts=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+        k=st.sampled_from([2, 4, 8]),
+    )
+    def test_thread0_holds_max_share(self, counts, k):
+        c = np.array(counts, dtype=np.int64)
+        shares = thread_share_counts(c, k)
+        assert (shares[0] == shares.max(axis=0)).all()
+        # shares differ by at most 1 — the balanced split of Figure 4
+        assert (shares.max(axis=0) - shares.min(axis=0) <= 1).all()
+
+    def test_k1_identity(self):
+        c = np.array([3, 0, 7])
+        np.testing.assert_array_equal(thread_share_counts(c, 1)[0], c)
+
+    def test_k_larger_than_count(self):
+        shares = thread_share_counts(np.array([2]), 8)[:, 0]
+        np.testing.assert_array_equal(shares, [1, 1, 0, 0, 0, 0, 0, 0])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            thread_share_counts(np.array([1]), 0)

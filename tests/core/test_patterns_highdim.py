@@ -1,0 +1,78 @@
+"""Pattern coverage and balance in higher dimensions (4-D / 5-D).
+
+The paper generalizes UNICOMP with "an additional loop for each additional
+dimension" and claims LID-UNICOMP's constant per-cell comparison count in
+any dimension; these tests pin both properties where the offset space is
+large (3^4 = 81, 3^5 = 243).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import pattern_cells_for_query, unicomp_pivot_dims
+from repro.core.sortbywl import pattern_workload_components
+from repro.grid import GridIndex, neighbor_offsets, neighbor_ranks_of_cell
+
+
+@pytest.fixture(scope="module", params=[4, 5])
+def highdim_index(request):
+    ndim = request.param
+    rng = np.random.default_rng(ndim)
+    pts = rng.uniform(0, 3, size=(400, ndim))
+    return GridIndex(pts, 0.9)
+
+
+class TestHighDimCoverage:
+    @pytest.mark.parametrize("pattern", ["unicomp", "lidunicomp"])
+    def test_exact_single_coverage(self, highdim_index, pattern):
+        idx = highdim_index
+        covered = {}
+        for r in range(idx.num_nonempty_cells):
+            _, ranks = pattern_cells_for_query(pattern, idx, r)
+            for nb in ranks[ranks >= 0]:
+                key = (min(r, int(nb)), max(r, int(nb)))
+                covered[key] = covered.get(key, 0) + 1
+        expected = set()
+        for r in range(idx.num_nonempty_cells):
+            for nb in neighbor_ranks_of_cell(idx, r, include_self=False):
+                expected.add((min(r, int(nb)), max(r, int(nb))))
+        assert set(covered) == expected
+        assert all(v == 1 for v in covered.values())
+
+    def test_lid_half_of_offsets(self, highdim_index):
+        idx = highdim_index
+        ndim = idx.ndim
+        # an inner cell (all coords away from the boundary) selects exactly
+        # (3^n - 1) / 2 offsets
+        inner = None
+        for r in range(idx.num_nonempty_cells):
+            c = idx.cell_coords_arr[r]
+            if (c > 0).all() and (c < idx.spec.widths - 1).all():
+                inner = r
+                break
+        if inner is None:
+            pytest.skip("no inner cell in this draw")
+        visited, _ = pattern_cells_for_query("lidunicomp", idx, inner)
+        assert len(visited) == (3**ndim - 1) // 2
+
+    def test_unicomp_pivot_covers_all_nonzero_offsets(self, highdim_index):
+        ndim = highdim_index.ndim
+        pivots = unicomp_pivot_dims(ndim)
+        offs = neighbor_offsets(ndim)
+        for o, p in zip(offs, pivots):
+            if (o == 0).all():
+                assert p == -1
+            else:
+                assert p == max(np.flatnonzero(o != 0))
+
+    def test_workload_halving(self, highdim_index):
+        idx = highdim_index
+        full = pattern_workload_components(idx, "full")
+        own = idx.cell_counts
+        cross_full = ((full.candidates - own) * own).sum()
+        for pattern in ("unicomp", "lidunicomp"):
+            comps = pattern_workload_components(idx, pattern)
+            cross = ((comps.candidates - own) * own).sum()
+            assert 2 * cross == cross_full

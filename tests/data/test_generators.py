@@ -1,0 +1,149 @@
+"""Unit tests for dataset generators and the Table I catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CATALOG,
+    exponential,
+    gaia_like,
+    load_dataset,
+    sw_like,
+    uniform,
+)
+
+
+class TestSynthetic:
+    def test_uniform_bounds_and_shape(self):
+        pts = uniform(500, 3, seed=0)
+        assert pts.shape == (500, 3)
+        assert pts.min() >= 0.0 and pts.max() <= 100.0
+
+    def test_uniform_reproducible(self):
+        np.testing.assert_array_equal(uniform(50, 2, seed=7), uniform(50, 2, seed=7))
+        assert (uniform(50, 2, seed=7) != uniform(50, 2, seed=8)).any()
+
+    def test_exponential_mean_near_1_over_lambda(self):
+        pts = exponential(20000, 2, seed=0, lam=40.0)
+        assert pts.min() >= 0
+        assert np.isclose(pts.mean(), 1 / 40.0, rtol=0.05)
+
+    def test_exponential_is_heavy_tailed_workload(self):
+        """The property the paper relies on: exponential data has far more
+        per-point density variation than uniform data."""
+        from repro.grid import GridIndex
+
+        expo = exponential(4000, 2, seed=1)
+        unif = uniform(4000, 2, seed=1, high=1.0)
+        gi_e = GridIndex(expo, 0.01)
+        gi_u = GridIndex(unif, 0.01)
+        cv_e = gi_e.cell_counts.std() / gi_e.cell_counts.mean()
+        cv_u = gi_u.cell_counts.std() / gi_u.cell_counts.mean()
+        assert cv_e > 2 * cv_u
+
+    @pytest.mark.parametrize(
+        "fn, kwargs",
+        [
+            (uniform, dict(num_points=-1, ndim=2)),
+            (uniform, dict(num_points=1, ndim=0)),
+            (uniform, dict(num_points=1, ndim=2, low=1.0, high=0.0)),
+            (exponential, dict(num_points=1, ndim=2, lam=0.0)),
+            (exponential, dict(num_points=-1, ndim=2)),
+        ],
+    )
+    def test_validation(self, fn, kwargs):
+        with pytest.raises(ValueError):
+            fn(**kwargs)
+
+
+class TestRealWorldProxies:
+    def test_sw_2d_bounds(self):
+        pts = sw_like(2000, 2, seed=0)
+        assert pts.shape == (2000, 2)
+        assert pts[:, 0].min() >= -180 and pts[:, 0].max() <= 180
+        assert pts[:, 1].min() >= -90 and pts[:, 1].max() <= 90
+
+    def test_sw_3d_has_tec_column(self):
+        pts = sw_like(2000, 3, seed=0)
+        assert pts.shape == (2000, 3)
+        assert pts[:, 2].min() >= 0 and pts[:, 2].max() <= 100
+
+    def test_sw_invalid(self):
+        with pytest.raises(ValueError):
+            sw_like(10, 4)
+        with pytest.raises(ValueError):
+            sw_like(10, 2, num_tracks=0)
+        with pytest.raises(ValueError):
+            sw_like(10, 2, background_fraction=1.0)
+
+    def test_sw_is_clustered(self):
+        """Track structure ⇒ heavier density variation than isotropic sky."""
+        from repro.grid import GridIndex
+
+        sw = sw_like(6000, 2, seed=3)
+        iso = np.stack(
+            [
+                np.random.default_rng(3).uniform(-180, 180, 6000),
+                np.degrees(
+                    np.arcsin(np.random.default_rng(4).uniform(-1, 1, 6000))
+                ),
+            ],
+            axis=1,
+        )
+        cv = lambda g: g.cell_counts.std() / g.cell_counts.mean()
+        assert cv(GridIndex(sw, 2.0)) > cv(GridIndex(iso, 2.0))
+
+    def test_gaia_concentrated_at_plane(self):
+        pts = gaia_like(20000, seed=0)
+        assert pts.shape == (20000, 2)
+        near_plane = (np.abs(pts[:, 1]) < 15).mean()
+        assert near_plane > 0.45  # far above the isotropic ~25%
+
+    def test_gaia_validation(self):
+        with pytest.raises(ValueError):
+            gaia_like(-1)
+        with pytest.raises(ValueError):
+            gaia_like(10, disk_scale_deg=0)
+        with pytest.raises(ValueError):
+            gaia_like(10, bulge_fraction=0.6, background_fraction=0.5)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(sw_like(100, 2, seed=5), sw_like(100, 2, seed=5))
+        np.testing.assert_array_equal(gaia_like(100, seed=5), gaia_like(100, seed=5))
+
+
+class TestCatalog:
+    def test_table1_entries_present(self):
+        expected = {f"Unif{d}D2M" for d in range(2, 7)}
+        expected |= {f"Expo{d}D2M" for d in range(2, 7)}
+        expected |= {"SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"}
+        assert expected == set(CATALOG)
+
+    def test_paper_sizes(self):
+        assert CATALOG["Unif2D2M"].paper_size == 2_000_000
+        assert CATALOG["SW2DB"].paper_size == 5_159_737
+        assert CATALOG["Gaia"].paper_size == 50_000_000
+
+    def test_dimensions(self):
+        assert CATALOG["Expo6D2M"].ndim == 6
+        assert CATALOG["SW3DA"].ndim == 3
+        assert CATALOG["Gaia"].ndim == 2
+
+    def test_load_scaled(self):
+        pts = load_dataset("Unif3D2M", size=123, seed=1)
+        assert pts.shape == (123, 3)
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("Borg9D")
+
+    def test_generate_negative(self):
+        with pytest.raises(ValueError):
+            CATALOG["Gaia"].generate(-5)
+
+    def test_distinct_sw_datasets(self):
+        a = load_dataset("SW2DA", size=500)
+        b = load_dataset("SW2DB", size=500)
+        assert (a != b).any()

@@ -1,0 +1,107 @@
+"""Unit and property tests for EGO-join and the SUPER-EGO driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_pairs
+from repro.ego import SuperEgo, ego_join, ego_preprocess
+
+
+class TestEgoJoinCore:
+    def test_exact_on_skewed_data(self):
+        rng = np.random.default_rng(0)
+        pts = np.concatenate(
+            [rng.normal(1, 0.15, (200, 2)), rng.uniform(0, 6, (200, 2))]
+        )
+        res = SuperEgo().join(pts, 0.3)
+        np.testing.assert_array_equal(res.sorted_pairs(), brute_force_pairs(pts, 0.3))
+
+    @settings(max_examples=15)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        ndim=st.integers(1, 4),
+        eps=st.floats(0.1, 1.0),
+        thr=st.sampled_from([1, 4, 16, 64]),
+    )
+    def test_property_exact(self, seed, ndim, eps, thr):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 3, (100, ndim))
+        res = SuperEgo(simple_join_size=thr).join(pts, eps)
+        np.testing.assert_array_equal(res.sorted_pairs(), brute_force_pairs(pts, eps))
+
+    def test_counting_mode_matches_collect_mode(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 4, (300, 2))
+        collected = SuperEgo().join(pts, 0.4, collect_pairs=True)
+        counted = SuperEgo().join(pts, 0.4, collect_pairs=False)
+        assert counted.num_pairs == 0
+        assert counted.counts.result_pairs == collected.counts.result_pairs
+        assert (
+            counted.counts.distance_computations
+            == collected.counts.distance_computations
+        )
+        # ordered rows implied by counts equal the collected result
+        se = SuperEgo()
+        assert se.result_rows(counted.counts, 300) == collected.num_pairs
+
+    def test_exclude_self(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 3, (80, 2))
+        res = SuperEgo(include_self=False).join(pts, 0.5)
+        assert not (res.pairs[:, 0] == res.pairs[:, 1]).any()
+        np.testing.assert_array_equal(
+            res.sorted_pairs(), brute_force_pairs(pts, 0.5, include_self=False)
+        )
+
+    def test_empty_and_single(self):
+        assert SuperEgo().join(np.empty((0, 2)), 1.0).num_pairs == 0
+        res = SuperEgo().join(np.array([[1.0, 1.0]]), 1.0)
+        assert res.num_pairs == 1
+
+    def test_invalid_threshold(self):
+        s = ego_preprocess(np.zeros((4, 2)), 1.0)
+        with pytest.raises(ValueError):
+            ego_join(s, simple_join_size=0)
+
+
+class TestPruningBehavior:
+    def test_distant_clusters_prune(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0, 0.1, (100, 2))
+        b = rng.normal(50, 0.1, (100, 2))
+        res = SuperEgo().join(np.concatenate([a, b]), 0.3, collect_pairs=False)
+        assert res.counts.prunes > 0
+        # pruning must prevent the N^2 cross work
+        assert res.counts.distance_computations < 100 * 100 * 2
+
+    def test_dist_ops_at_least_result_pairs(self):
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(0, 4, (200, 2))
+        res = SuperEgo().join(pts, 0.4, collect_pairs=False)
+        assert res.counts.distance_computations >= res.counts.result_pairs
+
+    def test_smaller_threshold_fewer_dist_ops(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0, 8, (400, 2))
+        big = SuperEgo(simple_join_size=64).join(pts, 0.3, collect_pairs=False)
+        small = SuperEgo(simple_join_size=4).join(pts, 0.3, collect_pairs=False)
+        assert small.counts.distance_computations <= big.counts.distance_computations
+        assert small.counts.result_pairs == big.counts.result_pairs
+
+    def test_merge_op_counts(self):
+        from repro.ego import EgoOpCounts
+
+        a = EgoOpCounts(1, 2, 3, 4, 5)
+        b = EgoOpCounts(10, 20, 30, 40, 50)
+        a.merge(b)
+        assert (
+            a.distance_computations,
+            a.sequence_comparisons,
+            a.simple_joins,
+            a.prunes,
+            a.result_pairs,
+        ) == (11, 22, 33, 44, 55)

@@ -1,0 +1,57 @@
+"""Unit tests for EGO-sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ego import ego_preprocess
+
+
+class TestDimensionReordering:
+    def test_most_selective_dimension_first(self):
+        rng = np.random.default_rng(0)
+        pts = np.stack(
+            [rng.uniform(0, 1, 200), rng.uniform(0, 100, 200)], axis=1
+        )
+        s = ego_preprocess(pts, 0.5)
+        # dimension 1 spans far more cells -> must come first
+        assert list(s.dim_order) == [1, 0]
+
+    def test_points_consistent_with_order_and_dims(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, (50, 3))
+        s = ego_preprocess(pts, 0.7)
+        np.testing.assert_allclose(s.points, pts[s.order][:, s.dim_order])
+
+
+class TestLexicographicOrder:
+    @given(seed=st.integers(0, 2**31 - 1), ndim=st.integers(1, 4))
+    def test_cells_lexicographically_nondecreasing(self, seed, ndim):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 5, (80, ndim))
+        s = ego_preprocess(pts, 0.6)
+        cells = s.cells
+        for i in range(len(cells) - 1):
+            assert tuple(cells[i]) <= tuple(cells[i + 1])
+
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 5, (60, 2))
+        s = ego_preprocess(pts, 0.5)
+        assert sorted(s.order.tolist()) == list(range(60))
+
+    def test_cell_width_is_epsilon(self):
+        pts = np.array([[0.0], [0.49], [0.51], [1.2]])
+        s = ego_preprocess(pts, 0.5)
+        np.testing.assert_array_equal(np.unique(s.cells), [0, 1, 2])
+
+    def test_empty_dataset(self):
+        s = ego_preprocess(np.empty((0, 2)), 1.0)
+        assert s.num_points == 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ego_preprocess(np.zeros((3, 2)), 0.0)

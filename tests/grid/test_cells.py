@@ -1,0 +1,145 @@
+"""Unit and property tests for GridSpec geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.grid import GridSpec
+
+
+def make_points(ndim: int, n: int, rng: np.random.Generator, scale=10.0):
+    return rng.uniform(0, scale, size=(n, ndim))
+
+
+class TestConstruction:
+    def test_widths_cover_bounding_box(self):
+        spec = GridSpec(1.0, np.array([0.0, 0.0]), np.array([10.0, 5.0]))
+        assert list(spec.widths) == [11, 6]
+        assert spec.total_cells == 66
+
+    def test_strides_row_major(self):
+        spec = GridSpec(1.0, np.zeros(3), np.array([3.0, 4.0, 5.0]))
+        w = spec.widths
+        assert spec.strides[2] == 1
+        assert spec.strides[1] == w[2]
+        assert spec.strides[0] == w[1] * w[2]
+
+    def test_rejects_inverted_box(self):
+        with pytest.raises(ValueError, match=">= mins"):
+            GridSpec(1.0, np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            GridSpec(0.0, np.zeros(2), np.ones(2))
+
+    def test_tiny_epsilon_coarsens_instead_of_overflowing(self):
+        # 1e6 cells per dim in 6-D would overflow int64 linearization;
+        # the spec coarsens cells (adjacency only needs length >= eps)
+        spec = GridSpec(1e-6, np.zeros(6), np.ones(6))
+        assert spec.is_coarsened
+        assert spec.cell_length >= 1e-6
+        assert spec.total_cells <= np.iinfo(np.int64).max // 4
+        # coarsening is by doubling: cell_length = eps * 2^k
+        ratio = spec.cell_length / 1e-6
+        assert np.isclose(np.log2(ratio), round(np.log2(ratio)))
+
+    def test_normal_epsilon_not_coarsened(self):
+        spec = GridSpec(1.0, np.zeros(2), np.full(2, 10.0))
+        assert not spec.is_coarsened
+        assert spec.cell_length == 1.0
+
+    def test_coarsened_grid_still_exact(self):
+        """Joins remain exact under coarsening (bigger candidate sets only)."""
+        from repro.baselines import brute_force_pairs
+        from repro.grid import GridIndex
+        from repro.grid.query import grid_selfjoin_pairs
+
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, (80, 4))
+        eps = 1e-7  # would need (1e7)^4 cells uncoarsened
+        idx = GridIndex(pts, eps)
+        assert idx.spec.is_coarsened
+        got = grid_selfjoin_pairs(idx)
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        np.testing.assert_array_equal(got, brute_force_pairs(pts, eps))
+
+    def test_from_points_empty_dataset(self):
+        spec = GridSpec.from_points(np.empty((0, 3)), 0.5)
+        assert spec.ndim == 3
+        assert spec.total_cells == 1
+
+
+class TestCoordinateMapping:
+    def test_cell_coords_basic(self):
+        spec = GridSpec(1.0, np.zeros(2), np.array([10.0, 10.0]))
+        pts = np.array([[0.0, 0.0], [0.999, 0.0], [1.0, 2.5], [10.0, 10.0]])
+        coords = spec.cell_coords(pts)
+        np.testing.assert_array_equal(coords, [[0, 0], [0, 0], [1, 2], [10, 10]])
+
+    def test_boundary_point_in_bounds(self):
+        spec = GridSpec(0.3, np.zeros(1), np.array([1.0]))
+        coords = spec.cell_coords(np.array([[1.0]]))
+        assert spec.in_bounds(coords).all()
+
+    def test_dimension_mismatch_raises(self):
+        spec = GridSpec(1.0, np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="dimensions"):
+            spec.cell_coords(np.zeros((3, 3)))
+
+    def test_external_points_clamped(self):
+        spec = GridSpec(1.0, np.zeros(1), np.array([5.0]))
+        coords = spec.cell_coords(np.array([[-3.0], [99.0]]))
+        assert spec.in_bounds(coords).all()
+
+    @given(
+        ndim=st.integers(1, 4),
+        seed=st.integers(0, 2**32 - 1),
+        eps=st.floats(0.05, 3.0),
+    )
+    def test_linearize_roundtrip(self, ndim, seed, eps):
+        rng = np.random.default_rng(seed)
+        pts = make_points(ndim, 50, rng)
+        spec = GridSpec.from_points(pts, eps)
+        coords = spec.cell_coords(pts)
+        ids = spec.linearize(coords)
+        np.testing.assert_array_equal(spec.delinearize(ids), coords)
+
+    @given(ndim=st.integers(1, 4), seed=st.integers(0, 2**32 - 1))
+    def test_linear_ids_unique_per_cell(self, ndim, seed):
+        """Distinct cell coordinates must map to distinct linear ids."""
+        rng = np.random.default_rng(seed)
+        pts = make_points(ndim, 100, rng)
+        spec = GridSpec.from_points(pts, 0.7)
+        coords = spec.cell_coords(pts)
+        ids = spec.linearize(coords)
+        uniq_coords = np.unique(coords, axis=0)
+        uniq_ids = np.unique(ids)
+        assert len(uniq_coords) == len(uniq_ids)
+
+    @given(
+        data=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 60), st.integers(1, 3)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_every_point_lands_in_bounds(self, data):
+        spec = GridSpec.from_points(data, 1.0)
+        coords = spec.cell_coords(data)
+        assert spec.in_bounds(coords).all()
+
+    def test_points_within_eps_are_in_adjacent_cells(self):
+        """Core grid guarantee: a neighbor within eps differs by <=1 per dim."""
+        rng = np.random.default_rng(7)
+        pts = make_points(3, 300, rng, scale=4.0)
+        eps = 0.5
+        spec = GridSpec.from_points(pts, eps)
+        coords = spec.cell_coords(pts)
+        d = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=-1)
+        close_i, close_j = np.nonzero(d <= eps)
+        delta = np.abs(coords[close_i] - coords[close_j])
+        assert delta.max() <= 1

@@ -1,0 +1,113 @@
+"""Unit and property tests for neighbor-cell enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid import (
+    GridIndex,
+    neighbor_offsets,
+    neighbor_ranks_for_offset,
+    neighbor_ranks_of_cell,
+)
+from repro.grid.neighbors import offset_linear_deltas
+
+
+class TestNeighborOffsets:
+    def test_count_is_3_pow_n(self):
+        for n in range(1, 5):
+            assert neighbor_offsets(n).shape == (3**n, n)
+
+    def test_zero_offset_is_middle_row(self):
+        for n in range(1, 5):
+            offs = neighbor_offsets(n)
+            assert (offs[3**n // 2] == 0).all()
+
+    def test_offsets_unique(self):
+        offs = neighbor_offsets(3)
+        assert len(np.unique(offs, axis=0)) == 27
+
+    def test_cached_and_readonly(self):
+        a = neighbor_offsets(2)
+        b = neighbor_offsets(2)
+        assert a is b
+        assert not a.flags.writeable
+
+
+class TestOffsetLinearDeltas:
+    def test_antisymmetric(self):
+        rng = np.random.default_rng(1)
+        idx = GridIndex(rng.uniform(0, 8, (100, 3)), 1.0)
+        offs = neighbor_offsets(3)
+        deltas = offset_linear_deltas(idx, offs)
+        # delta(-off) == -delta(off); offsets array is symmetric under reversal
+        np.testing.assert_array_equal(deltas, -deltas[::-1])
+
+    def test_exactly_half_positive(self):
+        rng = np.random.default_rng(2)
+        for ndim in (1, 2, 3, 4):
+            idx = GridIndex(rng.uniform(0, 6, (60, ndim)), 1.0)
+            deltas = offset_linear_deltas(idx)
+            nonzero = deltas[deltas != 0]
+            assert len(nonzero) == 3**ndim - 1
+            assert (nonzero > 0).sum() == (3**ndim - 1) // 2
+
+
+class TestNeighborRanks:
+    def test_self_always_included(self, small_uniform_2d):
+        idx = GridIndex(small_uniform_2d, 1.0)
+        for r in range(idx.num_nonempty_cells):
+            assert r in neighbor_ranks_of_cell(idx, r)
+
+    def test_include_self_false(self, small_uniform_2d):
+        idx = GridIndex(small_uniform_2d, 1.0)
+        assert 0 not in neighbor_ranks_of_cell(idx, 0, include_self=False)
+
+    def test_per_offset_agrees_with_per_cell(self, small_expo_2d):
+        idx = GridIndex(small_expo_2d, 0.3)
+        offs = neighbor_offsets(2)
+        per_offset = np.stack(
+            [neighbor_ranks_for_offset(idx, o) for o in offs], axis=1
+        )
+        for r in range(idx.num_nonempty_cells):
+            expected = set(neighbor_ranks_of_cell(idx, r).tolist())
+            got = set(per_offset[r][per_offset[r] >= 0].tolist())
+            assert got == expected
+
+    @given(seed=st.integers(0, 2**32 - 1), ndim=st.integers(1, 3))
+    def test_neighbor_relation_symmetric(self, seed, ndim):
+        """If cell b is a's neighbor then a is b's neighbor."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 4, size=(60, ndim))
+        idx = GridIndex(pts, 0.9)
+        neigh = [
+            set(neighbor_ranks_of_cell(idx, r).tolist())
+            for r in range(idx.num_nonempty_cells)
+        ]
+        for a in range(idx.num_nonempty_cells):
+            for b in neigh[a]:
+                assert a in neigh[b]
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_neighbors_differ_by_at_most_one_per_dim(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 5, size=(80, 2))
+        idx = GridIndex(pts, 0.7)
+        for r in range(0, idx.num_nonempty_cells, 5):
+            mine = idx.cell_coords_arr[r]
+            for nb in neighbor_ranks_of_cell(idx, r):
+                assert np.abs(idx.cell_coords_arr[nb] - mine).max() <= 1
+
+    def test_boundary_cells_have_fewer_neighbors(self):
+        # a dense 5x5 block: corner cell has 4 candidate positions,
+        # inner cell has 9
+        pts = np.array(
+            [[x + 0.5, y + 0.5] for x in range(5) for y in range(5)], dtype=float
+        )
+        idx = GridIndex(pts, 1.0)
+        corner = idx.lookup(idx.spec.linearize(np.array([[0, 0]])))[0]
+        inner = idx.lookup(idx.spec.linearize(np.array([[2, 2]])))[0]
+        assert len(neighbor_ranks_of_cell(idx, int(corner))) == 4
+        assert len(neighbor_ranks_of_cell(idx, int(inner))) == 9

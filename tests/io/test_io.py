@@ -1,0 +1,126 @@
+"""Tests for dataset/result persistence and the repro-join CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SelfJoin
+from repro.io import (
+    load_points,
+    load_result_bundle,
+    save_points,
+    save_result_bundle,
+    write_pairs_csv,
+)
+from repro.io.cli import main
+
+
+@pytest.fixture
+def points(rng):
+    return rng.uniform(0, 4, (120, 2))
+
+
+class TestDatasetIO:
+    @pytest.mark.parametrize("suffix", [".csv", ".npy", ".npz"])
+    def test_roundtrip(self, tmp_path, points, suffix):
+        path = tmp_path / f"pts{suffix}"
+        save_points(path, points)
+        loaded = load_points(path)
+        np.testing.assert_allclose(loaded, points, rtol=1e-12)
+
+    def test_csv_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        np.savetxt(path, np.ones((3, 2)), delimiter=",")
+        assert load_points(path).shape == (3, 2)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "nope.csv")
+
+    def test_bad_format(self, tmp_path, points):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_points(tmp_path / "pts.parquet", points)
+        (tmp_path / "pts.xyz").write_text("1,2\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_points(tmp_path / "pts.xyz")
+
+    def test_npz_without_points_key(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ValueError, match="points"):
+            load_points(path)
+
+
+class TestResultIO:
+    def test_bundle_roundtrip(self, tmp_path, points):
+        result = SelfJoin().execute(points, 0.4)
+        path = tmp_path / "res.npz"
+        save_result_bundle(path, result)
+        pairs, meta = load_result_bundle(path)
+        np.testing.assert_array_equal(pairs, result.pairs)
+        assert meta["epsilon"] == 0.4
+        assert meta["num_points"] == len(points)
+        assert meta["config"] == "full, k=1"
+
+    def test_bundle_requires_npz(self, tmp_path, points):
+        result = SelfJoin().execute(points, 0.4)
+        with pytest.raises(ValueError, match=".npz"):
+            save_result_bundle(tmp_path / "res.csv", result)
+
+    def test_load_non_bundle(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, other=np.ones(2))
+        with pytest.raises(ValueError, match="not a result bundle"):
+            load_result_bundle(path)
+
+    def test_pairs_csv(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        write_pairs_csv(path, np.array([[0, 1], [2, 3]]))
+        text = path.read_text().strip().splitlines()
+        assert text[0] == "left,right"
+        assert text[1] == "0,1"
+
+    def test_pairs_csv_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pairs_csv(tmp_path / "p.csv", np.zeros((2, 3)))
+
+
+class TestJoinCli:
+    def test_self_join_end_to_end(self, tmp_path, points, capsys):
+        data = tmp_path / "pts.csv"
+        save_points(data, points)
+        bundle = tmp_path / "out.npz"
+        pairs_csv = tmp_path / "pairs.csv"
+        rc = main(
+            [
+                "self",
+                str(data),
+                "--eps",
+                "0.4",
+                "--preset",
+                "workqueue",
+                "--out",
+                str(bundle),
+                "--pairs-csv",
+                str(pairs_csv),
+            ]
+        )
+        assert rc == 0
+        pairs, meta = load_result_bundle(bundle)
+        oracle = SelfJoin().execute(points, 0.4)
+        assert len(pairs) == oracle.num_pairs
+        assert pairs_csv.read_text().startswith("left,right")
+
+    def test_bipartite_falls_back_to_full_pattern(self, tmp_path, rng, capsys):
+        A = rng.uniform(0, 2, (60, 2))
+        B = rng.uniform(0, 2, (60, 2))
+        pa, pb = tmp_path / "a.npy", tmp_path / "b.npy"
+        save_points(pa, A)
+        save_points(pb, B)
+        rc = main(
+            ["bipartite", str(pa), str(pb), "--eps", "0.3", "--preset", "combined"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "falling back" in err

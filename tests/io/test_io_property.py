@@ -1,0 +1,51 @@
+"""Property tests for dataset persistence round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.io import load_points, save_points
+
+finite_points = hnp.arrays(
+    np.float64,
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 5)),
+    elements=st.floats(
+        min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestRoundTripProperties:
+    @given(points=finite_points)
+    @settings(max_examples=20, deadline=None)
+    def test_npy_roundtrip_bitexact(self, points, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "pts.npy"
+        save_points(path, points)
+        np.testing.assert_array_equal(load_points(path), points)
+
+    @given(points=finite_points)
+    @settings(max_examples=20, deadline=None)
+    def test_npz_roundtrip_bitexact(self, points, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "pts.npz"
+        save_points(path, points)
+        np.testing.assert_array_equal(load_points(path), points)
+
+    @given(points=finite_points)
+    @settings(max_examples=15, deadline=None)
+    def test_csv_roundtrip_close(self, points, tmp_path_factory):
+        """CSV is decimal text: round-trip within repr precision."""
+        path = tmp_path_factory.mktemp("io") / "pts.csv"
+        save_points(path, points)
+        loaded = load_points(path)
+        assert loaded.shape == points.shape
+        np.testing.assert_allclose(loaded, points, rtol=1e-5, atol=1e-12)
+
+    def test_single_column_csv(self, tmp_path):
+        path = tmp_path / "one.csv"
+        save_points(path, np.array([[1.5], [2.5]]))
+        loaded = load_points(path)
+        assert loaded.shape == (2, 1)

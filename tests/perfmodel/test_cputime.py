@@ -1,0 +1,60 @@
+"""Unit tests for the SUPER-EGO CPU time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ego import EgoOpCounts
+from repro.perfmodel.constants import CpuCostParams
+from repro.perfmodel.cputime import superego_seconds
+from repro.simt.device import CpuSpec
+
+
+def counts(dist=10**6, seq=1000):
+    return EgoOpCounts(distance_computations=dist, sequence_comparisons=seq)
+
+
+class TestSuperegoSeconds:
+    def test_positive_and_composed(self):
+        run = superego_seconds(counts(), 10000, 2)
+        assert run.total_seconds == pytest.approx(
+            run.sort_seconds + run.join_seconds
+        )
+        assert run.total_seconds > 0
+
+    def test_scales_with_distance_ops(self):
+        a = superego_seconds(counts(dist=10**6), 10000, 2)
+        b = superego_seconds(counts(dist=10**8), 10000, 2)
+        assert b.join_seconds > 10 * a.join_seconds
+
+    def test_more_cores_faster(self):
+        few = superego_seconds(counts(), 10000, 2, cpu=CpuSpec(num_cores=2))
+        many = superego_seconds(counts(), 10000, 2, cpu=CpuSpec(num_cores=16))
+        assert many.total_seconds < few.total_seconds
+
+    def test_dimension_raises_refinement_cost(self):
+        lo = superego_seconds(counts(), 10000, 2)
+        hi = superego_seconds(counts(), 10000, 6)
+        assert hi.join_seconds > lo.join_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            superego_seconds(counts(), -1, 2)
+        with pytest.raises(ValueError):
+            superego_seconds(counts(), 10, 0)
+
+    def test_zero_points(self):
+        run = superego_seconds(EgoOpCounts(), 0, 2)
+        assert run.total_seconds >= 0
+
+
+class TestCpuCostParams:
+    def test_dist_cost_linear(self):
+        c = CpuCostParams(c_dist_base=6, c_dist_dim=3)
+        assert c.dist_cost(4) == 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuCostParams(c_dist_base=-1)
+        with pytest.raises(ValueError):
+            CpuCostParams().dist_cost(0)

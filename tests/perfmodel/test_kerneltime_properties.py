@@ -1,0 +1,106 @@
+"""Property tests for the kernel-time composition layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PRESETS
+from repro.grid import GridIndex
+from repro.perfmodel import PerformanceModel, WorkloadProfile
+from repro.perfmodel.kerneltime import schedule_batches
+from repro.perfmodel.warps import model_batch_warps
+from repro.simt import CostParams, DeviceSpec
+
+
+def make_profile(seed: int, n: int = 300) -> WorkloadProfile:
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 5, (n, 2))
+    return WorkloadProfile(GridIndex(pts, 0.5))
+
+
+class TestScheduleProperties:
+    @given(seed=st.integers(0, 2**31 - 1), slots=st.sampled_from([1, 4, 28, 112]))
+    @settings(max_examples=10, deadline=None)
+    def test_more_slots_never_slower(self, seed, slots):
+        profile = make_profile(seed % 7)
+        costs = CostParams()
+        m = model_batch_warps(
+            profile,
+            np.arange(profile.index.num_points),
+            k=1,
+            pattern="full",
+            costs=costs,
+            work_queue=False,
+        )
+        device_small = DeviceSpec(num_sms=1, warps_per_sm_slot=slots)
+        device_big = DeviceSpec(num_sms=2, warps_per_sm_slot=slots)
+        run_small = schedule_batches(
+            [m], [100], device_small, costs, issue_order="fifo", num_streams=3
+        )
+        run_big = schedule_batches(
+            [m], [100], device_big, costs, issue_order="fifo", num_streams=3
+        )
+        assert run_big.kernel_seconds <= run_small.kernel_seconds + 1e-12
+
+    def test_kernel_time_lower_bound_is_total_work_over_slots(self):
+        profile = make_profile(1)
+        costs = CostParams()
+        m = model_batch_warps(
+            profile,
+            np.arange(profile.index.num_points),
+            k=1,
+            pattern="full",
+            costs=costs,
+            work_queue=False,
+        )
+        device = DeviceSpec()
+        run = schedule_batches(
+            [m], [0], device, costs, issue_order="fifo", num_streams=3
+        )
+        lower = m.durations_with_launch(costs).sum() / device.warp_slots
+        assert run.kernel_seconds >= device.cycles_to_seconds(lower) - 1e-15
+
+
+class TestModelMonotonicity:
+    @pytest.mark.parametrize("preset", ["gpucalcglobal", "workqueue"])
+    def test_time_grows_with_epsilon(self, preset):
+        """More workload (larger ε) must never model faster."""
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 6, (2000, 2))
+        model = PerformanceModel(device=DeviceSpec(num_sms=14), seed=0)
+        times = []
+        for eps in (0.2, 0.4, 0.8):
+            run = model.estimate(model.profile(pts, eps), PRESETS[preset])
+            times.append(run.total_seconds)
+        assert times[0] < times[1] < times[2]
+
+    def test_wee_invariant_to_clock(self):
+        """WEE is a ratio of cycles: clock frequency cannot move it."""
+        profile = make_profile(2)
+        slow = PerformanceModel(device=DeviceSpec(clock_hz=1e8), seed=0)
+        fast = PerformanceModel(device=DeviceSpec(clock_hz=2e9), seed=0)
+        cfg = PRESETS["combined"]
+        a = slow.estimate(profile, cfg)
+        b = fast.estimate(profile, cfg)
+        assert a.warp_execution_efficiency == pytest.approx(
+            b.warp_execution_efficiency
+        )
+        # times scale inversely with clock (kernel part)
+        assert a.kernel_seconds > b.kernel_seconds
+
+    def test_k_conserves_total_active_cycles_dist_only(self):
+        """Candidate work is conserved under k-splitting: total active dist
+        cycles identical for k=1 and k=8 (only overheads differ)."""
+        profile = make_profile(3)
+        costs = CostParams(c_setup=0, c_cell=0, c_emit=0, c_warp_launch=0)
+        points = np.arange(profile.index.num_points)
+        m1 = model_batch_warps(
+            profile, points, k=1, pattern="full", costs=costs, work_queue=False
+        )
+        m8 = model_batch_warps(
+            profile, points, k=8, pattern="full", costs=costs, work_queue=False
+        )
+        assert m1.active.sum() == pytest.approx(m8.active.sum())

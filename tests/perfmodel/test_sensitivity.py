@@ -1,0 +1,93 @@
+"""Tests for the cost-constant sensitivity sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PRESETS
+from repro.perfmodel import PerformanceModel
+from repro.perfmodel.sensitivity import sweep_cost_sensitivity
+from repro.simt import CostParams, DeviceSpec
+
+
+# Device scaled with the test datasets so kernels span several scheduling
+# waves (see EXPERIMENTS.md on device scaling).
+DEVICE = DeviceSpec(num_sms=14, warps_per_sm_slot=2)
+
+
+@pytest.fixture(scope="module")
+def skewed_profile():
+    rng = np.random.default_rng(8)
+    pts = np.concatenate([rng.normal(1, 0.15, (2000, 2)), rng.uniform(0, 6, (2000, 2))])
+    return PerformanceModel(device=DEVICE).profile(pts, 0.3)
+
+
+class TestSensitivity:
+    def test_queue_vs_baseline_ordering_robust(self, skewed_profile):
+        """The headline conclusion must not depend on the calibrated
+        constants: workqueue < gpucalcglobal on skewed data under every
+        2x up/down perturbation of every cost constant."""
+        report = sweep_cost_sensitivity(
+            skewed_profile,
+            {
+                "gpucalcglobal": PRESETS["gpucalcglobal"],
+                "workqueue": PRESETS["workqueue"],
+            },
+            device=DEVICE,
+        )
+        assert report.baseline_order == ["workqueue", "gpucalcglobal"]
+        assert report.is_robust, report.render()
+
+    def test_lid_vs_full_ordering_robust(self, skewed_profile):
+        report = sweep_cost_sensitivity(
+            skewed_profile,
+            {
+                "gpucalcglobal": PRESETS["gpucalcglobal"],
+                "lidunicomp": PRESETS["lidunicomp"],
+            },
+            device=DEVICE,
+        )
+        assert report.baseline_order == ["lidunicomp", "gpucalcglobal"]
+        assert report.is_robust, report.render()
+
+    def test_detects_fragile_ordering(self):
+        """The k=1 vs k=8 ordering on high-dimensional uniform data hinges
+        on the cell-traversal cost — the sweep must detect that (proving
+        it can find fragility at all)."""
+        rng = np.random.default_rng(3)
+        pts6 = rng.uniform(0, 8, (3000, 6))
+        profile = PerformanceModel(device=DEVICE).profile(pts6, 1.5)
+        report = sweep_cost_sensitivity(
+            profile,
+            {"k8": PRESETS["k8"], "k1": PRESETS["gpucalcglobal"]},
+            device=DEVICE,
+            factors=(0.001, 50.0),
+            fields=("c_cell",),
+        )
+        # at baseline k=1 wins (the Unif6D anomaly); with the traversal
+        # cost removed, k=8's better balance wins
+        assert report.baseline_order[0] == "k1"
+        assert not report.is_robust
+
+    def test_validation(self, skewed_profile):
+        with pytest.raises(ValueError):
+            sweep_cost_sensitivity(skewed_profile, {})
+
+    def test_render(self, skewed_profile):
+        report = sweep_cost_sensitivity(
+            skewed_profile,
+            {"a": PRESETS["gpucalcglobal"], "b": PRESETS["workqueue"]},
+            fields=("c_emit",),
+        )
+        out = report.render()
+        assert "baseline order" in out
+
+    def test_custom_base_costs(self, skewed_profile):
+        report = sweep_cost_sensitivity(
+            skewed_profile,
+            {"a": PRESETS["gpucalcglobal"], "b": PRESETS["workqueue"]},
+            base_costs=CostParams(c_emit=0.0),
+            fields=("c_dist_base",),
+        )
+        assert report.cells_checked == 2

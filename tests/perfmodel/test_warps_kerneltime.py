@@ -1,0 +1,112 @@
+"""Unit tests for the warp assembly and kernel-time composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import GridIndex
+from repro.perfmodel import WorkloadProfile
+from repro.perfmodel.kerneltime import schedule_batches
+from repro.perfmodel.warps import model_batch_warps
+from repro.simt import CostParams, DeviceSpec
+
+
+@pytest.fixture
+def profile(rng):
+    return WorkloadProfile(GridIndex(rng.uniform(0, 6, (256, 2)), 0.5))
+
+
+COSTS = CostParams()
+
+
+class TestModelBatchWarps:
+    def test_warp_count(self, profile):
+        batch = np.arange(256)
+        m = model_batch_warps(
+            profile, batch, k=1, pattern="full", costs=COSTS, work_queue=False
+        )
+        assert m.num_warps == 8
+
+    def test_k_scales_warp_count(self, profile):
+        batch = np.arange(256)
+        m = model_batch_warps(
+            profile, batch, k=8, pattern="full", costs=COSTS, work_queue=False
+        )
+        assert m.num_warps == 64
+
+    def test_empty_batch(self, profile):
+        m = model_batch_warps(
+            profile,
+            np.array([], dtype=np.int64),
+            k=1,
+            pattern="full",
+            costs=COSTS,
+            work_queue=False,
+        )
+        assert m.num_warps == 0
+
+    def test_active_never_exceeds_busy_times_warpsize(self, profile):
+        batch = np.arange(256)
+        for k, wq in [(1, False), (8, False), (1, True), (8, True)]:
+            m = model_batch_warps(
+                profile, batch, k=k, pattern="full", costs=COSTS, work_queue=wq
+            )
+            assert (m.active <= 32 * m.busy + 1e-9).all()
+            assert (m.busy > 0).all()
+
+    def test_queue_adds_atomic_cost(self, profile):
+        batch = np.arange(256)
+        plain = model_batch_warps(
+            profile, batch, k=1, pattern="full", costs=COSTS, work_queue=False
+        )
+        queued = model_batch_warps(
+            profile, batch, k=1, pattern="full", costs=COSTS, work_queue=True
+        )
+        np.testing.assert_allclose(queued.busy, plain.busy + COSTS.c_atomic)
+
+    def test_durations_include_launch_overhead(self, profile):
+        batch = np.arange(64)
+        m = model_batch_warps(
+            profile, batch, k=1, pattern="full", costs=COSTS, work_queue=False
+        )
+        np.testing.assert_allclose(
+            m.durations_with_launch(COSTS), m.busy + COSTS.c_warp_launch
+        )
+
+
+class TestScheduleBatches:
+    def make_models(self, profile, batches):
+        return [
+            model_batch_warps(
+                profile, b, k=1, pattern="full", costs=COSTS, work_queue=False
+            )
+            for b in batches
+        ]
+
+    def test_single_batch_run(self, profile):
+        models = self.make_models(profile, [np.arange(256)])
+        run = schedule_batches(
+            models, [100], DeviceSpec(), COSTS, issue_order="fifo", num_streams=3
+        )
+        assert run.num_batches == 1
+        assert run.total_seconds >= run.kernel_seconds > 0
+        assert 0 < run.warp_execution_efficiency <= 1
+
+    def test_total_rows(self, profile):
+        models = self.make_models(profile, [np.arange(128), np.arange(128, 256)])
+        run = schedule_batches(
+            models, [50, 70], DeviceSpec(), COSTS, issue_order="fifo", num_streams=3
+        )
+        assert run.total_result_rows == 120
+        assert run.num_warps == models[0].num_warps + models[1].num_warps
+
+    def test_transfer_time_scales_with_rows(self, profile):
+        models = self.make_models(profile, [np.arange(256)])
+        small = schedule_batches(
+            models, [10], DeviceSpec(), COSTS, issue_order="fifo", num_streams=3
+        )
+        big = schedule_batches(
+            models, [10**7], DeviceSpec(), COSTS, issue_order="fifo", num_streams=3
+        )
+        assert big.total_seconds > small.total_seconds

@@ -1,0 +1,61 @@
+"""Unit tests for the profiling report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PRESETS, SelfJoin
+from repro.perfmodel import PerformanceModel
+from repro.profiling import ProfileReport, ProfileRow, profile_run
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).uniform(0, 5, (300, 2))
+
+
+class TestProfileRun:
+    def test_from_vm_result(self, points):
+        res = SelfJoin().execute(points, 0.5)
+        row = profile_run(res, dataset="toy", epsilon=0.5)
+        assert row.config == "full, k=1"
+        assert row.result_rows == res.num_pairs
+        assert 0 < row.wee_percent <= 100
+
+    def test_from_model_run(self, points):
+        model = PerformanceModel()
+        run = model.estimate(model.profile(points, 0.5), PRESETS["combined"])
+        row = profile_run(run, dataset="toy", epsilon=0.5, config="combined")
+        assert row.config == "combined"
+        assert row.num_warps == run.num_warps
+        assert row.result_rows == run.total_result_rows
+
+
+class TestProfileReport:
+    def test_render_contains_rows(self, points):
+        rep = ProfileReport("Table X")
+        res = SelfJoin().execute(points, 0.5)
+        rep.add_run(res, dataset="toy", epsilon=0.5)
+        out = rep.render()
+        assert "Table X" in out
+        assert "toy" in out
+        assert "WEE (%)" in out
+
+    def test_speedups(self):
+        rep = ProfileReport()
+        rep.add(ProfileRow("d", 0.5, "base", 50.0, 10.0))
+        rep.add(ProfileRow("d", 0.5, "opt", 90.0, 2.0))
+        sp = rep.speedups("base")
+        assert sp[("d", 0.5)]["opt"] == pytest.approx(5.0)
+
+    def test_speedups_missing_baseline(self):
+        rep = ProfileReport()
+        rep.add(ProfileRow("d", 0.5, "opt", 90.0, 2.0))
+        assert rep.speedups("base") == {}
+
+    def test_speedup_zero_time(self):
+        rep = ProfileReport()
+        rep.add(ProfileRow("d", 1.0, "base", 50.0, 1.0))
+        rep.add(ProfileRow("d", 1.0, "opt", 90.0, 0.0))
+        assert rep.speedups("base")[("d", 1.0)]["opt"] == np.inf

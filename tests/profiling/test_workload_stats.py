@@ -1,0 +1,81 @@
+"""Tests for the workload-skew statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid import GridIndex
+from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini_coefficient(v) > 0.99
+
+    def test_known_value(self):
+        # two values {0, 1}: Gini = 0.5
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=200))
+    def test_bounds_and_scale_invariance(self, xs):
+        v = np.array(xs)
+        g = gini_coefficient(v)
+        assert -1e-9 <= g < 1.0
+        if v.sum() > 0:
+            assert gini_coefficient(v * 3.7) == pytest.approx(g, abs=1e-9)
+
+
+class TestWorkloadStats:
+    def test_uniform_vs_exponential_ordering(self, rng):
+        from repro.data import exponential, uniform
+
+        unif = GridIndex(uniform(3000, 2, seed=1, high=10.0), 0.3)
+        expo = GridIndex(exponential(3000, 2, seed=1), 0.01)
+        su = WorkloadStats.from_index(unif)
+        se = WorkloadStats.from_index(expo)
+        assert se.gini > su.gini
+        assert se.cv > su.cv
+        # skew destroys random-packing WEE
+        assert se.random_packing_wee < su.random_packing_wee
+
+    def test_equal_workloads_perfect_wee(self):
+        s = WorkloadStats.from_workloads(np.full(128, 5.0))
+        assert s.random_packing_wee == pytest.approx(1.0)
+        assert s.cv == 0.0
+
+    def test_empty(self):
+        s = WorkloadStats.from_workloads(np.array([]))
+        assert s.num_points == 0
+        assert s.random_packing_wee == 1.0
+
+    def test_tail_padding_does_not_crash(self):
+        # 33 points: one padded warp
+        s = WorkloadStats.from_workloads(np.ones(33))
+        assert 0 < s.random_packing_wee <= 1.0
+
+    def test_top1_share(self):
+        w = np.ones(100)
+        w[0] = 101.0
+        s = WorkloadStats.from_workloads(w)
+        assert s.top1_share == pytest.approx(101.0 / 200.0)
+
+    def test_render(self, rng):
+        idx = GridIndex(rng.uniform(0, 5, (300, 2)), 0.5)
+        out = WorkloadStats.from_index(idx).render()
+        assert "Gini" in out and "random-packing WEE" in out

@@ -1,0 +1,68 @@
+"""Unit tests for CostParams and DeviceSpec."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.simt import CostParams, DeviceSpec
+from repro.simt.device import CPU_XEON_E5_2620V4, CpuSpec
+
+
+class TestCostParams:
+    def test_dist_cost_linear_in_dim(self):
+        c = CostParams(c_dist_base=5.0, c_dist_dim=2.0)
+        assert c.dist_cost(2) == 9.0
+        assert c.dist_cost(6) == 17.0
+
+    def test_dist_cost_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            CostParams().dist_cost(0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(c_cell=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostParams().c_cell = 3.0
+
+
+class TestDeviceSpec:
+    def test_warp_slots(self):
+        d = DeviceSpec(num_sms=10, warps_per_sm_slot=3)
+        assert d.warp_slots == 30
+
+    def test_cycles_to_seconds(self):
+        d = DeviceSpec(clock_hz=1e9)
+        assert d.cycles_to_seconds(2e9) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warp_size": 0},
+            {"num_sms": 0},
+            {"clock_hz": 0.0},
+            {"pcie_bandwidth": -1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            DeviceSpec(**kwargs)
+
+    def test_paper_default_is_gp100_class(self):
+        d = DeviceSpec()
+        assert d.num_sms == 56
+        assert d.global_mem_bytes == 16 * 2**30
+
+
+class TestCpuSpec:
+    def test_paper_default_is_16_cores(self):
+        assert CPU_XEON_E5_2620V4.num_cores == 16
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CpuSpec(num_cores=0)
+        with pytest.raises(ValueError):
+            CpuSpec(parallel_efficiency=1.5)

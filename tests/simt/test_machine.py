@@ -1,0 +1,220 @@
+"""Unit tests for GpuMachine kernel launches, atomics, coop groups, buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simt import (
+    AtomicCounter,
+    BufferOverflowError,
+    CostParams,
+    DeviceSpec,
+    GpuMachine,
+    ResultBuffer,
+)
+
+
+def tiny_device(**kw) -> DeviceSpec:
+    defaults = dict(num_sms=2, warps_per_sm_slot=1, warp_size=4)
+    defaults.update(kw)
+    return DeviceSpec(**defaults)
+
+
+class TestLaunchBasics:
+    def test_every_thread_runs_once(self):
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx.tid)
+            ctx.work("body", 1.0)
+
+        machine = GpuMachine(tiny_device())
+        stats = machine.launch(kernel, 10)
+        assert sorted(seen) == list(range(10))
+        assert stats.num_threads == 10
+        assert stats.num_warps == 3  # warp size 4
+
+    def test_zero_threads(self):
+        machine = GpuMachine(tiny_device())
+        stats = machine.launch(lambda ctx: None, 0)
+        assert stats.num_warps == 0
+        assert stats.cycles == 0.0
+
+    def test_lane_and_warp_ids(self):
+        ids = {}
+
+        def kernel(ctx):
+            ids[ctx.tid] = (ctx.lane, ctx.warp_id)
+
+        GpuMachine(tiny_device()).launch(kernel, 6)
+        assert ids[0] == (0, 0)
+        assert ids[3] == (3, 0)
+        assert ids[4] == (0, 1)
+        assert ids[5] == (1, 1)
+
+    def test_seconds_track_cycles(self):
+        def kernel(ctx):
+            ctx.work("body", 100.0)
+
+        machine = GpuMachine(tiny_device(clock_hz=1e6))
+        stats = machine.launch(kernel, 4)
+        assert stats.seconds == pytest.approx(stats.cycles / 1e6)
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            GpuMachine(tiny_device()).launch(lambda ctx: None, -1)
+
+    def test_workload_desc_issue_order_rejected_at_launch(self):
+        machine = GpuMachine(tiny_device(), issue_order="workload_desc")
+        with pytest.raises(ValueError, match="sorted input data"):
+            machine.launch(lambda ctx: None, 4)
+
+
+class TestWarpMetrics:
+    def test_imbalanced_kernel_has_low_wee(self):
+        def kernel(ctx):
+            # one heavy lane per warp
+            ctx.work("dist", 100.0 if ctx.lane == 0 else 1.0)
+
+        stats = GpuMachine(tiny_device()).launch(kernel, 8)
+        assert stats.warp_execution_efficiency < 0.5
+
+    def test_balanced_kernel_has_full_wee(self):
+        def kernel(ctx):
+            ctx.work("dist", 10.0)
+
+        stats = GpuMachine(tiny_device()).launch(kernel, 8)
+        assert stats.warp_execution_efficiency == pytest.approx(1.0)
+
+    def test_tail_warp_counts_inactive_lanes(self):
+        def kernel(ctx):
+            ctx.work("dist", 10.0)
+
+        # 5 threads on warp_size=4: warp 1 has a single lane => wee 1/4
+        stats = GpuMachine(tiny_device()).launch(kernel, 5)
+        per_warp = [w.wee for w in stats.warp_stats]
+        assert per_warp[0] == pytest.approx(1.0)
+        assert per_warp[1] == pytest.approx(0.25)
+
+    def test_makespan_uses_warp_slots(self):
+        def kernel(ctx):
+            ctx.work("dist", 10.0)
+
+        costs = CostParams(c_warp_launch=0.0)
+        # 4 warps on 2 slots of equal work: makespan = 2 rounds
+        stats = GpuMachine(tiny_device(), costs).launch(kernel, 16)
+        assert stats.cycles == pytest.approx(20.0)
+
+
+class TestAtomicsAndOrder:
+    def test_atomic_values_are_dense_and_unique(self):
+        counter = AtomicCounter()
+        got = []
+
+        def kernel(ctx):
+            got.append(ctx.atomic_add(counter))
+
+        GpuMachine(tiny_device()).launch(kernel, 10)
+        assert sorted(got) == list(range(10))
+        assert counter.num_ops == 10
+
+    def test_fifo_order_fetches_in_tid_order(self):
+        counter = AtomicCounter()
+        fetched = {}
+
+        def kernel(ctx):
+            fetched[ctx.tid] = ctx.atomic_add(counter)
+
+        GpuMachine(tiny_device(), issue_order="fifo").launch(kernel, 8)
+        assert all(fetched[t] == t for t in range(8))
+
+    def test_random_order_permutes_warps_not_lanes(self):
+        counter = AtomicCounter()
+        fetched = {}
+
+        def kernel(ctx):
+            fetched[ctx.tid] = ctx.atomic_add(counter)
+
+        GpuMachine(tiny_device(), issue_order="random", seed=3).launch(kernel, 12)
+        # lanes inside one warp stay in lane order
+        for w in range(3):
+            vals = [fetched[w * 4 + lane] for lane in range(4)]
+            assert vals == sorted(vals)
+
+    def test_counter_persists_across_launches(self):
+        counter = AtomicCounter()
+
+        def kernel(ctx):
+            ctx.atomic_add(counter)
+
+        m = GpuMachine(tiny_device())
+        m.launch(kernel, 4)
+        m.launch(kernel, 4)
+        assert counter.value == 8
+
+
+class TestCoopGroups:
+    def test_leader_fetch_shared_within_group(self):
+        counter = AtomicCounter()
+        got = {}
+
+        def kernel(ctx):
+            group = ctx.coop_group(2)
+            got[ctx.tid] = group.leader_fetch_add(ctx, counter)
+
+        GpuMachine(tiny_device()).launch(kernel, 8, coop_groups=True)
+        # threads 0,1 share value 0; 2,3 share 1; ...
+        for gid in range(4):
+            assert got[2 * gid] == got[2 * gid + 1] == gid
+        assert counter.num_ops == 4  # one atomic per group, not per thread
+
+    def test_group_size_must_divide_warp(self):
+        def kernel(ctx):
+            ctx.coop_group(3)
+
+        with pytest.raises(ValueError, match="divide"):
+            GpuMachine(tiny_device()).launch(kernel, 4, coop_groups=True)
+
+    def test_groups_require_flag(self):
+        def kernel(ctx):
+            ctx.coop_group(2)
+
+        with pytest.raises(RuntimeError, match="cooperative-group"):
+            GpuMachine(tiny_device()).launch(kernel, 4)
+
+
+class TestResultBuffer:
+    def test_emit_accumulates(self):
+        buf = ResultBuffer(100)
+
+        def kernel(ctx):
+            ctx.emit_pairs(np.array([[ctx.tid, ctx.tid]]))
+
+        GpuMachine(tiny_device()).launch(kernel, 8, result_buffer=buf)
+        assert buf.size == 8
+        np.testing.assert_array_equal(np.sort(buf.pairs()[:, 0]), np.arange(8))
+
+    def test_overflow_raises(self):
+        buf = ResultBuffer(3)
+
+        def kernel(ctx):
+            ctx.emit_pairs(np.array([[ctx.tid, ctx.tid]]))
+
+        with pytest.raises(BufferOverflowError):
+            GpuMachine(tiny_device()).launch(kernel, 8, result_buffer=buf)
+
+    def test_emit_without_buffer_raises(self):
+        def kernel(ctx):
+            ctx.emit_pairs(np.array([[0, 0]]))
+
+        with pytest.raises(RuntimeError, match="without a result buffer"):
+            GpuMachine(tiny_device()).launch(kernel, 1)
+
+    def test_drain_empties(self):
+        buf = ResultBuffer(10)
+        buf.append_pairs(np.array([[1, 2]]))
+        out = buf.drain()
+        assert len(out) == 1
+        assert buf.size == 0
+        assert len(buf.pairs()) == 0

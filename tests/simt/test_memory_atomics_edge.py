@@ -1,0 +1,72 @@
+"""Edge-case tests for device memory objects and atomics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simt import AtomicCounter, BufferOverflowError, ResultBuffer
+
+
+class TestResultBufferEdges:
+    def test_zero_capacity(self):
+        buf = ResultBuffer(0)
+        buf.append_pairs(np.empty((0, 2), dtype=np.int64))  # empty ok
+        with pytest.raises(BufferOverflowError):
+            buf.append_pairs(np.array([[0, 0]]))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultBuffer(-1)
+
+    def test_overflow_writes_nothing(self):
+        buf = ResultBuffer(2)
+        buf.append_pairs(np.array([[0, 0]]))
+        with pytest.raises(BufferOverflowError):
+            buf.append_pairs(np.array([[1, 1], [2, 2]]))
+        # the failed append must not have partially landed
+        assert buf.size == 1
+        np.testing.assert_array_equal(buf.pairs(), [[0, 0]])
+
+    def test_exact_fill(self):
+        buf = ResultBuffer(3)
+        buf.append_pairs(np.array([[0, 0], [1, 1], [2, 2]]))
+        assert buf.size == 3
+        assert buf.nbytes == 48
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ResultBuffer(5).append_pairs(np.zeros((2, 3)))
+
+    def test_pairs_consolidates_chunks(self):
+        buf = ResultBuffer(10)
+        for i in range(5):
+            buf.append_pairs(np.array([[i, i]]))
+        out = buf.pairs()
+        assert len(out) == 5
+        # repeated calls return the consolidated array
+        assert buf.pairs() is out
+
+
+class TestAtomicCounterEdges:
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicCounter().fetch_add(-1)
+
+    def test_zero_amount_counts_as_op(self):
+        c = AtomicCounter()
+        assert c.fetch_add(0) == 0
+        assert c.value == 0
+        assert c.num_ops == 1
+
+    def test_reset_keeps_op_count(self):
+        c = AtomicCounter(5)
+        c.fetch_add(3)
+        c.reset()
+        assert c.value == 0
+        assert c.num_ops == 1
+
+    def test_initial_value(self):
+        c = AtomicCounter(42)
+        assert c.fetch_add(1) == 42
+        assert c.value == 43

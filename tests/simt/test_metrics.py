@@ -1,0 +1,108 @@
+"""Tests for the profiler post-analysis (trace-based metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simt import DeviceSpec, GpuMachine, profile_kernel
+
+
+def tiny_device(**kw):
+    defaults = dict(num_sms=2, warps_per_sm_slot=1, warp_size=4)
+    defaults.update(kw)
+    return DeviceSpec(**defaults)
+
+
+def traced_launch(kernel, n, device=None):
+    machine = GpuMachine(device or tiny_device())
+    return machine.launch(kernel, n, keep_traces=True), machine.device
+
+
+class TestProfileKernel:
+    def test_requires_traces(self):
+        machine = GpuMachine(tiny_device())
+        stats = machine.launch(lambda ctx: ctx.work("a", 1.0), 4)
+        with pytest.raises(ValueError, match="keep_traces"):
+            profile_kernel(stats, machine.device)
+
+    def test_breakdown_partitions_cycles(self):
+        def kernel(ctx):
+            ctx.work("alpha", 3.0)
+            ctx.work("beta", 2.0 * (ctx.lane + 1))
+
+        stats, device = traced_launch(kernel, 8)
+        prof = profile_kernel(stats, device)
+        by_label = {b.label: b for b in prof.breakdown}
+        assert set(by_label) == {"alpha", "beta"}
+        # alpha is uniform: region WEE == 1
+        assert by_label["alpha"].efficiency == pytest.approx(1.0)
+        # beta is skewed: region WEE < 1
+        assert by_label["beta"].efficiency < 1.0
+        # totals consistent with the warp stats
+        total_busy = sum(b.busy_cycles for b in prof.breakdown)
+        assert total_busy == pytest.approx(
+            sum(w.warp_cycles for w in stats.warp_stats)
+        )
+
+    def test_wee_matches_kernel_stats(self):
+        def kernel(ctx):
+            ctx.work("dist", float(ctx.tid % 5 + 1))
+
+        stats, device = traced_launch(kernel, 16)
+        prof = profile_kernel(stats, device)
+        assert prof.warp_execution_efficiency == pytest.approx(
+            stats.warp_execution_efficiency
+        )
+
+    def test_occupancy_bounds(self):
+        def kernel(ctx):
+            ctx.work("dist", 10.0)
+
+        stats, device = traced_launch(kernel, 64)
+        prof = profile_kernel(stats, device)
+        assert 0.0 < prof.achieved_occupancy <= 1.0
+
+    def test_uniform_work_zero_cv(self):
+        def kernel(ctx):
+            ctx.work("dist", 7.0)
+
+        stats, device = traced_launch(kernel, 16)
+        prof = profile_kernel(stats, device)
+        assert prof.warp_cycles_cv == pytest.approx(0.0)
+
+    def test_render_contains_regions(self):
+        def kernel(ctx):
+            ctx.work("dist", 2.0)
+            ctx.work("setup", 1.0)
+
+        stats, device = traced_launch(kernel, 4)
+        out = profile_kernel(stats, device).render()
+        assert "dist" in out and "setup" in out
+        assert "occupancy" in out
+
+
+class TestEndToEndProfile:
+    def test_selfjoin_kernel_regions(self, rng):
+        """A real self-join launch exposes the expected regions and the
+        refinement region dominates on a dense workload."""
+        from repro.core.kernels import KernelArgs, selfjoin_kernel
+        from repro.grid import GridIndex
+        from repro.simt import ResultBuffer
+
+        pts = rng.normal(0, 0.4, (300, 2))
+        index = GridIndex(pts, 0.3)
+        args = KernelArgs(index=index, batch=np.arange(300))
+        machine = GpuMachine(DeviceSpec())
+        stats = machine.launch(
+            selfjoin_kernel,
+            args.num_threads,
+            args,
+            result_buffer=ResultBuffer(10**6),
+            keep_traces=True,
+        )
+        prof = profile_kernel(stats, machine.device)
+        labels = {b.label for b in prof.breakdown}
+        assert {"setup", "cells", "dist", "emit"} <= labels
+        by = {b.label: b for b in prof.breakdown}
+        assert by["dist"].busy_cycles > by["setup"].busy_cycles

@@ -1,0 +1,99 @@
+"""Unit and property tests for the warp scheduler / makespan model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simt import issue_order_permutation, makespan
+
+
+class TestIssueOrder:
+    def test_fifo(self):
+        d = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(issue_order_permutation(d, "fifo"), [0, 1, 2])
+
+    def test_workload_desc(self):
+        d = np.array([1.0, 3.0, 2.0])
+        np.testing.assert_array_equal(
+            issue_order_permutation(d, "workload_desc"), [1, 2, 0]
+        )
+
+    def test_random_is_seeded(self):
+        d = np.arange(20, dtype=float)
+        a = issue_order_permutation(d, "random", seed=42)
+        b = issue_order_permutation(d, "random", seed=42)
+        np.testing.assert_array_equal(a, b)
+        assert sorted(a.tolist()) == list(range(20))
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError, match="unknown issue order"):
+            issue_order_permutation(np.ones(3), "chaotic")
+
+
+class TestMakespan:
+    def test_single_slot_is_sum(self):
+        r = makespan(np.array([3.0, 1.0, 2.0]), 1)
+        assert r.makespan_cycles == 6.0
+
+    def test_fewer_warps_than_slots_is_max(self):
+        r = makespan(np.array([3.0, 1.0, 2.0]), 8)
+        assert r.makespan_cycles == 3.0
+
+    def test_empty(self):
+        r = makespan(np.array([]), 4)
+        assert r.makespan_cycles == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            makespan(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            makespan(np.array([-1.0]), 2)
+
+    def test_classic_lpt_beats_bad_order(self):
+        # one giant warp last in FIFO order creates a long tail
+        d = np.array([1.0] * 8 + [8.0])
+        fifo = makespan(d, 2, order="fifo").makespan_cycles
+        lpt = makespan(d, 2, order="workload_desc").makespan_cycles
+        assert lpt < fifo
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_lower_bounds_hold(self, durations, slots, seed):
+        d = np.array(durations)
+        for order in ("fifo", "random", "workload_desc"):
+            r = makespan(d, slots, order=order, seed=seed)
+            assert r.makespan_cycles >= d.max() - 1e-9
+            assert r.makespan_cycles >= d.sum() / slots - 1e-9
+            # greedy is a 2-approximation regardless of order
+            lower = max(d.max(), d.sum() / slots)
+            assert r.makespan_cycles <= 2 * lower + 1e-9
+
+    @given(
+        st.lists(st.floats(0.1, 50.0), min_size=2, max_size=60),
+        st.integers(2, 6),
+    )
+    def test_greedy_bound_holds(self, durations, slots):
+        """Any greedy list schedule satisfies makespan <= sum/m + max:
+        when the last-finishing warp starts, every slot is busy."""
+        d = np.array(durations)
+        for order in ("fifo", "workload_desc"):
+            r = makespan(d, slots, order=order)
+            assert r.makespan_cycles <= d.sum() / slots + d.max() + 1e-9
+
+    def test_slot_finish_accounting(self):
+        d = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        r = makespan(d, 2)
+        assert r.slot_finish_cycles.sum() >= 0
+        assert r.makespan_cycles == r.slot_finish_cycles.max()
+
+    def test_start_times_consistent(self):
+        d = np.array([2.0, 2.0, 2.0, 2.0])
+        r = makespan(d, 2, order="fifo")
+        # first two start at 0, next two at 2
+        assert sorted(r.start_cycles.tolist()) == [0.0, 0.0, 2.0, 2.0]

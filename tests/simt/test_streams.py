@@ -1,0 +1,72 @@
+"""Unit and property tests for the stream pipeline model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simt import simulate_stream_pipeline
+
+
+class TestPipeline:
+    def test_single_batch(self):
+        r = simulate_stream_pipeline([2.0], [1.0])
+        assert r.total_seconds == 3.0
+
+    def test_transfers_hide_behind_kernels(self):
+        # transfers shorter than kernels: total = kernels + last transfer
+        r = simulate_stream_pipeline([5.0, 5.0, 5.0], [1.0, 1.0, 1.0])
+        assert r.total_seconds == pytest.approx(15.0 + 1.0)
+        assert r.transfer_overlap_fraction > 0.6
+
+    def test_transfer_bound_pipeline(self):
+        # transfers much longer than kernels: copy engine is the bottleneck
+        r = simulate_stream_pipeline([1.0, 1.0, 1.0], [10.0, 10.0, 10.0])
+        assert r.total_seconds >= 30.0
+
+    def test_buffer_reuse_gates_kernels(self):
+        # 1 stream: strict serialization kernel->transfer->kernel->...
+        r = simulate_stream_pipeline([2.0, 2.0], [3.0, 3.0], num_streams=1)
+        assert r.total_seconds == pytest.approx(10.0)
+        # 2 streams: kernel 2 runs during transfer 1
+        r2 = simulate_stream_pipeline([2.0, 2.0], [3.0, 3.0], num_streams=2)
+        assert r2.total_seconds < 10.0
+
+    def test_empty(self):
+        r = simulate_stream_pipeline([], [])
+        assert r.total_seconds == 0.0
+        assert r.transfer_overlap_fraction == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_stream_pipeline([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            simulate_stream_pipeline([1.0], [1.0], num_streams=0)
+        with pytest.raises(ValueError):
+            simulate_stream_pipeline([-1.0], [1.0])
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+        st.integers(1, 4),
+    )
+    def test_bounds(self, kern, xfer, ns):
+        m = min(len(kern), len(xfer))
+        kern, xfer = kern[:m], xfer[:m]
+        r = simulate_stream_pipeline(kern, xfer, num_streams=ns)
+        # never faster than all kernels serialized, never slower than full
+        # serialization of everything
+        assert r.total_seconds >= sum(kern) - 1e-9
+        assert r.total_seconds >= sum(xfer) - 1e-9
+        assert r.total_seconds <= sum(kern) + sum(xfer) + 1e-9
+
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=2, max_size=15),
+    )
+    def test_more_streams_never_slower(self, kern):
+        xfer = [k * 0.5 for k in kern]
+        t1 = simulate_stream_pipeline(kern, xfer, num_streams=1).total_seconds
+        t3 = simulate_stream_pipeline(kern, xfer, num_streams=3).total_seconds
+        assert t3 <= t1 + 1e-9

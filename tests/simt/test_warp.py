@@ -1,0 +1,135 @@
+"""Unit and property tests for lock-step warp replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simt.context import ThreadTrace
+from repro.simt.warp import replay_warp
+
+
+def trace_of(*events) -> ThreadTrace:
+    t = ThreadTrace()
+    for label, cycles in events:
+        t.add(label, cycles)
+    return t
+
+
+class TestAggregateReplay:
+    def test_single_thread(self):
+        s = replay_warp([trace_of(("dist", 10.0))], 32)
+        assert s.warp_cycles == 10.0
+        assert s.active_cycles == 10.0
+        assert s.wee == pytest.approx(10.0 / (32 * 10.0))
+
+    def test_warp_time_is_max_per_label(self):
+        a = trace_of(("setup", 2.0), ("dist", 10.0))
+        b = trace_of(("setup", 2.0), ("dist", 30.0))
+        s = replay_warp([a, b], 32)
+        assert s.warp_cycles == 2.0 + 30.0
+        assert s.active_cycles == 44.0
+
+    def test_balanced_warp_full_wee(self):
+        traces = [trace_of(("dist", 5.0)) for _ in range(32)]
+        s = replay_warp(traces, 32)
+        assert s.wee == pytest.approx(1.0)
+
+    def test_unbalanced_warp_low_wee(self):
+        traces = [trace_of(("dist", 1.0)) for _ in range(31)]
+        traces.append(trace_of(("dist", 100.0)))
+        s = replay_warp(traces, 32)
+        assert s.warp_cycles == 100.0
+        assert s.wee == pytest.approx((31 + 100) / (32 * 100))
+
+    def test_disjoint_labels_serialize(self):
+        a = trace_of(("x", 5.0))
+        b = trace_of(("y", 7.0))
+        s = replay_warp([a, b], 32)
+        assert s.warp_cycles == 12.0
+
+    def test_empty_warp(self):
+        s = replay_warp([], 32)
+        assert s.warp_cycles == 0.0
+        assert s.wee == 1.0
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            replay_warp([trace_of(("a", 1.0))] * 33, 32)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            replay_warp([trace_of(("a", 1.0))], 32, mode="quantum")
+
+
+class TestLockstepReplay:
+    def test_equal_iteration_costs_match_aggregate(self):
+        # same per-event cost => lockstep == aggregate == max trip count
+        a = trace_of(*[("dist", 2.0)] * 3)
+        b = trace_of(*[("dist", 2.0)] * 7)
+        agg = replay_warp([a, b], 32, "aggregate")
+        lock = replay_warp([a, b], 32, "lockstep")
+        assert agg.warp_cycles == lock.warp_cycles == 14.0
+
+    def test_divergent_labels_serialize_stepwise(self):
+        a = trace_of(("p", 1.0), ("p", 1.0))
+        b = trace_of(("q", 1.0))
+        lock = replay_warp([a, b], 32, "lockstep")
+        # steps: p (a), p (a), q (b) -> order depends on min(label); either
+        # way all 3 events serialize
+        assert lock.warp_cycles == 3.0
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.sampled_from(["u", "v", "w"]), st.floats(0.1, 10.0)),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_lockstep_never_faster_than_aggregate(self, lanes):
+        traces = [trace_of(*events) for events in lanes]
+        agg = replay_warp(traces, 32, "aggregate")
+        lock = replay_warp(traces, 32, "lockstep")
+        assert lock.warp_cycles >= agg.warp_cycles - 1e-9
+        assert lock.active_cycles == pytest.approx(agg.active_cycles)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 50.0), min_size=0, max_size=10),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    def test_wee_bounds(self, lane_costs):
+        traces = []
+        for costs in lane_costs:
+            t = ThreadTrace()
+            for c in costs:
+                t.add("dist", c)
+            traces.append(t)
+        for mode in ("aggregate", "lockstep"):
+            s = replay_warp(traces, 32, mode)
+            assert 0.0 <= s.wee <= 1.0 + 1e-12
+
+    def test_aggregate_warp_time_lower_bounded_by_longest_lane(self):
+        a = trace_of(("x", 3.0), ("y", 4.0))
+        b = trace_of(("x", 5.0), ("y", 1.0))
+        s = replay_warp([a, b], 32)
+        assert s.warp_cycles >= max(a.total_cycles, b.total_cycles)
+
+
+class TestThreadTrace:
+    def test_label_totals_order(self):
+        t = trace_of(("b", 1.0), ("a", 2.0), ("b", 3.0))
+        assert list(t.label_totals().items()) == [("b", 4.0), ("a", 2.0)]
+
+    def test_negative_cycles_rejected(self):
+        t = ThreadTrace()
+        with pytest.raises(ValueError):
+            t.add("x", -1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for the table renderer and duration formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import Table, format_seconds
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (5e-7, "0.5us"),
+            (2e-3, "2.0ms"),
+            (1.234, "1.23s"),
+            (250.0, "250s"),
+        ],
+    )
+    def test_magnitude_buckets(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "n/a"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["a", "longcolumn"], title="T")
+        t.add_row(["x", 1])
+        t.add_row(["yyyy", 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "longcolumn" in lines[1]
+        # all data lines have the same width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_length_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1234.5])
+        t.add_row([0.25])
+        t.add_row([0.0])
+        assert t.rows[0] == ["1.23e+03"]
+        assert t.rows[1] == ["0.25"]
+        assert t.rows[2] == ["0"]
+
+    def test_str_matches_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
