@@ -10,6 +10,8 @@ SIMT substrate:
 - :mod:`repro.simt` — the warp-level GPU simulator;
 - :mod:`repro.perfmodel` — the vectorized performance model for
   paper-scale datasets;
+- :mod:`repro.multigpu` — the self-join sharded over a pool of simulated
+  devices, with device-level load balancing;
 - :mod:`repro.ego` — the SUPER-EGO CPU baseline;
 - :mod:`repro.data` — paper dataset generators;
 - :mod:`repro.bench` — the per-figure/table experiment harness.
@@ -26,6 +28,7 @@ Quickstart::
 
 from repro.core import JoinResult, OptimizationConfig, PRESETS, SelfJoin, SimilarityJoin
 from repro.grid import GridIndex
+from repro.multigpu import MultiGpuSelfJoin, MultiGpuSimilarityJoin
 from repro.simt import CostParams, DeviceSpec
 
 __version__ = "1.0.0"
@@ -35,6 +38,8 @@ __all__ = [
     "DeviceSpec",
     "GridIndex",
     "JoinResult",
+    "MultiGpuSelfJoin",
+    "MultiGpuSimilarityJoin",
     "OptimizationConfig",
     "PRESETS",
     "SelfJoin",

@@ -29,6 +29,7 @@ from repro.core.batching import (
     plan_batches_balanced,
 )
 from repro.core.config import PRESETS, OptimizationConfig
+from repro.core.executor import BatchExecutor, BatchOutcome, DeviceExecutor
 from repro.core.granularity import thread_share_counts
 from repro.core.join import SimilarityJoin
 from repro.core.patterns import (
@@ -41,7 +42,10 @@ from repro.core.selfjoin import SelfJoin
 from repro.core.sortbywl import cell_workloads, point_workloads, sort_by_workload
 
 __all__ = [
+    "BatchExecutor",
+    "BatchOutcome",
     "BatchPlan",
+    "DeviceExecutor",
     "JoinResult",
     "OptimizationConfig",
     "PATTERN_NAMES",

@@ -61,29 +61,42 @@ def estimate_result_size(
     mode: str = "strided",
     order: np.ndarray | None = None,
     include_self: bool = True,
+    subset: np.ndarray | None = None,
 ) -> int:
     """Estimate the total self-join result size from an exact sample.
 
     ``mode="strided"`` samples every (1/fraction)-th point of the dataset;
     ``mode="head"`` samples the first fraction of ``order`` (the
     workload-sorted D'), the WORKQUEUE variant that overestimates by
-    sampling the heaviest points.
+    sampling the heaviest points. ``subset`` restricts the estimate to the
+    given query point ids (a shard of the full join); the estimate then
+    covers only that shard's result rows.
+
+    Degenerate inputs are handled rather than divided by: an empty grid,
+    an empty ``subset``/``order``, or a sample stride that exceeds the
+    population all yield a well-defined (possibly zero) estimate.
     """
     if not 0 < sample_fraction <= 1:
         raise ValueError("sample_fraction must be in (0, 1]")
-    n = index.num_points
-    if n == 0:
+    if subset is not None:
+        queries = np.asarray(subset, dtype=np.int64)
+    else:
+        queries = np.arange(index.num_points, dtype=np.int64)
+    n = len(queries)
+    if n == 0 or index.num_points == 0:
         return 0
-    sample_size = max(1, int(round(n * sample_fraction)))
+    sample_size = min(n, max(1, int(round(n * sample_fraction))))
     if mode == "strided":
         step = max(1, n // sample_size)
-        sample = np.arange(0, n, step, dtype=np.int64)
+        sample = queries[::step]
     elif mode == "head":
         if order is None:
             raise ValueError("mode='head' requires the sorted order array")
         sample = np.asarray(order, dtype=np.int64)[:sample_size]
     else:
         raise ValueError(f"unknown estimator mode {mode!r}")
+    if len(sample) == 0:
+        return 0
     counts = grid_neighbor_counts(index, sample, include_self=include_self)
     scale = n / len(sample)
     return int(np.ceil(counts.sum() * scale))

@@ -1,0 +1,150 @@
+"""The pluggable batch-execution seam between joins and devices.
+
+:class:`SelfJoin` and :class:`SimilarityJoin` plan *what* to run — the
+grid index, the sorted order D', the batch plan — but delegate *where and
+how* the batch kernels run to a :class:`BatchExecutor`. The default
+:class:`DeviceExecutor` reproduces the single-device behaviour the paper
+evaluates: one :class:`~repro.simt.GpuMachine` per plan, a fresh
+capacity-checked result buffer per batch, and the 3-stream transfer
+pipeline over that device's PCIe link.
+
+The seam exists so other execution substrates can be swapped in without
+touching the join logic; :mod:`repro.multigpu` uses it to run shards of
+one join on a pool of independent simulated devices, each with its own
+executor, buffers and counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.simt import CostParams, DeviceSpec, GpuMachine, KernelStats, ResultBuffer
+from repro.simt.streams import PipelineResult, simulate_stream_pipeline
+
+__all__ = ["BatchExecutor", "BatchOutcome", "DeviceExecutor", "PAIR_BYTES"]
+
+#: Device bytes per result pair (two int64 indices) — transfer modeling.
+PAIR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one executor run of a batch plan produced.
+
+    ``pairs_per_batch`` preserves batch order so callers can keep the
+    stable concatenation order the single-device path has always used.
+    """
+
+    pairs_per_batch: list[np.ndarray] = field(repr=False)
+    batch_stats: list[KernelStats] = field(repr=False)
+    kernel_seconds: list[float]
+    transfer_seconds: list[float]
+    pipeline: PipelineResult = field(repr=False)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_stats)
+
+    def merged_pairs(self) -> np.ndarray:
+        if not self.pairs_per_batch:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(self.pairs_per_batch, axis=0)
+
+
+class BatchExecutor(Protocol):
+    """Anything that can run a planned sequence of batch kernels."""
+
+    def run_batches(
+        self,
+        kernel: Callable,
+        batches: list[np.ndarray],
+        make_args: Callable[[np.ndarray], object],
+        *,
+        result_capacity: int,
+        num_streams: int,
+        issue_order: str = "random",
+        coop_groups: bool = False,
+    ) -> BatchOutcome: ...
+
+
+class DeviceExecutor:
+    """Runs batch kernels on one simulated device.
+
+    Parameters mirror the hardware knobs :class:`SelfJoin` used to own:
+    the device spec, the cost model, the scheduler seed and the warp
+    replay fidelity. One executor is one device — buffer allocation,
+    kernel launch and transfer timing all happen against ``self.device``.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        *,
+        seed: int = 0,
+        replay_mode: str = "aggregate",
+    ):
+        self.device = device if device is not None else DeviceSpec()
+        self.costs = costs if costs is not None else CostParams()
+        self.seed = seed
+        self.replay_mode = replay_mode
+
+    def run_batches(
+        self,
+        kernel: Callable,
+        batches: list[np.ndarray],
+        make_args: Callable[[np.ndarray], object],
+        *,
+        result_capacity: int,
+        num_streams: int,
+        issue_order: str = "random",
+        coop_groups: bool = False,
+    ) -> BatchOutcome:
+        """Launch ``kernel`` once per batch; feed durations through the
+        stream pipeline. ``make_args(batch)`` must return the kernel's
+        argument bundle exposing ``num_threads``.
+
+        Raises :class:`~repro.simt.BufferOverflowError` if any batch
+        exceeds ``result_capacity`` — the caller re-plans, exactly as on
+        the single-device path.
+        """
+        machine = GpuMachine(
+            self.device,
+            self.costs,
+            issue_order=issue_order,
+            seed=self.seed,
+            replay_mode=self.replay_mode,
+        )
+        pairs_per_batch: list[np.ndarray] = []
+        batch_stats: list[KernelStats] = []
+        kernel_secs: list[float] = []
+        transfer_secs: list[float] = []
+        for batch in batches:
+            args = make_args(batch)
+            buffer = ResultBuffer(result_capacity)
+            stats = machine.launch(
+                kernel,
+                args.num_threads,
+                args,
+                result_buffer=buffer,
+                coop_groups=coop_groups,
+            )
+            pairs = buffer.drain()
+            pairs_per_batch.append(pairs)
+            batch_stats.append(stats)
+            kernel_secs.append(stats.seconds)
+            transfer_secs.append(len(pairs) * PAIR_BYTES / self.device.pcie_bandwidth)
+
+        pipeline = simulate_stream_pipeline(
+            kernel_secs, transfer_secs, num_streams=num_streams
+        )
+        return BatchOutcome(
+            pairs_per_batch=pairs_per_batch,
+            batch_stats=batch_stats,
+            kernel_seconds=kernel_secs,
+            transfer_seconds=transfer_secs,
+            pipeline=pipeline,
+        )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.batching import plan_batches, plan_batches_balanced
 from repro.core.config import OptimizationConfig
+from repro.core.executor import BatchExecutor, DeviceExecutor
 from repro.core.granularity import split_candidates
 from repro.core.result import JoinResult
 from repro.core.workqueue import fetch_query_slot
@@ -35,16 +36,12 @@ from repro.simt import (
     BufferOverflowError,
     CostParams,
     DeviceSpec,
-    GpuMachine,
-    ResultBuffer,
     ThreadContext,
 )
-from repro.simt.streams import simulate_stream_pipeline
 from repro.util import as_points_array, check_epsilon, stable_argsort_desc
 
 __all__ = ["BipartiteKernelArgs", "SimilarityJoin", "bipartite_kernel"]
 
-_PAIR_BYTES = 16
 _MAX_REPLANS = 8
 
 
@@ -134,6 +131,7 @@ class SimilarityJoin:
         device: DeviceSpec | None = None,
         costs: CostParams | None = None,
         seed: int = 0,
+        executor: BatchExecutor | None = None,
     ):
         self.config = config if config is not None else OptimizationConfig()
         if self.config.pattern != "full":
@@ -144,6 +142,7 @@ class SimilarityJoin:
         self.device = device if device is not None else DeviceSpec()
         self.costs = costs if costs is not None else CostParams()
         self.seed = seed
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def execute(self, left, right, epsilon: float) -> JoinResult:
@@ -151,18 +150,39 @@ class SimilarityJoin:
         check_epsilon(epsilon)
         queries = as_points_array(left)
         index = GridIndex(right, epsilon)
+        return self.execute_on_index(index, queries)
+
+    def execute_on_index(
+        self,
+        index: GridIndex,
+        queries: np.ndarray,
+        *,
+        subset: np.ndarray | None = None,
+        executor: BatchExecutor | None = None,
+    ) -> JoinResult:
+        """Run the join over a prebuilt index of B, optionally for a subset
+        of A's query ids (a shard of the full bipartite join)."""
         cfg = self.config
-        nq = len(queries)
+        queries = as_points_array(queries)
+        executor = executor if executor is not None else self._default_executor()
+        ids = (
+            np.asarray(subset, dtype=np.int64)
+            if subset is not None
+            else np.arange(len(queries), dtype=np.int64)
+        )
 
-        workloads, _ = bipartite_workloads(index, queries)
+        workloads, _ = bipartite_workloads(index, queries[ids])
         if cfg.uses_sorted_points:
-            order = stable_argsort_desc(workloads)
+            order = ids[stable_argsort_desc(workloads)]
         else:
-            order = np.arange(nq, dtype=np.int64)
+            order = ids
 
-        counts_exact = None
-        est = self._estimate(index, queries, order, workloads)
-        weights = workloads[order].astype(float) if cfg.balanced_batches else None
+        est = self._estimate(index, queries, ids, order)
+        weights = None
+        if cfg.balanced_batches:
+            by_id = np.zeros(len(queries), dtype=np.float64)
+            by_id[ids] = workloads
+            weights = by_id[order]
 
         for _ in range(_MAX_REPLANS):
             if cfg.balanced_batches:
@@ -174,7 +194,7 @@ class SimilarityJoin:
                     order, est, cfg.batch_result_capacity, strided=not cfg.work_queue
                 )
             try:
-                return self._run_plan(index, queries, order, plan)
+                return self._run_plan(index, queries, order, plan, executor)
             except BufferOverflowError:
                 est = max(est * 2, cfg.batch_result_capacity + 1)
         raise RuntimeError(
@@ -182,34 +202,33 @@ class SimilarityJoin:
         )
 
     # ------------------------------------------------------------------
-    def _estimate(self, index, queries, order, workloads) -> int:
+    def _default_executor(self) -> BatchExecutor:
+        if self.executor is not None:
+            return self.executor
+        return DeviceExecutor(self.device, self.costs, seed=self.seed)
+
+    def _estimate(self, index, queries, ids, order) -> int:
         cfg = self.config
-        nq = len(queries)
-        if nq == 0:
+        nq = len(ids)
+        if nq == 0 or index.num_points == 0:
             return 0
-        sample_size = max(1, int(round(nq * cfg.sample_fraction)))
+        sample_size = min(nq, max(1, int(round(nq * cfg.sample_fraction))))
         if cfg.work_queue:
             sample = order[:sample_size]  # heaviest queries: overestimates
         else:
             step = max(1, nq // sample_size)
-            sample = np.arange(0, nq, step, dtype=np.int64)
+            sample = ids[::step]
+        if len(sample) == 0:
+            return 0
         counts = bipartite_neighbor_counts(index, queries[sample])
         return int(np.ceil(counts.sum() * (nq / len(sample))))
 
-    def _run_plan(self, index, queries, order, plan) -> JoinResult:
+    def _run_plan(self, index, queries, order, plan, executor) -> JoinResult:
         cfg = self.config
-        machine = GpuMachine(
-            self.device,
-            self.costs,
-            issue_order="fifo" if cfg.work_queue else "random",
-            seed=self.seed,
-        )
         counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
 
-        all_pairs, batch_stats = [], []
-        kernel_secs, transfer_secs = [], []
-        for batch in plan.batches:
-            args = BipartiteKernelArgs(
+        def make_args(batch: np.ndarray) -> BipartiteKernelArgs:
+            return BipartiteKernelArgs(
                 index=index,
                 queries=queries,
                 batch=batch,
@@ -217,33 +236,21 @@ class SimilarityJoin:
                 queue_counter=counter,
                 queue_order=order if cfg.work_queue else None,
             )
-            buffer = ResultBuffer(cfg.batch_result_capacity)
-            stats = machine.launch(
-                bipartite_kernel,
-                args.num_threads,
-                args,
-                result_buffer=buffer,
-                coop_groups=cfg.work_queue and cfg.k > 1,
-            )
-            pairs = buffer.drain()
-            all_pairs.append(pairs)
-            batch_stats.append(stats)
-            kernel_secs.append(stats.seconds)
-            transfer_secs.append(len(pairs) * _PAIR_BYTES / self.device.pcie_bandwidth)
 
-        pipeline = simulate_stream_pipeline(
-            kernel_secs, transfer_secs, num_streams=cfg.num_streams
-        )
-        pairs = (
-            np.concatenate(all_pairs, axis=0)
-            if all_pairs
-            else np.empty((0, 2), dtype=np.int64)
+        outcome = executor.run_batches(
+            bipartite_kernel,
+            plan.batches,
+            make_args,
+            result_capacity=cfg.batch_result_capacity,
+            num_streams=cfg.num_streams,
+            issue_order="fifo" if cfg.work_queue else "random",
+            coop_groups=cfg.work_queue and cfg.k > 1,
         )
         return JoinResult(
-            pairs=pairs,
+            pairs=outcome.merged_pairs(),
             epsilon=float(index.epsilon),
-            num_points=len(queries),
-            batch_stats=batch_stats,
-            pipeline=pipeline,
+            num_points=len(order),
+            batch_stats=outcome.batch_stats,
+            pipeline=outcome.pipeline,
             config_description=f"bipartite {cfg.describe()}",
         )

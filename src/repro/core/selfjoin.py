@@ -16,6 +16,12 @@ the batching scheme and the SIMT machine:
 If a batch overflows its result buffer (the estimator under-guessed), the
 run is re-planned with a doubled estimate — the same recovery a production
 implementation needs, and a tested code path here.
+
+Execution is delegated through the :class:`~repro.core.executor.BatchExecutor`
+seam: the planning above is device-independent, and
+:meth:`SelfJoin.execute_on_index` can run any *subset* of the query points
+against a prebuilt index on any executor. :mod:`repro.multigpu` uses exactly
+this entry point to run shards of one join on a pool of devices.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.core.batching import (
     plan_batches_balanced,
 )
 from repro.core.config import OptimizationConfig
+from repro.core.executor import BatchExecutor, DeviceExecutor
 from repro.core.kernels import KernelArgs, selfjoin_kernel
 from repro.core.result import JoinResult
 from repro.core.sortbywl import point_workloads, sort_by_workload
@@ -37,15 +44,11 @@ from repro.simt import (
     BufferOverflowError,
     CostParams,
     DeviceSpec,
-    GpuMachine,
-    ResultBuffer,
 )
-from repro.simt.streams import simulate_stream_pipeline
 from repro.util import check_epsilon
 
 __all__ = ["SelfJoin"]
 
-_PAIR_BYTES = 16
 _MAX_REPLANS = 8
 
 
@@ -58,6 +61,7 @@ class SelfJoin:
         The optimization selection; defaults to the GPUCALCGLOBAL baseline.
     device, costs:
         Simulated hardware; defaults match the paper's testbed class.
+        Ignored when an explicit ``executor`` is supplied.
     include_self:
         Whether each point joins with itself (``dist = 0 <= eps``).
     seed:
@@ -68,6 +72,10 @@ class SelfJoin:
         reconvergence; matches the analytic model) or ``"lockstep"``
         (event-by-event divergence serialization; slower-or-equal warp
         times, see :mod:`repro.simt.warp`).
+    executor:
+        Optional :class:`~repro.core.executor.BatchExecutor` that runs the
+        planned batches; defaults to a single
+        :class:`~repro.core.executor.DeviceExecutor` over ``device``.
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class SelfJoin:
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        executor: BatchExecutor | None = None,
     ):
         self.config = config if config is not None else OptimizationConfig()
         self.device = device if device is not None else DeviceSpec()
@@ -86,16 +95,42 @@ class SelfJoin:
         self.include_self = include_self
         self.seed = seed
         self.replay_mode = replay_mode
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def execute(self, points, epsilon: float) -> JoinResult:
         """Run the self-join; returns exact pairs plus simulated metrics."""
         check_epsilon(epsilon)
         index = GridIndex(points, epsilon)
+        return self.execute_on_index(index)
+
+    def execute_on_index(
+        self,
+        index: GridIndex,
+        *,
+        subset: np.ndarray | None = None,
+        executor: BatchExecutor | None = None,
+    ) -> JoinResult:
+        """Run the join over a prebuilt index, optionally for a query subset.
+
+        ``subset`` restricts the *query* side to the given point ids — the
+        candidate side always sees the whole index, so the result is exactly
+        the full join's rows whose query point lies in the subset. The
+        sorted order D', the result-size estimate and the batch plan are all
+        computed for the subset alone; WORKQUEUE state (the atomic counter
+        over the subset's D' slice) is private to this call.
+        """
         cfg = self.config
+        executor = executor if executor is not None else self._default_executor()
 
         if cfg.uses_sorted_points:
             order = sort_by_workload(index, cfg.pattern)
+            if subset is not None:
+                keep = np.zeros(index.num_points, dtype=bool)
+                keep[np.asarray(subset, dtype=np.int64)] = True
+                order = order[keep[order]]  # D' restricted, rank order kept
+        elif subset is not None:
+            order = np.asarray(subset, dtype=np.int64)
         else:
             order = np.arange(index.num_points, dtype=np.int64)
 
@@ -105,6 +140,7 @@ class SelfJoin:
             mode="head" if cfg.work_queue else "strided",
             order=order if cfg.work_queue else None,
             include_self=self.include_self,
+            subset=subset,
         )
 
         weights = (
@@ -125,7 +161,7 @@ class SelfJoin:
                     strided=not cfg.work_queue,
                 )
             try:
-                return self._run_plan(index, order, plan)
+                return self._run_plan(index, order, plan, executor)
             except BufferOverflowError:
                 # estimator under-guessed; double and re-plan
                 est = max(est * 2, cfg.batch_result_capacity + 1)
@@ -134,27 +170,25 @@ class SelfJoin:
         )
 
     # ------------------------------------------------------------------
-    def _machine(self) -> GpuMachine:
-        issue = "fifo" if self.config.work_queue else "random"
-        return GpuMachine(
-            self.device,
-            self.costs,
-            issue_order=issue,
-            seed=self.seed,
-            replay_mode=self.replay_mode,
+    def _default_executor(self) -> BatchExecutor:
+        if self.executor is not None:
+            return self.executor
+        return DeviceExecutor(
+            self.device, self.costs, seed=self.seed, replay_mode=self.replay_mode
         )
 
-    def _run_plan(self, index: GridIndex, order: np.ndarray, plan) -> JoinResult:
+    def _run_plan(
+        self,
+        index: GridIndex,
+        order: np.ndarray,
+        plan,
+        executor: BatchExecutor,
+    ) -> JoinResult:
         cfg = self.config
-        machine = self._machine()
         counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
 
-        all_pairs: list[np.ndarray] = []
-        batch_stats = []
-        kernel_secs: list[float] = []
-        transfer_secs: list[float] = []
-        for batch in plan.batches:
-            args = KernelArgs(
+        def make_args(batch: np.ndarray) -> KernelArgs:
+            return KernelArgs(
                 index=index,
                 batch=batch,
                 k=cfg.k,
@@ -163,33 +197,21 @@ class SelfJoin:
                 queue_counter=counter,
                 queue_order=order if cfg.work_queue else None,
             )
-            buffer = ResultBuffer(cfg.batch_result_capacity)
-            stats = machine.launch(
-                selfjoin_kernel,
-                args.num_threads,
-                args,
-                result_buffer=buffer,
-                coop_groups=cfg.work_queue and cfg.k > 1,
-            )
-            pairs = buffer.drain()
-            all_pairs.append(pairs)
-            batch_stats.append(stats)
-            kernel_secs.append(stats.seconds)
-            transfer_secs.append(len(pairs) * _PAIR_BYTES / self.device.pcie_bandwidth)
 
-        pipeline = simulate_stream_pipeline(
-            kernel_secs, transfer_secs, num_streams=cfg.num_streams
-        )
-        pairs = (
-            np.concatenate(all_pairs, axis=0)
-            if all_pairs
-            else np.empty((0, 2), dtype=np.int64)
+        outcome = executor.run_batches(
+            selfjoin_kernel,
+            plan.batches,
+            make_args,
+            result_capacity=cfg.batch_result_capacity,
+            num_streams=cfg.num_streams,
+            issue_order="fifo" if cfg.work_queue else "random",
+            coop_groups=cfg.work_queue and cfg.k > 1,
         )
         return JoinResult(
-            pairs=pairs,
+            pairs=outcome.merged_pairs(),
             epsilon=index.epsilon,
-            num_points=index.num_points,
-            batch_stats=batch_stats,
-            pipeline=pipeline,
+            num_points=len(order),
+            batch_stats=outcome.batch_stats,
+            pipeline=outcome.pipeline,
             config_description=cfg.describe(),
         )

@@ -20,6 +20,7 @@ __all__ = [
     "cell_boundary_lattice",
     "collinear",
     "dense_core_sparse_halo",
+    "stride_aliased_hotspots",
     "two_distant_blobs",
 ]
 
@@ -68,6 +69,41 @@ def dense_core_sparse_halo(
     return out[rng.permutation(len(out))]
 
 
+def stride_aliased_hotspots(
+    num_points: int,
+    ndim: int = 2,
+    *,
+    period: int = 8,
+    core_fraction_scale: float = 1.0,
+    seed=None,
+) -> np.ndarray:
+    """Heavy points at ids ``0, period, 2*period, ...`` — the worst case
+    for point-strided sharding.
+
+    Real datasets often arrive *ordered* (interleaved sensor streams,
+    region-major exports), so per-point workload can correlate
+    periodically with position. Here every ``period``-th point sits in one
+    ε-sized dense core (quadratic workload) while the rest spread thin:
+    any round-robin partition whose stride shares a factor with ``period``
+    lands all the heavy points on few shards, while workload-aware (LPT)
+    partitioning levels them. ``core_fraction_scale`` shrinks the core
+    population below ``1/period`` if desired.
+    """
+    if num_points < 0 or ndim < 1:
+        raise ValueError("num_points must be >= 0 and ndim >= 1")
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    if not 0 < core_fraction_scale <= 1:
+        raise ValueError("core_fraction_scale must be in (0, 1]")
+    rng = resolve_rng(seed)
+    out = rng.uniform(0.0, 100.0, size=(num_points, ndim))
+    hot = np.arange(0, num_points, period)
+    hot = hot[: max(1, int(round(len(hot) * core_fraction_scale)))] if len(hot) else hot
+    if len(hot):
+        out[hot] = rng.uniform(0.0, 0.5, size=(len(hot), ndim))
+    return out
+
+
 def two_distant_blobs(num_points: int, ndim: int = 2, *, seed=None) -> np.ndarray:
     """Two tight blobs separated by a huge empty span (sparse grid ids)."""
     rng = resolve_rng(seed)
@@ -86,4 +122,5 @@ ADVERSARIAL_GENERATORS = {
     "collinear": lambda n, d, seed: collinear(n, d, seed=seed),
     "dense_core": lambda n, d, seed: dense_core_sparse_halo(n, d, seed=seed),
     "distant_blobs": lambda n, d, seed: two_distant_blobs(n, d, seed=seed),
+    "stride_aliased": lambda n, d, seed: stride_aliased_hotspots(n, d, seed=seed),
 }

@@ -1,0 +1,76 @@
+"""Multi-device sharded similarity joins with device-level load balancing.
+
+The paper mitigates load imbalance *within* one GPU — SORTBYWL packs
+warps with similar workloads, the WORKQUEUE forces most-work-first warp
+execution. This package applies the same two ideas one level up, across a
+pool of simulated devices:
+
+- :class:`DevicePool` — N independent
+  :class:`~repro.simt.GpuMachine`-backed executors, each with private
+  buffers, counters and transfer pipeline;
+- :mod:`~repro.multigpu.sharding` — point-strided, contiguous-cell-block
+  and workload-balanced (greedy LPT over the SORTBYWL per-point workload
+  estimates) shard planners;
+- :class:`HostScheduler` — static pre-assignment vs a shared
+  most-work-first device queue (the WORKQUEUE generalized from warp-slot
+  fetch to device-shard fetch);
+- :mod:`~repro.multigpu.merge` — deterministic, execution-order-independent
+  merging back into a normal :class:`~repro.core.result.JoinResult`;
+- :class:`PoolStats` — per-device busy time, makespan, and **device
+  execution efficiency**, the pool analogue of the paper's warp execution
+  efficiency.
+
+Quickstart::
+
+    from repro.multigpu import MultiGpuSelfJoin
+
+    join = MultiGpuSelfJoin(num_devices=4, planner="balanced")
+    result = join.execute(points, epsilon=0.5)
+    print(result.num_pairs, result.total_seconds,
+          result.device_execution_efficiency)
+"""
+
+from repro.multigpu.join import (
+    MultiGpuSelfJoin,
+    MultiGpuSimilarityJoin,
+    MultiJoinResult,
+)
+from repro.multigpu.merge import merge_pairs, merge_shard_results, pipeline_from_trace
+from repro.multigpu.metrics import DeviceStats, PoolStats, pool_stats_from_trace
+from repro.multigpu.pool import DevicePool, PoolDevice
+from repro.multigpu.scheduler import (
+    SCHEDULE_MODES,
+    HostScheduler,
+    ScheduleTrace,
+    ShardEvent,
+)
+from repro.multigpu.sharding import (
+    SHARD_PLANNERS,
+    Shard,
+    ShardPlan,
+    plan_query_shards,
+    plan_shards,
+)
+
+__all__ = [
+    "DevicePool",
+    "DeviceStats",
+    "HostScheduler",
+    "MultiGpuSelfJoin",
+    "MultiGpuSimilarityJoin",
+    "MultiJoinResult",
+    "PoolDevice",
+    "PoolStats",
+    "SCHEDULE_MODES",
+    "SHARD_PLANNERS",
+    "ScheduleTrace",
+    "Shard",
+    "ShardEvent",
+    "ShardPlan",
+    "merge_pairs",
+    "merge_shard_results",
+    "pipeline_from_trace",
+    "plan_query_shards",
+    "plan_shards",
+    "pool_stats_from_trace",
+]

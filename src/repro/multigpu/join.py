@@ -1,0 +1,318 @@
+"""Multi-device sharded joins: the public facades.
+
+:class:`MultiGpuSelfJoin` runs one self-join as shards over a
+:class:`~repro.multigpu.pool.DevicePool`:
+
+1. build the ε-grid index once on the host (shared, read-only — as the
+   replicated index of a real multi-GPU deployment);
+2. partition the query points into ``shards_per_device × N`` shards with
+   the chosen planner (:mod:`repro.multigpu.sharding`);
+3. drive the pool through the shard set with the chosen scheduler mode
+   (:mod:`repro.multigpu.scheduler`); every shard runs the *unchanged*
+   single-device join — same config, same kernels, same batching — via
+   :meth:`repro.core.selfjoin.SelfJoin.execute_on_index` on its device's
+   executor;
+4. deterministically merge shard results (:mod:`repro.multigpu.merge`)
+   and attach pool-level metrics (:mod:`repro.multigpu.metrics`).
+
+The returned :class:`MultiJoinResult` *is a*
+:class:`~repro.core.result.JoinResult` — exact pairs in canonical order,
+simulated response time (now the pool makespan), WEE over every warp of
+every device — plus the device-level trace and efficiency.
+
+:class:`MultiGpuSimilarityJoin` does the same for the bipartite join,
+sharding A's queries while every device reads B's index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.join import SimilarityJoin
+from repro.core.result import JoinResult
+from repro.core.selfjoin import SelfJoin
+from repro.grid import GridIndex
+from repro.grid.bipartite import bipartite_workloads
+from repro.multigpu.merge import merge_shard_results
+from repro.multigpu.metrics import PoolStats, pool_stats_from_trace
+from repro.multigpu.pool import DevicePool
+from repro.multigpu.scheduler import SCHEDULE_MODES, HostScheduler, ScheduleTrace
+from repro.multigpu.sharding import (
+    SHARD_PLANNERS,
+    ShardPlan,
+    plan_query_shards,
+    plan_shards,
+)
+from repro.simt import CostParams, DeviceSpec
+from repro.util import as_points_array, check_epsilon
+
+__all__ = ["MultiGpuSelfJoin", "MultiGpuSimilarityJoin", "MultiJoinResult"]
+
+
+@dataclass(frozen=True)
+class MultiJoinResult(JoinResult):
+    """A :class:`JoinResult` plus the pool-level execution record."""
+
+    planner: str = ""
+    schedule_mode: str = ""
+    num_devices: int = 1
+    pool_stats: PoolStats | None = field(default=None, repr=False)
+    trace: ScheduleTrace | None = field(default=None, repr=False)
+    shard_plan: ShardPlan | None = field(default=None, repr=False)
+
+    @property
+    def device_execution_efficiency(self) -> float:
+        """Busy device-time over allocated device-time — the pool's WEE."""
+        if self.pool_stats is None:
+            return 1.0
+        return self.pool_stats.device_execution_efficiency
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.trace.makespan_seconds if self.trace is not None else 0.0
+
+    @property
+    def serial_seconds(self) -> float:
+        """Sum of shard times — what one device of the pool would take."""
+        return self.pool_stats.total_busy_seconds if self.pool_stats else 0.0
+
+
+class _PoolJoinBase:
+    """Shared pool/planner/scheduler plumbing of the two facades."""
+
+    def __init__(
+        self,
+        config: OptimizationConfig | None,
+        *,
+        pool: DevicePool | None,
+        num_devices: int,
+        planner: str,
+        schedule: str,
+        shards_per_device: int,
+        device: DeviceSpec | None,
+        costs: CostParams | None,
+        seed: int,
+        replay_mode: str,
+    ):
+        self.config = config if config is not None else OptimizationConfig()
+        if planner not in SHARD_PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; expected one of {SHARD_PLANNERS}"
+            )
+        if schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule mode {schedule!r}; expected one of {SCHEDULE_MODES}"
+            )
+        if shards_per_device < 1:
+            raise ValueError("shards_per_device must be >= 1")
+        self.pool = (
+            pool
+            if pool is not None
+            else DevicePool(
+                num_devices,
+                spec=device,
+                costs=costs,
+                seed=seed,
+                replay_mode=replay_mode,
+            )
+        )
+        self.planner = planner
+        self.schedule = schedule
+        self.shards_per_device = shards_per_device
+        self.seed = seed
+        self.replay_mode = replay_mode
+
+    @property
+    def num_shards(self) -> int:
+        return self.shards_per_device * self.pool.num_devices
+
+    def _describe(self, inner: str) -> str:
+        return (
+            f"multigpu[{self.pool.num_devices}dev {self.planner}/"
+            f"{self.schedule}] {inner}"
+        )
+
+    def _assemble(
+        self,
+        results: list,
+        trace: ScheduleTrace,
+        plan: ShardPlan,
+        *,
+        epsilon: float,
+        num_points: int,
+        description: str,
+    ) -> MultiJoinResult:
+        merged = merge_shard_results(
+            results,
+            trace,
+            epsilon=epsilon,
+            num_points=num_points,
+            dedup=plan.may_duplicate,
+            config_description=description,
+        )
+        stats = pool_stats_from_trace(trace, results, planner=plan.planner)
+        return MultiJoinResult(
+            pairs=merged.pairs,
+            epsilon=merged.epsilon,
+            num_points=merged.num_points,
+            batch_stats=merged.batch_stats,
+            pipeline=merged.pipeline,
+            config_description=merged.config_description,
+            planner=plan.planner,
+            schedule_mode=trace.mode,
+            num_devices=self.pool.num_devices,
+            pool_stats=stats,
+            trace=trace,
+            shard_plan=plan,
+        )
+
+
+class MultiGpuSelfJoin(_PoolJoinBase):
+    """Self-join sharded over a pool of simulated devices.
+
+    Parameters
+    ----------
+    config:
+        Per-device optimization stack — any single-device configuration,
+        including WORKQUEUE and balanced batches, runs unchanged inside
+        each shard.
+    pool:
+        An explicit :class:`~repro.multigpu.pool.DevicePool` (e.g.
+        heterogeneous); by default a homogeneous pool of ``num_devices``
+        copies of ``device`` is built.
+    planner:
+        ``"strided"``, ``"cell_blocks"`` or ``"balanced"`` (LPT over the
+        SORTBYWL workload estimates) — see :mod:`repro.multigpu.sharding`.
+    schedule:
+        ``"static"`` pre-assignment or the ``"dynamic"`` shared
+        most-work-first device queue — see :mod:`repro.multigpu.scheduler`.
+    shards_per_device:
+        Queue depth: shards per device. 1 gives one shard per device
+        (pure partitioning); larger values give the dynamic scheduler
+        stealing granularity.
+    """
+
+    def __init__(
+        self,
+        config: OptimizationConfig | None = None,
+        *,
+        pool: DevicePool | None = None,
+        num_devices: int = 2,
+        planner: str = "balanced",
+        schedule: str = "dynamic",
+        shards_per_device: int = 2,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        include_self: bool = True,
+        seed: int = 0,
+        replay_mode: str = "aggregate",
+    ):
+        super().__init__(
+            config,
+            pool=pool,
+            num_devices=num_devices,
+            planner=planner,
+            schedule=schedule,
+            shards_per_device=shards_per_device,
+            device=device,
+            costs=costs,
+            seed=seed,
+            replay_mode=replay_mode,
+        )
+        self.include_self = include_self
+
+    def execute(self, points, epsilon: float) -> MultiJoinResult:
+        """Run the sharded self-join; exact pairs plus pool metrics."""
+        check_epsilon(epsilon)
+        index = GridIndex(points, epsilon)
+        plan = plan_shards(
+            index, self.num_shards, self.planner, pattern=self.config.pattern
+        )
+        inner = SelfJoin(
+            self.config,
+            include_self=self.include_self,
+            seed=self.seed,
+            replay_mode=self.replay_mode,
+        )
+
+        def run_shard(device, shard):
+            return inner.execute_on_index(
+                index, subset=shard.points, executor=device.executor
+            )
+
+        results, trace = HostScheduler(self.pool, self.schedule).run(plan, run_shard)
+        return self._assemble(
+            results,
+            trace,
+            plan,
+            epsilon=index.epsilon,
+            num_points=index.num_points,
+            description=self._describe(self.config.describe()),
+        )
+
+
+class MultiGpuSimilarityJoin(_PoolJoinBase):
+    """Bipartite ε-join sharded over a pool: A's queries split across
+    devices, B's index shared. ``pattern`` must stay ``"full"`` exactly as
+    on the single-device bipartite path."""
+
+    def __init__(
+        self,
+        config: OptimizationConfig | None = None,
+        *,
+        pool: DevicePool | None = None,
+        num_devices: int = 2,
+        planner: str = "balanced",
+        schedule: str = "dynamic",
+        shards_per_device: int = 2,
+        device: DeviceSpec | None = None,
+        costs: CostParams | None = None,
+        seed: int = 0,
+        replay_mode: str = "aggregate",
+    ):
+        super().__init__(
+            config,
+            pool=pool,
+            num_devices=num_devices,
+            planner=planner,
+            schedule=schedule,
+            shards_per_device=shards_per_device,
+            device=device,
+            costs=costs,
+            seed=seed,
+            replay_mode=replay_mode,
+        )
+        if self.config.pattern != "full":
+            raise ValueError(
+                "unidirectional patterns exploit self-join symmetry; the "
+                "bipartite join requires pattern='full'"
+            )
+
+    def execute(self, left, right, epsilon: float) -> MultiJoinResult:
+        """Join ``left`` against ``right``, sharding ``left``'s queries."""
+        check_epsilon(epsilon)
+        queries = as_points_array(left)
+        index = GridIndex(right, epsilon)
+        workloads, _ = bipartite_workloads(index, queries)
+        plan = plan_query_shards(
+            workloads.astype(np.float64), self.num_shards, self.planner
+        )
+        inner = SimilarityJoin(self.config, seed=self.seed)
+
+        def run_shard(device, shard):
+            return inner.execute_on_index(
+                index, queries, subset=shard.points, executor=device.executor
+            )
+
+        results, trace = HostScheduler(self.pool, self.schedule).run(plan, run_shard)
+        return self._assemble(
+            results,
+            trace,
+            plan,
+            epsilon=float(index.epsilon),
+            num_points=len(queries),
+            description=self._describe(f"bipartite {self.config.describe()}"),
+        )

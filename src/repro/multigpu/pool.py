@@ -1,0 +1,106 @@
+"""A pool of independent simulated devices.
+
+Each :class:`PoolDevice` owns its own
+:class:`~repro.core.executor.DeviceExecutor` — and through it a private
+:class:`~repro.simt.GpuMachine`, per-batch result buffers, per-shard
+WORKQUEUE atomic counters and a private 3-stream transfer pipeline over
+its own PCIe link. Nothing is shared device-to-device except the
+host-side grid index and the host scheduler's shard queue, matching the
+multi-GPU partitioning setup Gowanlock & Karsin name as the scaling path.
+
+Pools are homogeneous by default (N copies of one
+:class:`~repro.simt.DeviceSpec`) but accept an explicit heterogeneous
+``specs`` list — the scheduler's dynamic mode then load-balances across
+unequal devices for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import DeviceExecutor
+from repro.simt import CostParams, DeviceSpec
+
+__all__ = ["DevicePool", "PoolDevice"]
+
+
+@dataclass(frozen=True)
+class PoolDevice:
+    """One device of the pool: its spec and its private executor."""
+
+    device_id: int
+    spec: DeviceSpec
+    executor: DeviceExecutor
+
+
+class DevicePool:
+    """N independent simulated devices behind one host.
+
+    Parameters
+    ----------
+    num_devices:
+        Pool size (ignored when ``specs`` is given).
+    spec:
+        Device spec cloned for every pool member; defaults to the paper's
+        testbed class.
+    specs:
+        Explicit per-device specs for a heterogeneous pool.
+    costs:
+        Instruction cost model, shared by all devices (one architecture).
+    seed:
+        Base seed; device ``d`` runs with ``seed + d`` so the pool's
+        issue-order shuffles are independent yet reproducible.
+    replay_mode:
+        Warp replay fidelity forwarded to every executor.
+    """
+
+    def __init__(
+        self,
+        num_devices: int = 2,
+        *,
+        spec: DeviceSpec | None = None,
+        specs: list[DeviceSpec] | None = None,
+        costs: CostParams | None = None,
+        seed: int = 0,
+        replay_mode: str = "aggregate",
+    ):
+        if specs is None:
+            if num_devices < 1:
+                raise ValueError("num_devices must be >= 1")
+            base = spec if spec is not None else DeviceSpec()
+            specs = [base] * num_devices
+        elif not specs:
+            raise ValueError("specs must name at least one device")
+        costs = costs if costs is not None else CostParams()
+        self.devices: list[PoolDevice] = [
+            PoolDevice(
+                device_id=d,
+                spec=s,
+                executor=DeviceExecutor(
+                    s, costs, seed=seed + d, replay_mode=replay_mode
+                ),
+            )
+            for d, s in enumerate(specs)
+        ]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_warp_slots(self) -> int:
+        """Aggregate scheduler width — the pool's peak warp concurrency."""
+        return sum(d.spec.warp_slots for d in self.devices)
+
+    def __len__(self) -> int:
+        return self.num_devices
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __getitem__(self, device_id: int) -> PoolDevice:
+        return self.devices[device_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = {d.spec.name for d in self.devices}
+        return f"DevicePool(n={self.num_devices}, specs={sorted(names)})"

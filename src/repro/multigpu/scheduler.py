@@ -1,0 +1,159 @@
+"""The host scheduler: static shard assignment vs a shared dynamic queue.
+
+This is the WORKQUEUE optimization (Section III-D) lifted one level: where
+the paper's queue is an atomic counter over the workload-sorted point
+array D' that warps fetch from, the host queue is an atomic counter over
+the workload-sorted *shard* list that *devices* fetch from. The two modes
+form the same ablation the paper runs for warps:
+
+- ``"static"`` — shard ``i`` is pre-assigned to device ``i % N`` (the
+  multi-GPU analogue of the static thread→point mapping of Figure 1);
+  each device processes its list in shard order.
+- ``"dynamic"`` — all shards sit in one shared most-work-first queue
+  (:meth:`ShardPlan.dispatch_order`); whenever a device finishes it
+  fetches the next shard via a host-side
+  :class:`~repro.simt.AtomicCounter`. Fast (or lucky) devices steal work
+  that a static split would have stranded on a slow one.
+
+Execution is simulated but *real*: fetching a shard runs its kernels on
+that device's machine, and the fetch order is decided by the simulated
+completion times — so the trace is exactly what a host event loop over N
+real devices would record. Everything is deterministic: ties on device
+free-time break toward the lowest device id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multigpu.pool import DevicePool
+from repro.multigpu.sharding import ShardPlan
+from repro.simt import AtomicCounter
+
+__all__ = ["SCHEDULE_MODES", "HostScheduler", "ScheduleTrace", "ShardEvent"]
+
+SCHEDULE_MODES = ("static", "dynamic")
+
+
+@dataclass(frozen=True)
+class ShardEvent:
+    """One shard's execution on one device, in simulated host time."""
+
+    shard_id: int
+    device_id: int
+    start_seconds: float
+    end_seconds: float
+    num_pairs: int
+    num_points: int
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """Dispatch-ordered record of a pool run — the device-level profiler."""
+
+    events: list[ShardEvent]
+    mode: str
+    num_devices: int
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Host-observed response time: when the last device went idle."""
+        return max((e.end_seconds for e in self.events), default=0.0)
+
+    def device_busy_seconds(self) -> np.ndarray:
+        """Per-device busy time, ``(num_devices,)``."""
+        busy = np.zeros(self.num_devices, dtype=np.float64)
+        for e in self.events:
+            busy[e.device_id] += e.duration_seconds
+        return busy
+
+    def signature(self) -> tuple:
+        """Hashable exact description — determinism tests compare these."""
+        return tuple(
+            (e.shard_id, e.device_id, e.start_seconds, e.end_seconds, e.num_pairs)
+            for e in self.events
+        )
+
+
+class HostScheduler:
+    """Drives a :class:`~repro.multigpu.pool.DevicePool` through a
+    :class:`~repro.multigpu.sharding.ShardPlan`."""
+
+    def __init__(self, pool: DevicePool, mode: str = "dynamic"):
+        if mode not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule mode {mode!r}; expected one of {SCHEDULE_MODES}"
+            )
+        self.pool = pool
+        self.mode = mode
+
+    def run(self, plan: ShardPlan, run_shard) -> tuple[list, ScheduleTrace]:
+        """Execute every shard; return per-shard results and the trace.
+
+        ``run_shard(device, shard)`` must run the shard's join on the given
+        :class:`~repro.multigpu.pool.PoolDevice` and return an object with
+        ``total_seconds`` and ``num_pairs`` (a ``JoinResult``). Results are
+        returned indexed by ``shard_id`` regardless of execution order.
+        """
+        if self.mode == "static":
+            return self._run_static(plan, run_shard)
+        return self._run_dynamic(plan, run_shard)
+
+    # ------------------------------------------------------------------
+    def _run_static(self, plan: ShardPlan, run_shard):
+        n = self.pool.num_devices
+        clocks = np.zeros(n, dtype=np.float64)
+        results: list = [None] * plan.num_shards
+        events: list[ShardEvent] = []
+        for shard in plan.shards:
+            d = shard.shard_id % n
+            device = self.pool[d]
+            result = run_shard(device, shard)
+            results[shard.shard_id] = result
+            start = float(clocks[d])
+            clocks[d] = start + float(result.total_seconds)
+            events.append(
+                ShardEvent(
+                    shard_id=shard.shard_id,
+                    device_id=d,
+                    start_seconds=start,
+                    end_seconds=float(clocks[d]),
+                    num_pairs=int(result.num_pairs),
+                    num_points=shard.num_points,
+                )
+            )
+        return results, ScheduleTrace(events, self.mode, n)
+
+    def _run_dynamic(self, plan: ShardPlan, run_shard):
+        n = self.pool.num_devices
+        clocks = np.zeros(n, dtype=np.float64)
+        queue = plan.dispatch_order()  # most-work-first, the lifted D'
+        head = AtomicCounter(name="device-queue")
+        results: list = [None] * plan.num_shards
+        events: list[ShardEvent] = []
+        while head.value < len(queue):
+            # the earliest-free device fetches next; ties to the lowest id
+            d = int(np.argmin(clocks))
+            shard = plan.shards[queue[head.fetch_add()]]
+            device = self.pool[d]
+            result = run_shard(device, shard)
+            results[shard.shard_id] = result
+            start = float(clocks[d])
+            clocks[d] = start + float(result.total_seconds)
+            events.append(
+                ShardEvent(
+                    shard_id=shard.shard_id,
+                    device_id=d,
+                    start_seconds=start,
+                    end_seconds=float(clocks[d]),
+                    num_pairs=int(result.num_pairs),
+                    num_points=shard.num_points,
+                )
+            )
+        return results, ScheduleTrace(events, self.mode, n)

@@ -4,16 +4,26 @@ The paper reports warp execution efficiency and response time per
 configuration (Tables III–VI). :class:`ProfileReport` collects those rows
 from either VM :class:`~repro.core.JoinResult` objects or model
 :class:`~repro.perfmodel.SimulatedRun` objects and renders paper-style
-tables.
+tables. :class:`DeviceReport` is the same surface one level up: device
+execution efficiency per (planner, scheduler, pool size) over
+:mod:`repro.multigpu` runs.
 """
 
+from repro.profiling.device_report import (
+    DeviceProfileRow,
+    DeviceReport,
+    device_profile_row,
+)
 from repro.profiling.profiler import ProfileReport, ProfileRow, profile_run
 from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
 
 __all__ = [
+    "DeviceProfileRow",
+    "DeviceReport",
     "ProfileReport",
     "ProfileRow",
     "WorkloadStats",
+    "device_profile_row",
     "gini_coefficient",
     "profile_run",
 ]

@@ -1,0 +1,142 @@
+"""Pool-level profiling rows — the device analogue of Tables III–VI.
+
+Where :class:`~repro.profiling.profiler.ProfileReport` collects warp
+execution efficiency per (dataset, ε, configuration), this report collects
+**device execution efficiency** per (dataset, ε, planner, scheduler, N) —
+the same metric one level up (busy device-time over allocated
+device-time). Rows are duck-typed off
+:class:`~repro.multigpu.join.MultiJoinResult` so the module stays free of
+a :mod:`repro.multigpu` import, as profiling is layered above execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import Table, format_seconds
+
+__all__ = ["DeviceProfileRow", "DeviceReport", "device_profile_row"]
+
+
+@dataclass(frozen=True)
+class DeviceProfileRow:
+    """One (dataset, ε, planner × scheduler × pool size) measurement."""
+
+    dataset: str
+    epsilon: float
+    planner: str
+    schedule: str
+    num_devices: int
+    dee_percent: float  # device execution efficiency
+    wee_percent: float  # warp execution efficiency, aggregated pool-wide
+    makespan_seconds: float
+    serial_seconds: float
+    result_rows: int = 0
+    num_shards: int = 0
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Pool speedup over its own one-device-at-a-time execution."""
+        if self.makespan_seconds == 0:
+            return 1.0
+        return self.serial_seconds / self.makespan_seconds
+
+
+def device_profile_row(run, *, dataset: str, epsilon: float) -> DeviceProfileRow:
+    """Build a row from a :class:`~repro.multigpu.join.MultiJoinResult`
+    (duck-typed: anything exposing the same pool-metric surface)."""
+    trace = getattr(run, "trace", None)
+    return DeviceProfileRow(
+        dataset=dataset,
+        epsilon=float(epsilon),
+        planner=getattr(run, "planner", ""),
+        schedule=getattr(run, "schedule_mode", ""),
+        num_devices=getattr(run, "num_devices", 1),
+        dee_percent=100.0 * run.device_execution_efficiency,
+        wee_percent=100.0 * run.warp_execution_efficiency,
+        makespan_seconds=float(run.makespan_seconds),
+        serial_seconds=float(run.serial_seconds),
+        result_rows=int(run.num_pairs),
+        num_shards=len(trace.events) if trace is not None else 0,
+    )
+
+
+class DeviceReport:
+    """Ordered device-efficiency rows with paper-style rendering."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.rows: list[DeviceProfileRow] = []
+
+    def add(self, row: DeviceProfileRow) -> None:
+        self.rows.append(row)
+
+    def add_run(self, run, *, dataset: str, epsilon: float) -> None:
+        self.add(device_profile_row(run, dataset=dataset, epsilon=epsilon))
+
+    def render(self) -> str:
+        t = Table(
+            [
+                "dataset",
+                "eps",
+                "N",
+                "planner",
+                "sched",
+                "DEE (%)",
+                "WEE (%)",
+                "makespan",
+                "speedup",
+                "rows",
+            ],
+            title=self.title,
+        )
+        for r in self.rows:
+            t.add_row(
+                [
+                    r.dataset,
+                    r.epsilon,
+                    r.num_devices,
+                    r.planner,
+                    r.schedule,
+                    f"{r.dee_percent:.1f}",
+                    f"{r.wee_percent:.1f}",
+                    format_seconds(r.makespan_seconds),
+                    f"{r.speedup_vs_serial:.2f}x",
+                    r.result_rows,
+                ]
+            )
+        return t.render()
+
+    def scaling(self, dataset: str, epsilon: float, planner: str, schedule: str):
+        """``{N: makespan}`` for one cell family — speedup-curve input."""
+        return {
+            r.num_devices: r.makespan_seconds
+            for r in self.rows
+            if r.dataset == dataset
+            and r.epsilon == float(epsilon)
+            and r.planner == planner
+            and r.schedule == schedule
+        }
+
+    def to_records(self) -> list[dict]:
+        """Rows as JSON-ready dicts (machine-readable experiment output)."""
+        return [
+            {
+                "dataset": r.dataset,
+                "epsilon": r.epsilon,
+                "planner": r.planner,
+                "schedule": r.schedule,
+                "num_devices": r.num_devices,
+                "dee_percent": r.dee_percent,
+                "wee_percent": r.wee_percent,
+                "makespan_seconds": r.makespan_seconds,
+                "serial_seconds": r.serial_seconds,
+                "speedup_vs_serial": r.speedup_vs_serial,
+                "result_rows": r.result_rows,
+                "num_shards": r.num_shards,
+            }
+            for r in self.rows
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

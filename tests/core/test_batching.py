@@ -64,6 +64,64 @@ class TestEstimator:
         assert with_self == without + skewed_index.num_points
 
 
+class TestEstimatorDegenerateInputs:
+    """Tiny shards must never divide by zero or plan zero batches."""
+
+    def test_empty_subset(self, skewed_index):
+        est = estimate_result_size(
+            skewed_index, subset=np.array([], dtype=np.int64)
+        )
+        assert est == 0
+
+    def test_singleton_subset_with_tiny_fraction(self, skewed_index):
+        # sample stride would exceed the population; must clamp, not crash
+        est = estimate_result_size(
+            skewed_index, subset=np.array([0]), sample_fraction=0.01
+        )
+        true = brute_force_neighbor_counts(skewed_index.points, 0.4)[0]
+        assert est == true
+
+    def test_small_subset_strided_sample_never_empty(self, skewed_index):
+        for size in (1, 2, 3, 7):
+            subset = np.arange(size, dtype=np.int64)
+            est = estimate_result_size(
+                skewed_index, subset=subset, sample_fraction=0.01
+            )
+            assert est >= size  # self-matches alone guarantee this
+
+    def test_subset_estimate_scales_to_shard_not_dataset(self, skewed_index):
+        subset = np.arange(0, skewed_index.num_points, 2, dtype=np.int64)
+        est = estimate_result_size(skewed_index, subset=subset, sample_fraction=1.0)
+        true = brute_force_neighbor_counts(skewed_index.points, 0.4)[subset].sum()
+        assert est == true
+
+    def test_head_mode_with_empty_order(self, skewed_index):
+        est = estimate_result_size(
+            skewed_index, mode="head", order=np.array([], dtype=np.int64)
+        )
+        assert est == 0
+
+    def test_head_mode_on_small_subset(self, skewed_index):
+        order = sort_by_workload(skewed_index, "full")[:3]
+        est = estimate_result_size(
+            skewed_index,
+            subset=order,
+            mode="head",
+            order=order,
+            sample_fraction=0.01,
+        )
+        assert est > 0
+
+    def test_empty_grid_with_subset(self):
+        idx = GridIndex(np.empty((0, 2)), 1.0)
+        assert estimate_result_size(idx, subset=np.array([], dtype=np.int64)) == 0
+
+    def test_zero_estimate_still_plans_one_batch(self):
+        plan = plan_batches(np.arange(5), estimated_total=0, capacity=100)
+        assert plan.num_batches == 1
+        assert plan.num_points == 5
+
+
 class TestPlanBatches:
     def test_single_batch_when_estimate_fits(self):
         order = np.arange(100)
