@@ -45,21 +45,26 @@ SMALL_DEVICE = DeviceSpec(name="sim-small", num_sms=4, warps_per_sm_slot=2)
 SHARDS_PER_DEVICE = 2
 
 
-def make_datasets(quick: bool) -> dict[str, tuple[np.ndarray, float]]:
+def make_datasets(quick: bool, seed: int = 0) -> dict[str, tuple[np.ndarray, float]]:
     n = 600 if quick else 2000
     return {
-        "expo": (exponential(n, 2, seed=1), 0.02),
-        "stride_aliased": (stride_aliased_hotspots(n, 2, period=8, seed=3), 2.0),
+        "expo": (exponential(n, 2, seed=seed + 1), 0.02),
+        "stride_aliased": (
+            stride_aliased_hotspots(n, 2, period=8, seed=seed + 3),
+            2.0,
+        ),
     }
 
 
-def run_grid(datasets, pool_sizes, config) -> tuple[DeviceReport, list[str]]:
+def run_grid(datasets, pool_sizes, config, seed=0) -> tuple[DeviceReport, list[str]]:
     report = DeviceReport(title="multi-device scaling")
     errors: list[str] = []
     for name, (points, eps) in datasets.items():
-        reference = SelfJoin(config, device=SMALL_DEVICE).execute(points, eps)
+        reference = SelfJoin(config, device=SMALL_DEVICE, seed=seed).execute(
+            points, eps
+        )
         for num_devices in pool_sizes:
-            pool = DevicePool(num_devices, spec=SMALL_DEVICE)
+            pool = DevicePool(num_devices, spec=SMALL_DEVICE, seed=seed)
             for planner in SHARD_PLANNERS:
                 for schedule in SCHEDULE_MODES:
                     run = MultiGpuSelfJoin(
@@ -68,6 +73,7 @@ def run_grid(datasets, pool_sizes, config) -> tuple[DeviceReport, list[str]]:
                         planner=planner,
                         schedule=schedule,
                         shards_per_device=SHARDS_PER_DEVICE,
+                        seed=seed,
                     ).execute(points, eps)
                     report.add_run(run, dataset=name, epsilon=eps)
                     if not np.array_equal(
@@ -127,13 +133,20 @@ def main(argv=None) -> int:
         default="results/multigpu_scaling.json",
         help="JSON output path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for datasets, device executors and issue-order "
+        "shuffles (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     pool_sizes = (1, 2, 4) if args.quick else (1, 2, 4, 8)
-    datasets = make_datasets(args.quick)
+    datasets = make_datasets(args.quick, seed=args.seed)
     config = OptimizationConfig(pattern="lidunicomp", work_queue=True, k=2)
 
-    report, errors = run_grid(datasets, pool_sizes, config)
+    report, errors = run_grid(datasets, pool_sizes, config, seed=args.seed)
     print(report.render())
     print_scaling(report, datasets, pool_sizes)
     errors += check_balanced_beats_strided(report, "stride_aliased")
@@ -144,6 +157,7 @@ def main(argv=None) -> int:
         json.dumps(
             {
                 "quick": args.quick,
+                "seed": args.seed,
                 "pool_sizes": list(pool_sizes),
                 "shards_per_device": SHARDS_PER_DEVICE,
                 "device": SMALL_DEVICE.name,

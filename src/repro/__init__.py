@@ -12,6 +12,9 @@ SIMT substrate:
   paper-scale datasets;
 - :mod:`repro.multigpu` — the self-join sharded over a pool of simulated
   devices, with device-level load balancing;
+- :mod:`repro.resilience` — seeded fault injection (device death,
+  stragglers, transient errors, forced overflows) and the recovery policy
+  that lets the sharded join survive it with an identical result;
 - :mod:`repro.ego` — the SUPER-EGO CPU baseline;
 - :mod:`repro.data` — paper dataset generators;
 - :mod:`repro.bench` — the per-figure/table experiment harness.
@@ -29,6 +32,7 @@ Quickstart::
 from repro.core import JoinResult, OptimizationConfig, PRESETS, SelfJoin, SimilarityJoin
 from repro.grid import GridIndex
 from repro.multigpu import MultiGpuSelfJoin, MultiGpuSimilarityJoin
+from repro.resilience import FaultPlan, RecoveryPolicy
 from repro.simt import CostParams, DeviceSpec
 
 __version__ = "1.0.0"
@@ -36,12 +40,14 @@ __version__ = "1.0.0"
 __all__ = [
     "CostParams",
     "DeviceSpec",
+    "FaultPlan",
     "GridIndex",
     "JoinResult",
     "MultiGpuSelfJoin",
     "MultiGpuSimilarityJoin",
     "OptimizationConfig",
     "PRESETS",
+    "RecoveryPolicy",
     "SelfJoin",
     "SimilarityJoin",
     "__version__",

@@ -24,12 +24,19 @@ simulated profiler statistics.
 
 from repro.core.batching import (
     BatchPlan,
+    ResultSizeEstimate,
     estimate_result_size,
+    estimate_result_size_detailed,
     plan_batches,
     plan_batches_balanced,
 )
 from repro.core.config import PRESETS, OptimizationConfig
-from repro.core.executor import BatchExecutor, BatchOutcome, DeviceExecutor
+from repro.core.executor import (
+    BatchExecutor,
+    BatchOutcome,
+    DeviceExecutor,
+    OverflowRetry,
+)
 from repro.core.granularity import thread_share_counts
 from repro.core.join import SimilarityJoin
 from repro.core.patterns import (
@@ -48,12 +55,15 @@ __all__ = [
     "DeviceExecutor",
     "JoinResult",
     "OptimizationConfig",
+    "OverflowRetry",
     "PATTERN_NAMES",
     "PRESETS",
+    "ResultSizeEstimate",
     "SelfJoin",
     "SimilarityJoin",
     "cell_workloads",
     "estimate_result_size",
+    "estimate_result_size_detailed",
     "pattern_cells_for_query",
     "pattern_offset_selector",
     "plan_batches",

@@ -16,6 +16,7 @@ result size obtained by *exactly* solving a small sample of range queries:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,9 @@ from repro.util import ceil_div
 
 __all__ = [
     "BatchPlan",
+    "ResultSizeEstimate",
     "estimate_result_size",
+    "estimate_result_size_detailed",
     "plan_batches",
     "plan_batches_balanced",
 ]
@@ -54,7 +57,67 @@ class BatchPlan:
         return int(sum(len(b) for b in self.batches))
 
 
-def estimate_result_size(
+@dataclass(frozen=True)
+class ResultSizeEstimate:
+    """A result-size estimate *with its own error bar*.
+
+    The bare scalar the batching scheme historically trusted hides how
+    good the sample was; on skewed data an underestimate overflows the
+    result buffer on a real GPU. This carries the point estimate plus the
+    sample spread so callers can size safety margins instead of hoping:
+
+    - ``estimate`` — the scaled point estimate (what
+      :func:`estimate_result_size` has always returned);
+    - ``variance_per_point`` — sample variance of the per-point neighbor
+      counts (ddof=1);
+    - ``stderr`` — standard error of the *total*, with finite-population
+      correction (the sample is drawn without replacement);
+    - ``confident`` — whether the estimate is statistically trustworthy:
+      a representative (strided) sample of reasonable size and relative
+      error. The WORKQUEUE head-of-D' sample is *deliberately biased*
+      upward, so head-mode estimates are never flagged confident — they
+      are safe as overestimates, not as measurements.
+    """
+
+    estimate: int
+    sample_size: int
+    population: int
+    mode: str
+    mean_per_point: float
+    variance_per_point: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the estimated total (0 for full samples)."""
+        if self.sample_size <= 1 or self.population <= self.sample_size:
+            return 0.0
+        fpc = (self.population - self.sample_size) / (self.population - 1)
+        sem = math.sqrt(self.variance_per_point / self.sample_size * max(fpc, 0.0))
+        return self.population * sem
+
+    @property
+    def relative_stderr(self) -> float:
+        if self.estimate <= 0:
+            return 0.0 if self.stderr == 0 else float("inf")
+        return self.stderr / self.estimate
+
+    @property
+    def confident(self) -> bool:
+        return (
+            self.mode == "strided"
+            and (self.sample_size >= 30 or self.sample_size == self.population)
+            and self.relative_stderr <= 0.25
+        )
+
+    def with_margin(self, z: float = 2.0) -> int:
+        """The estimate padded by ``z`` standard errors — the buffer size a
+        caller should plan for when an overflow is expensive."""
+        if z < 0:
+            raise ValueError("z must be non-negative")
+        return int(math.ceil(self.estimate + z * self.stderr))
+
+
+def estimate_result_size_detailed(
     index: GridIndex,
     *,
     sample_fraction: float = 0.01,
@@ -62,8 +125,9 @@ def estimate_result_size(
     order: np.ndarray | None = None,
     include_self: bool = True,
     subset: np.ndarray | None = None,
-) -> int:
-    """Estimate the total self-join result size from an exact sample.
+) -> ResultSizeEstimate:
+    """Estimate the total self-join result size from an exact sample,
+    reporting the sample variance alongside the point estimate.
 
     ``mode="strided"`` samples every (1/fraction)-th point of the dataset;
     ``mode="head"`` samples the first fraction of ``order`` (the
@@ -78,28 +142,58 @@ def estimate_result_size(
     """
     if not 0 < sample_fraction <= 1:
         raise ValueError("sample_fraction must be in (0, 1]")
+    if mode not in ("strided", "head"):
+        raise ValueError(f"unknown estimator mode {mode!r}")
     if subset is not None:
         queries = np.asarray(subset, dtype=np.int64)
     else:
         queries = np.arange(index.num_points, dtype=np.int64)
     n = len(queries)
     if n == 0 or index.num_points == 0:
-        return 0
+        return ResultSizeEstimate(0, 0, n, mode, 0.0, 0.0)
     sample_size = min(n, max(1, int(round(n * sample_fraction))))
     if mode == "strided":
         step = max(1, n // sample_size)
         sample = queries[::step]
-    elif mode == "head":
+    else:
         if order is None:
             raise ValueError("mode='head' requires the sorted order array")
         sample = np.asarray(order, dtype=np.int64)[:sample_size]
-    else:
-        raise ValueError(f"unknown estimator mode {mode!r}")
     if len(sample) == 0:
-        return 0
+        return ResultSizeEstimate(0, 0, n, mode, 0.0, 0.0)
     counts = grid_neighbor_counts(index, sample, include_self=include_self)
     scale = n / len(sample)
-    return int(np.ceil(counts.sum() * scale))
+    mean = float(counts.mean())
+    var = float(counts.var(ddof=1)) if len(counts) > 1 else 0.0
+    return ResultSizeEstimate(
+        estimate=int(np.ceil(counts.sum() * scale)),
+        sample_size=len(sample),
+        population=n,
+        mode=mode,
+        mean_per_point=mean,
+        variance_per_point=var,
+    )
+
+
+def estimate_result_size(
+    index: GridIndex,
+    *,
+    sample_fraction: float = 0.01,
+    mode: str = "strided",
+    order: np.ndarray | None = None,
+    include_self: bool = True,
+    subset: np.ndarray | None = None,
+) -> int:
+    """Point-estimate form of :func:`estimate_result_size_detailed` —
+    identical sampling, returns only the scaled total."""
+    return estimate_result_size_detailed(
+        index,
+        sample_fraction=sample_fraction,
+        mode=mode,
+        order=order,
+        include_self=include_self,
+        subset=subset,
+    ).estimate
 
 
 def plan_batches(

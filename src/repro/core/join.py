@@ -146,10 +146,16 @@ class SimilarityJoin:
 
     # ------------------------------------------------------------------
     def execute(self, left, right, epsilon: float) -> JoinResult:
-        """Join ``left`` against ``right``: all pairs within ``epsilon``."""
+        """Join ``left`` against ``right``: all pairs within ``epsilon``.
+
+        Both datasets and ``epsilon`` are validated at the entry point:
+        non-finite coordinates and non-positive or non-finite thresholds
+        raise :class:`ValueError` here, not as a wrong answer deep in the
+        grid layer.
+        """
         check_epsilon(epsilon)
         queries = as_points_array(left)
-        index = GridIndex(right, epsilon)
+        index = GridIndex(as_points_array(right), epsilon)
         return self.execute_on_index(index, queries)
 
     def execute_on_index(
@@ -253,4 +259,6 @@ class SimilarityJoin:
             batch_stats=outcome.batch_stats,
             pipeline=outcome.pipeline,
             config_description=f"bipartite {cfg.describe()}",
+            overflow_retries=outcome.num_overflow_retries,
+            overflow_wasted_seconds=outcome.overflow_wasted_seconds,
         )

@@ -27,6 +27,11 @@ class JoinResult:
     batch_stats: list[KernelStats] = field(repr=False)
     pipeline: PipelineResult = field(repr=False)
     config_description: str = ""
+    #: batch-level overflow recoveries (executor ``"retry"`` policy): failed
+    #: launch attempts and the simulated time they wasted, already included
+    #: in the pipeline's ``total_seconds``.
+    overflow_retries: int = 0
+    overflow_wasted_seconds: float = 0.0
 
     @property
     def num_pairs(self) -> int:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.batching import (
-    estimate_result_size,
+    estimate_result_size_detailed,
     plan_batches,
     plan_batches_balanced,
 )
@@ -45,7 +45,7 @@ from repro.simt import (
     CostParams,
     DeviceSpec,
 )
-from repro.util import check_epsilon
+from repro.util import as_points_array, check_epsilon
 
 __all__ = ["SelfJoin"]
 
@@ -76,6 +76,12 @@ class SelfJoin:
         Optional :class:`~repro.core.executor.BatchExecutor` that runs the
         planned batches; defaults to a single
         :class:`~repro.core.executor.DeviceExecutor` over ``device``.
+    estimate_safety_z:
+        Pad the result-size estimate by this many standard errors of the
+        sampled total before planning batches (0 = trust the point
+        estimate, the paper's behaviour). A caller that cannot afford an
+        overflow re-plan sizes its margin here instead of hoping the
+        sample was representative.
     """
 
     def __init__(
@@ -88,7 +94,10 @@ class SelfJoin:
         seed: int = 0,
         replay_mode: str = "aggregate",
         executor: BatchExecutor | None = None,
+        estimate_safety_z: float = 0.0,
     ):
+        if estimate_safety_z < 0:
+            raise ValueError("estimate_safety_z must be >= 0")
         self.config = config if config is not None else OptimizationConfig()
         self.device = device if device is not None else DeviceSpec()
         self.costs = costs if costs is not None else CostParams()
@@ -96,11 +105,18 @@ class SelfJoin:
         self.seed = seed
         self.replay_mode = replay_mode
         self.executor = executor
+        self.estimate_safety_z = estimate_safety_z
 
     # ------------------------------------------------------------------
     def execute(self, points, epsilon: float) -> JoinResult:
-        """Run the self-join; returns exact pairs plus simulated metrics."""
+        """Run the self-join; returns exact pairs plus simulated metrics.
+
+        Input is validated at the entry point: non-finite coordinates and
+        non-positive or non-finite ``epsilon`` raise :class:`ValueError`
+        here, not as a wrong answer deep in the grid layer.
+        """
         check_epsilon(epsilon)
+        points = as_points_array(points)
         index = GridIndex(points, epsilon)
         return self.execute_on_index(index)
 
@@ -134,13 +150,18 @@ class SelfJoin:
         else:
             order = np.arange(index.num_points, dtype=np.int64)
 
-        est = estimate_result_size(
+        detailed = estimate_result_size_detailed(
             index,
             sample_fraction=cfg.sample_fraction,
             mode="head" if cfg.work_queue else "strided",
             order=order if cfg.work_queue else None,
             include_self=self.include_self,
             subset=subset,
+        )
+        est = (
+            detailed.with_margin(self.estimate_safety_z)
+            if self.estimate_safety_z > 0
+            else detailed.estimate
         )
 
         weights = (
@@ -214,4 +235,6 @@ class SelfJoin:
             batch_stats=outcome.batch_stats,
             pipeline=outcome.pipeline,
             config_description=cfg.describe(),
+            overflow_retries=outcome.num_overflow_retries,
+            overflow_wasted_seconds=outcome.overflow_wasted_seconds,
         )

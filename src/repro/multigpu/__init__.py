@@ -20,6 +20,12 @@ pool of simulated devices:
   execution efficiency**, the pool analogue of the paper's warp execution
   efficiency.
 
+Passing a :class:`~repro.resilience.policy.RecoveryPolicy` (or a
+:class:`~repro.resilience.faults.FaultPlan`, which implies one) switches
+the scheduler into its self-healing loop: shard requeue off dead devices,
+bounded transient retries, straggler speculation — with merged pairs
+identical to the fault-free run (see :mod:`repro.resilience`).
+
 Quickstart::
 
     from repro.multigpu import MultiGpuSelfJoin
@@ -37,12 +43,18 @@ from repro.multigpu.join import (
 )
 from repro.multigpu.merge import merge_pairs, merge_shard_results, pipeline_from_trace
 from repro.multigpu.metrics import DeviceStats, PoolStats, pool_stats_from_trace
-from repro.multigpu.pool import DevicePool, PoolDevice
+from repro.multigpu.pool import DeviceHealth, DevicePool, PoolDevice
 from repro.multigpu.scheduler import (
+    EVENT_KINDS,
     SCHEDULE_MODES,
+    FailureRecord,
     HostScheduler,
+    RecoveryLog,
+    RequeueRecord,
     ScheduleTrace,
     ShardEvent,
+    SpeculationRecord,
+    TransientRecord,
 )
 from repro.multigpu.sharding import (
     SHARD_PLANNERS,
@@ -53,20 +65,27 @@ from repro.multigpu.sharding import (
 )
 
 __all__ = [
+    "DeviceHealth",
     "DevicePool",
     "DeviceStats",
+    "EVENT_KINDS",
+    "FailureRecord",
     "HostScheduler",
     "MultiGpuSelfJoin",
     "MultiGpuSimilarityJoin",
     "MultiJoinResult",
     "PoolDevice",
     "PoolStats",
+    "RecoveryLog",
+    "RequeueRecord",
     "SCHEDULE_MODES",
     "SHARD_PLANNERS",
     "ScheduleTrace",
     "Shard",
     "ShardEvent",
     "ShardPlan",
+    "SpeculationRecord",
+    "TransientRecord",
     "merge_pairs",
     "merge_shard_results",
     "pipeline_from_trace",

@@ -39,13 +39,21 @@ from repro.grid.bipartite import bipartite_workloads
 from repro.multigpu.merge import merge_shard_results
 from repro.multigpu.metrics import PoolStats, pool_stats_from_trace
 from repro.multigpu.pool import DevicePool
-from repro.multigpu.scheduler import SCHEDULE_MODES, HostScheduler, ScheduleTrace
+from repro.multigpu.scheduler import (
+    SCHEDULE_MODES,
+    HostScheduler,
+    RecoveryLog,
+    ScheduleTrace,
+)
 from repro.multigpu.sharding import (
     SHARD_PLANNERS,
     ShardPlan,
     plan_query_shards,
     plan_shards,
 )
+from repro.resilience.executor import FaultyExecutor
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RecoveryPolicy
 from repro.simt import CostParams, DeviceSpec
 from repro.util import as_points_array, check_epsilon
 
@@ -79,6 +87,11 @@ class MultiJoinResult(JoinResult):
         """Sum of shard times — what one device of the pool would take."""
         return self.pool_stats.total_busy_seconds if self.pool_stats else 0.0
 
+    @property
+    def recovery_log(self) -> RecoveryLog | None:
+        """What the resilient scheduler did, or ``None`` on a fail-fast run."""
+        return self.trace.recovery if self.trace is not None else None
+
 
 class _PoolJoinBase:
     """Shared pool/planner/scheduler plumbing of the two facades."""
@@ -96,6 +109,8 @@ class _PoolJoinBase:
         costs: CostParams | None,
         seed: int,
         replay_mode: str,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.config = config if config is not None else OptimizationConfig()
         if planner not in SHARD_PLANNERS:
@@ -108,6 +123,12 @@ class _PoolJoinBase:
             )
         if shards_per_device < 1:
             raise ValueError("shards_per_device must be >= 1")
+        # injecting faults without a recovery story would just crash the
+        # run, so a fault plan implies the default policy
+        if fault_plan is not None and recovery is None:
+            recovery = RecoveryPolicy()
+        self.fault_plan = fault_plan
+        self.recovery = recovery
         self.pool = (
             pool
             if pool is not None
@@ -117,6 +138,7 @@ class _PoolJoinBase:
                 costs=costs,
                 seed=seed,
                 replay_mode=replay_mode,
+                overflow_policy="retry" if recovery is not None else "raise",
             )
         )
         self.planner = planner
@@ -130,10 +152,32 @@ class _PoolJoinBase:
         return self.shards_per_device * self.pool.num_devices
 
     def _describe(self, inner: str) -> str:
+        tag = " resilient" if self.recovery is not None else ""
         return (
             f"multigpu[{self.pool.num_devices}dev {self.planner}/"
-            f"{self.schedule}] {inner}"
+            f"{self.schedule}{tag}] {inner}"
         )
+
+    def _arm_executors(self) -> dict:
+        """Fresh fault-injecting wrappers for this run, keyed by device id.
+
+        Wrappers hold mutable injection state (the transient RNG stream,
+        the overflow budget), so each ``execute()`` builds new ones — that
+        is what makes a seeded fault run reproduce its trace exactly.
+        Returns an empty mapping when no fault plan is set.
+        """
+        self.pool.reset_health()
+        if self.fault_plan is None or self.fault_plan.is_empty:
+            return {}
+        return {
+            d.device_id: FaultyExecutor(
+                d.executor, d.device_id, self.fault_plan, health=d.health
+            )
+            for d in self.pool
+        }
+
+    def _scheduler(self) -> HostScheduler:
+        return HostScheduler(self.pool, self.schedule, recovery=self.recovery)
 
     def _assemble(
         self,
@@ -145,12 +189,18 @@ class _PoolJoinBase:
         num_points: int,
         description: str,
     ) -> MultiJoinResult:
+        # speculative re-execution is first-result-wins, so results[] holds
+        # one copy per shard — but dedup anyway when it fired, making the
+        # merge duplicate-safe by construction rather than by argument
+        speculated = (
+            trace.recovery is not None and trace.recovery.num_speculations > 0
+        )
         merged = merge_shard_results(
             results,
             trace,
             epsilon=epsilon,
             num_points=num_points,
-            dedup=plan.may_duplicate,
+            dedup=plan.may_duplicate or speculated,
             config_description=description,
         )
         stats = pool_stats_from_trace(trace, results, planner=plan.planner)
@@ -161,6 +211,8 @@ class _PoolJoinBase:
             batch_stats=merged.batch_stats,
             pipeline=merged.pipeline,
             config_description=merged.config_description,
+            overflow_retries=merged.overflow_retries,
+            overflow_wasted_seconds=merged.overflow_wasted_seconds,
             planner=plan.planner,
             schedule_mode=trace.mode,
             num_devices=self.pool.num_devices,
@@ -193,6 +245,15 @@ class MultiGpuSelfJoin(_PoolJoinBase):
         Queue depth: shards per device. 1 gives one shard per device
         (pure partitioning); larger values give the dynamic scheduler
         stealing granularity.
+    fault_plan:
+        Optional seeded :class:`~repro.resilience.faults.FaultPlan`; the
+        pool's executors are wrapped per run to inject exactly those
+        faults. Implies ``recovery=RecoveryPolicy()`` unless given.
+    recovery:
+        Optional :class:`~repro.resilience.policy.RecoveryPolicy`
+        switching the scheduler to its self-healing loop (and the default
+        pool to ``overflow_policy="retry"``); the merged pairs stay
+        identical to the fault-free run.
     """
 
     def __init__(
@@ -209,6 +270,8 @@ class MultiGpuSelfJoin(_PoolJoinBase):
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         super().__init__(
             config,
@@ -221,12 +284,15 @@ class MultiGpuSelfJoin(_PoolJoinBase):
             costs=costs,
             seed=seed,
             replay_mode=replay_mode,
+            fault_plan=fault_plan,
+            recovery=recovery,
         )
         self.include_self = include_self
 
     def execute(self, points, epsilon: float) -> MultiJoinResult:
         """Run the sharded self-join; exact pairs plus pool metrics."""
         check_epsilon(epsilon)
+        points = as_points_array(points)
         index = GridIndex(points, epsilon)
         plan = plan_shards(
             index, self.num_shards, self.planner, pattern=self.config.pattern
@@ -237,13 +303,15 @@ class MultiGpuSelfJoin(_PoolJoinBase):
             seed=self.seed,
             replay_mode=self.replay_mode,
         )
+        armed = self._arm_executors()
 
         def run_shard(device, shard):
+            executor = armed.get(device.device_id, device.executor)
             return inner.execute_on_index(
-                index, subset=shard.points, executor=device.executor
+                index, subset=shard.points, executor=executor
             )
 
-        results, trace = HostScheduler(self.pool, self.schedule).run(plan, run_shard)
+        results, trace = self._scheduler().run(plan, run_shard)
         return self._assemble(
             results,
             trace,
@@ -272,6 +340,8 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
         costs: CostParams | None = None,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         super().__init__(
             config,
@@ -284,6 +354,8 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
             costs=costs,
             seed=seed,
             replay_mode=replay_mode,
+            fault_plan=fault_plan,
+            recovery=recovery,
         )
         if self.config.pattern != "full":
             raise ValueError(
@@ -301,13 +373,15 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
             workloads.astype(np.float64), self.num_shards, self.planner
         )
         inner = SimilarityJoin(self.config, seed=self.seed)
+        armed = self._arm_executors()
 
         def run_shard(device, shard):
+            executor = armed.get(device.device_id, device.executor)
             return inner.execute_on_index(
-                index, queries, subset=shard.points, executor=device.executor
+                index, queries, subset=shard.points, executor=executor
             )
 
-        results, trace = HostScheduler(self.pool, self.schedule).run(plan, run_shard)
+        results, trace = self._scheduler().run(plan, run_shard)
         return self._assemble(
             results,
             trace,

@@ -86,4 +86,8 @@ def merge_shard_results(
         batch_stats=batch_stats,
         pipeline=pipeline_from_trace(trace),
         config_description=config_description,
+        overflow_retries=sum(getattr(r, "overflow_retries", 0) for r in present),
+        overflow_wasted_seconds=float(
+            sum(getattr(r, "overflow_wasted_seconds", 0.0) for r in present)
+        ),
     )

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.multigpu.scheduler import ScheduleTrace
+from repro.multigpu.scheduler import PRODUCTIVE_KINDS, ScheduleTrace
 from repro.util import Table, format_seconds
 
 __all__ = ["DeviceStats", "PoolStats", "pool_stats_from_trace"]
@@ -128,7 +128,10 @@ def pool_stats_from_trace(
         acc["shards"] += 1
         acc["busy"] += e.duration_seconds
         acc["pairs"] += e.num_pairs
-        if e.shard_id < len(kernel_by_shard):
+        # failed/cancelled attempts burned busy time but their kernel work
+        # produced nothing — only the surviving attempt carries the shard's
+        # kernel seconds, so attribution stays retry-count independent
+        if e.kind in PRODUCTIVE_KINDS and e.shard_id < len(kernel_by_shard):
             acc["kernel"] += kernel_by_shard[e.shard_id]
     devices = [
         DeviceStats(

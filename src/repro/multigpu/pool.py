@@ -1,4 +1,4 @@
-"""A pool of independent simulated devices.
+"""A pool of independent simulated devices, each with a health record.
 
 Each :class:`PoolDevice` owns its own
 :class:`~repro.core.executor.DeviceExecutor` — and through it a private
@@ -12,25 +12,55 @@ Pools are homogeneous by default (N copies of one
 :class:`~repro.simt.DeviceSpec`) but accept an explicit heterogeneous
 ``specs`` list — the scheduler's dynamic mode then load-balances across
 unequal devices for free.
+
+Every device carries a mutable :class:`DeviceHealth`: whether it is
+alive, when it failed (in simulated seconds), and how many shard
+dispatches it has started. The resilient scheduler marks devices dead on
+:class:`~repro.resilience.faults.DeviceLostError` and consults health
+when picking dispatch targets; fault injection reads the dispatch count
+to decide when a planned failure fires. ``reset_health()`` re-arms the
+pool between runs so a reused pool stays seed-reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.executor import DeviceExecutor
 from repro.simt import CostParams, DeviceSpec
 
-__all__ = ["DevicePool", "PoolDevice"]
+__all__ = ["DeviceHealth", "DevicePool", "PoolDevice"]
+
+
+@dataclass
+class DeviceHealth:
+    """Mutable health record of one pool device across a run."""
+
+    alive: bool = True
+    failed_at_seconds: float | None = None
+    shards_started: int = 0
+
+    def fail(self, at_seconds: float) -> None:
+        """Mark the device permanently dead at the given simulated time."""
+        if self.alive:
+            self.alive = False
+            self.failed_at_seconds = float(at_seconds)
+
+    def reset(self) -> None:
+        """Re-arm for a fresh run."""
+        self.alive = True
+        self.failed_at_seconds = None
+        self.shards_started = 0
 
 
 @dataclass(frozen=True)
 class PoolDevice:
-    """One device of the pool: its spec and its private executor."""
+    """One device of the pool: its spec, its private executor, its health."""
 
     device_id: int
     spec: DeviceSpec
     executor: DeviceExecutor
+    health: DeviceHealth = field(default_factory=DeviceHealth)
 
 
 class DevicePool:
@@ -52,6 +82,11 @@ class DevicePool:
         issue-order shuffles are independent yet reproducible.
     replay_mode:
         Warp replay fidelity forwarded to every executor.
+    overflow_policy:
+        Forwarded to every executor: ``"raise"`` (default — overflow
+        propagates and the join re-plans) or ``"retry"`` (batch-level
+        recovery with a geometrically grown buffer; see
+        :class:`~repro.core.executor.DeviceExecutor`).
     """
 
     def __init__(
@@ -63,6 +98,7 @@ class DevicePool:
         costs: CostParams | None = None,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        overflow_policy: str = "raise",
     ):
         if specs is None:
             if num_devices < 1:
@@ -77,7 +113,11 @@ class DevicePool:
                 device_id=d,
                 spec=s,
                 executor=DeviceExecutor(
-                    s, costs, seed=seed + d, replay_mode=replay_mode
+                    s,
+                    costs,
+                    seed=seed + d,
+                    replay_mode=replay_mode,
+                    overflow_policy=overflow_policy,
                 ),
             )
             for d, s in enumerate(specs)
@@ -92,6 +132,15 @@ class DevicePool:
         """Aggregate scheduler width — the pool's peak warp concurrency."""
         return sum(d.spec.warp_slots for d in self.devices)
 
+    def alive_device_ids(self) -> list[int]:
+        """Ids of devices whose health says they can still take work."""
+        return [d.device_id for d in self.devices if d.health.alive]
+
+    def reset_health(self) -> None:
+        """Re-arm every device's health record for a fresh run."""
+        for d in self.devices:
+            d.health.reset()
+
     def __len__(self) -> int:
         return self.num_devices
 
@@ -103,4 +152,6 @@ class DevicePool:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = {d.spec.name for d in self.devices}
-        return f"DevicePool(n={self.num_devices}, specs={sorted(names)})"
+        dead = self.num_devices - len(self.alive_device_ids())
+        suffix = f", dead={dead}" if dead else ""
+        return f"DevicePool(n={self.num_devices}, specs={sorted(names)}{suffix})"

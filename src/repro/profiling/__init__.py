@@ -6,7 +6,9 @@ from either VM :class:`~repro.core.JoinResult` objects or model
 :class:`~repro.perfmodel.SimulatedRun` objects and renders paper-style
 tables. :class:`DeviceReport` is the same surface one level up: device
 execution efficiency per (planner, scheduler, pool size) over
-:mod:`repro.multigpu` runs.
+:mod:`repro.multigpu` runs. :class:`ResilienceReport` accounts what a
+fault run cost beyond the fault-free one — retries, requeues,
+speculative wins, wasted device-seconds, degraded-mode makespan.
 """
 
 from repro.profiling.device_report import (
@@ -15,6 +17,7 @@ from repro.profiling.device_report import (
     device_profile_row,
 )
 from repro.profiling.profiler import ProfileReport, ProfileRow, profile_run
+from repro.profiling.resilience_report import ResilienceReport, resilience_report
 from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
 
 __all__ = [
@@ -22,8 +25,10 @@ __all__ = [
     "DeviceReport",
     "ProfileReport",
     "ProfileRow",
+    "ResilienceReport",
     "WorkloadStats",
     "device_profile_row",
     "gini_coefficient",
     "profile_run",
+    "resilience_report",
 ]

@@ -1,0 +1,124 @@
+"""Recovery accounting — what a fault run cost beyond the fault-free one.
+
+The resilient scheduler guarantees the *answer* is unchanged under
+injected faults; this report quantifies the *price*: retried batches,
+transient retries, shard requeues, speculative copies and whether they
+won, device-seconds wasted on attempts that produced no rows, and the
+makespan the degraded pool actually achieved.
+
+Like :mod:`repro.profiling.device_report`, everything is duck-typed off a
+:class:`~repro.multigpu.join.MultiJoinResult` (its ``trace.recovery``
+:class:`~repro.multigpu.scheduler.RecoveryLog`, merged overflow counters
+and pool stats), so profiling stays layered above execution with no
+:mod:`repro.multigpu` import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import Table, format_seconds
+
+__all__ = ["ResilienceReport", "resilience_report"]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """The full cost accounting of one (possibly faulty) pool run."""
+
+    devices_total: int
+    devices_lost: int
+    overflow_retries: int
+    overflow_wasted_seconds: float
+    transient_retries: int
+    shard_requeues: int
+    speculations: int
+    speculative_wins: int
+    recovery_wasted_seconds: float
+    busy_seconds: float
+    makespan_seconds: float
+
+    @property
+    def devices_surviving(self) -> int:
+        return self.devices_total - self.devices_lost
+
+    @property
+    def degraded(self) -> bool:
+        """Did the pool finish with fewer devices than it started with?"""
+        return self.devices_lost > 0
+
+    @property
+    def wasted_seconds(self) -> float:
+        """All device-seconds that produced no result rows."""
+        return self.overflow_wasted_seconds + self.recovery_wasted_seconds
+
+    @property
+    def waste_fraction(self) -> float:
+        """Wasted over total busy device-time — the overhead of surviving."""
+        if self.busy_seconds == 0:
+            return 0.0
+        return self.wasted_seconds / self.busy_seconds
+
+    def render(self) -> str:
+        t = Table(["event", "count"], title="Resilience accounting")
+        t.add_row(["devices lost", f"{self.devices_lost}/{self.devices_total}"])
+        t.add_row(["overflow batch retries", self.overflow_retries])
+        t.add_row(["transient retries", self.transient_retries])
+        t.add_row(["shard requeues", self.shard_requeues])
+        t.add_row(
+            ["speculative copies (wins)", f"{self.speculations} ({self.speculative_wins})"]
+        )
+        footer = (
+            f"wasted {format_seconds(self.wasted_seconds)} of "
+            f"{format_seconds(self.busy_seconds)} busy device-time "
+            f"({100 * self.waste_fraction:.1f}%)  |  makespan "
+            f"{format_seconds(self.makespan_seconds)}"
+            + ("  |  DEGRADED" if self.degraded else "")
+        )
+        return t.render() + "\n" + footer
+
+    def to_record(self) -> dict:
+        """JSON-ready dict (machine-readable experiment output)."""
+        return {
+            "devices_total": self.devices_total,
+            "devices_lost": self.devices_lost,
+            "overflow_retries": self.overflow_retries,
+            "overflow_wasted_seconds": self.overflow_wasted_seconds,
+            "transient_retries": self.transient_retries,
+            "shard_requeues": self.shard_requeues,
+            "speculations": self.speculations,
+            "speculative_wins": self.speculative_wins,
+            "recovery_wasted_seconds": self.recovery_wasted_seconds,
+            "wasted_seconds": self.wasted_seconds,
+            "waste_fraction": self.waste_fraction,
+            "busy_seconds": self.busy_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "degraded": self.degraded,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()
+
+
+def resilience_report(run) -> ResilienceReport:
+    """Build the accounting from a :class:`MultiJoinResult` (duck-typed).
+
+    Works on fault-free and fail-fast runs too — every recovery counter is
+    simply zero there, which is itself a useful assertion surface.
+    """
+    trace = getattr(run, "trace", None)
+    log = getattr(trace, "recovery", None) if trace is not None else None
+    stats = getattr(run, "pool_stats", None)
+    return ResilienceReport(
+        devices_total=getattr(run, "num_devices", 1),
+        devices_lost=log.num_devices_lost if log is not None else 0,
+        overflow_retries=int(getattr(run, "overflow_retries", 0)),
+        overflow_wasted_seconds=float(getattr(run, "overflow_wasted_seconds", 0.0)),
+        transient_retries=log.num_transient_retries if log is not None else 0,
+        shard_requeues=log.num_requeues if log is not None else 0,
+        speculations=log.num_speculations if log is not None else 0,
+        speculative_wins=log.num_speculative_wins if log is not None else 0,
+        recovery_wasted_seconds=log.wasted_seconds if log is not None else 0.0,
+        busy_seconds=stats.total_busy_seconds if stats is not None else 0.0,
+        makespan_seconds=trace.makespan_seconds if trace is not None else 0.0,
+    )

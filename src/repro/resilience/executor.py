@@ -1,0 +1,169 @@
+"""The fault-injecting executor wrapper.
+
+:class:`FaultyExecutor` sits between a device's real
+:class:`~repro.core.executor.BatchExecutor` and whoever drives it, and
+makes the device misbehave exactly as its :class:`~repro.resilience.faults.
+FaultPlan` dictates:
+
+- a planned :class:`~repro.resilience.faults.DeviceFailure` raises
+  :class:`~repro.resilience.faults.DeviceLostError` the moment the device
+  starts its k-th shard (and forever after);
+- a :class:`~repro.resilience.faults.ForcedOverflow` clamps the result
+  buffer capacity handed to the inner executor, so the genuine overflow
+  detection and recovery machinery runs — nothing is mocked;
+- a :class:`~repro.resilience.faults.TransientFaults` stream fails the
+  whole dispatch *after* it ran, wasting the attempt's full simulated
+  duration, from a deterministic per-device random stream;
+- a :class:`~repro.resilience.faults.Straggler` scales the attempt's
+  kernel and transfer durations and re-simulates the stream pipeline —
+  pairs and warp statistics are untouched, only time stretches.
+
+The wrapper is transparent when the plan says nothing about its device:
+results, timings and exceptions pass through bit-for-bit. It is also
+duck-compatible with :class:`~repro.core.executor.BatchExecutor`, so a
+single-device :class:`~repro.core.selfjoin.SelfJoin` can run against a
+faulty device directly through the executor seam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.executor import BatchExecutor, BatchOutcome, OverflowRetry
+from repro.resilience.faults import (
+    DeviceLostError,
+    FaultPlan,
+    TransientKernelError,
+)
+from repro.simt.streams import simulate_stream_pipeline
+
+__all__ = ["FaultyExecutor"]
+
+
+class FaultyExecutor:
+    """Wraps a device's executor and injects the plan's faults.
+
+    Parameters
+    ----------
+    inner:
+        The real executor doing the work.
+    device_id:
+        Which device of the plan this wrapper impersonates.
+    plan:
+        The seeded fault plan; an empty plan makes the wrapper transparent.
+    health:
+        Optional :class:`~repro.multigpu.pool.DeviceHealth` shared with the
+        host scheduler. When present, its ``shards_started`` counter (which
+        the scheduler increments per shard dispatch) decides *when* a
+        planned :class:`DeviceFailure` triggers, and a dead device refuses
+        further work. Standalone (no health), the wrapper counts its own
+        ``run_batches`` calls instead.
+
+    A wrapper holds mutable injection state (transient RNG stream, the
+    overflow budget); build a fresh one per run for seed-reproducibility.
+    """
+
+    def __init__(
+        self,
+        inner: BatchExecutor,
+        device_id: int,
+        plan: FaultPlan,
+        *,
+        health=None,
+    ):
+        self.inner = inner
+        self.device_id = int(device_id)
+        self.plan = plan
+        self.health = health
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([plan.seed, self.device_id])
+        )
+        self._calls = 0
+        self._overflows_spent = 0
+        self._transient_failures = 0
+
+    # ------------------------------------------------------------------
+    def _dispatch_ordinal(self) -> int:
+        """0-based ordinal of the current shard dispatch on this device."""
+        if self.health is not None:
+            return max(0, self.health.shards_started - 1)
+        return self._calls - 1
+
+    def run_batches(
+        self,
+        kernel,
+        batches,
+        make_args,
+        *,
+        result_capacity: int,
+        num_streams: int,
+        issue_order: str = "random",
+        coop_groups: bool = False,
+    ) -> BatchOutcome:
+        self._calls += 1
+        if self.health is not None and not self.health.alive:
+            raise DeviceLostError(self.device_id)
+        failure = self.plan.failure_for(self.device_id)
+        if failure is not None and self._dispatch_ordinal() >= failure.at_shard:
+            raise DeviceLostError(self.device_id)
+
+        capacity = result_capacity
+        forced = self.plan.overflow_for(self.device_id)
+        if forced is not None and self._overflows_spent < forced.times:
+            self._overflows_spent += 1
+            capacity = forced.clamp(result_capacity)
+
+        outcome = self.inner.run_batches(
+            kernel,
+            batches,
+            make_args,
+            result_capacity=capacity,
+            num_streams=num_streams,
+            issue_order=issue_order,
+            coop_groups=coop_groups,
+        )
+
+        factor = self.plan.straggler_factor(self.device_id)
+        if factor != 1.0:
+            outcome = _slowed(outcome, factor, num_streams)
+
+        transient = self.plan.transient_for(self.device_id)
+        if transient is not None and (
+            transient.max_failures is None
+            or self._transient_failures < transient.max_failures
+        ):
+            if self._rng.random() < transient.probability:
+                self._transient_failures += 1
+                raise TransientKernelError(
+                    self.device_id,
+                    wasted_seconds=float(outcome.pipeline.total_seconds),
+                )
+        return outcome
+
+
+def _slowed(outcome: BatchOutcome, factor: float, num_streams: int) -> BatchOutcome:
+    """Stretch an outcome's durations by ``factor`` and re-run the pipeline.
+
+    Pairs and warp statistics are deliberately untouched: a straggler is
+    slow, not wrong.
+    """
+    kernel_secs = [s * factor for s in outcome.kernel_seconds]
+    transfer_secs = [s * factor for s in outcome.transfer_seconds]
+    return BatchOutcome(
+        pairs_per_batch=outcome.pairs_per_batch,
+        batch_stats=outcome.batch_stats,
+        kernel_seconds=kernel_secs,
+        transfer_seconds=transfer_secs,
+        pipeline=simulate_stream_pipeline(
+            kernel_secs, transfer_secs, num_streams=num_streams
+        ),
+        overflow_retries=[
+            OverflowRetry(
+                batch_index=r.batch_index,
+                attempts=r.attempts,
+                final_capacity=r.final_capacity,
+                wasted_seconds=r.wasted_seconds * factor,
+            )
+            for r in outcome.overflow_retries
+        ],
+    )

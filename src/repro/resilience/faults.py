@@ -1,0 +1,207 @@
+"""Deterministic fault injection: what can go wrong, and when.
+
+A :class:`FaultPlan` is a *seeded, declarative* description of the faults a
+run must survive — the simulated analogue of chaos testing a production
+join service. Four fault species cover the failure modes a multi-GPU host
+actually sees:
+
+- :class:`DeviceFailure` — a device dies permanently when it starts its
+  k-th shard (XID error, fell off the bus, preempted by the cluster);
+- :class:`Straggler` — a device runs every kernel slower by a constant
+  factor (thermal throttling, a noisy PCIe neighbour);
+- :class:`TransientFaults` — a kernel launch fails with probability ``p``
+  and can be retried (ECC hiccup, spurious launch failure);
+- :class:`ForcedOverflow` — the device's result buffer is clamped so the
+  batching estimator's guess *under*-sizes it and the overflow-recovery
+  path runs for real.
+
+Everything is deterministic per ``FaultPlan.seed``: the transient draws
+come from a per-device ``SeedSequence(seed, device_id)`` stream, and the
+other species are purely positional — so a faulty run replays exactly,
+which is what lets tests assert the recovered result is pair-identical to
+the fault-free one.
+
+The plan is *injected*, never polled: a
+:class:`~repro.resilience.executor.FaultyExecutor` wraps a device's
+:class:`~repro.core.executor.BatchExecutor` and raises
+:class:`DeviceLostError` / :class:`TransientKernelError` (or clamps the
+buffer) according to the plan; the
+:class:`~repro.multigpu.scheduler.HostScheduler` catches and recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AllDevicesLostError",
+    "DeviceFailure",
+    "DeviceLostError",
+    "FaultError",
+    "FaultPlan",
+    "ForcedOverflow",
+    "Straggler",
+    "TransientFaults",
+    "TransientKernelError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class of injected device faults."""
+
+
+class DeviceLostError(FaultError):
+    """The device failed permanently; its in-flight shard is lost.
+
+    ``wasted_seconds`` is the simulated device time spent on the shard
+    before the failure (charged to the device's clock by the scheduler).
+    """
+
+    def __init__(self, device_id: int, wasted_seconds: float = 0.0):
+        super().__init__(f"device {device_id} lost")
+        self.device_id = int(device_id)
+        self.wasted_seconds = float(wasted_seconds)
+
+
+class TransientKernelError(FaultError):
+    """A kernel launch failed but the device survives; retry is legal.
+
+    ``wasted_seconds`` is the simulated time the failed attempt burned
+    (the full attempt: the error surfaces at completion, as a real launch
+    failure is observed at synchronization).
+    """
+
+    def __init__(self, device_id: int, wasted_seconds: float = 0.0):
+        super().__init__(f"transient kernel error on device {device_id}")
+        self.device_id = int(device_id)
+        self.wasted_seconds = float(wasted_seconds)
+
+
+class AllDevicesLostError(FaultError):
+    """Every device in the pool has failed; the join cannot complete."""
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Device ``device_id`` dies when it *starts* its ``at_shard``-th shard
+    (0-based count of shard dispatches on that device)."""
+
+    device_id: int
+    at_shard: int = 0
+
+    def __post_init__(self):
+        if self.at_shard < 0:
+            raise ValueError("at_shard must be >= 0")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Device ``device_id`` runs ``slowdown`` times slower than its spec."""
+
+    device_id: int
+    slowdown: float = 4.0
+
+    def __post_init__(self):
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1 (use 1.0 for no fault)")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Each shard dispatch on ``device_id`` fails with probability
+    ``probability``; at most ``max_failures`` failures are injected
+    (``None`` = unbounded)."""
+
+    device_id: int
+    probability: float = 0.5
+    max_failures: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError("max_failures must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class ForcedOverflow:
+    """The first ``times`` shard dispatches on ``device_id`` run with the
+    result buffer clamped to ``clamp_capacity`` pairs (``None`` = an eighth
+    of the requested capacity), forcing the overflow-recovery path."""
+
+    device_id: int
+    times: int = 1
+    clamp_capacity: int | None = None
+
+    def __post_init__(self):
+        if self.times < 0:
+            raise ValueError("times must be >= 0")
+        if self.clamp_capacity is not None and self.clamp_capacity < 0:
+            raise ValueError("clamp_capacity must be >= 0 or None")
+
+    def clamp(self, result_capacity: int) -> int:
+        if self.clamp_capacity is not None:
+            return min(result_capacity, self.clamp_capacity)
+        return max(1, result_capacity // 8)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative set of faults to inject into one run.
+
+    The empty plan (``FaultPlan()``) injects nothing — a run under it is
+    byte-identical to an unwrapped run, which tests rely on.
+    """
+
+    seed: int = 0
+    failures: tuple[DeviceFailure, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    transients: tuple[TransientFaults, ...] = ()
+    overflows: tuple[ForcedOverflow, ...] = ()
+
+    def __post_init__(self):
+        # accept lists for ergonomics; store tuples so the plan stays hashable
+        for name in ("failures", "stragglers", "transients", "overflows"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    # -- per-device views ------------------------------------------------
+    def failure_for(self, device_id: int) -> DeviceFailure | None:
+        """The earliest-scheduled permanent failure of this device, if any."""
+        hits = [f for f in self.failures if f.device_id == device_id]
+        return min(hits, key=lambda f: f.at_shard) if hits else None
+
+    def straggler_factor(self, device_id: int) -> float:
+        """Combined slowdown of this device (product of matching faults)."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.device_id == device_id:
+                factor *= s.slowdown
+        return factor
+
+    def transient_for(self, device_id: int) -> TransientFaults | None:
+        for t in self.transients:
+            if t.device_id == device_id:
+                return t
+        return None
+
+    def overflow_for(self, device_id: int) -> ForcedOverflow | None:
+        for o in self.overflows:
+            if o.device_id == device_id:
+                return o
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.failures or self.stragglers or self.transients or self.overflows)
+
+    def describe(self) -> str:
+        parts = []
+        for f in self.failures:
+            parts.append(f"kill(dev{f.device_id}@shard{f.at_shard})")
+        for s in self.stragglers:
+            parts.append(f"slow(dev{s.device_id}x{s.slowdown:g})")
+        for t in self.transients:
+            parts.append(f"flaky(dev{t.device_id} p={t.probability:g})")
+        for o in self.overflows:
+            parts.append(f"overflow(dev{o.device_id}x{o.times})")
+        return " ".join(parts) if parts else "fault-free"

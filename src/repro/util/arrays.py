@@ -41,8 +41,15 @@ def as_points_array(points, *, copy: bool = False) -> np.ndarray:
         raise ValueError(f"points must be a 2-D array, got shape {arr.shape}")
     if arr.shape[1] == 0:
         raise ValueError("points must have at least one dimension")
-    if arr.size and not np.isfinite(arr).all():
-        raise ValueError("points must contain only finite coordinates")
+    if arr.size:
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad_rows = np.flatnonzero(~finite.all(axis=1))
+            raise ValueError(
+                "points must contain only finite coordinates; "
+                f"{len(bad_rows)} of {len(arr)} rows have NaN/inf "
+                f"(first offending row: {int(bad_rows[0])})"
+            )
     return np.ascontiguousarray(arr)
 
 
