@@ -34,6 +34,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from repro.simt import (
+    ENGINES,
     BufferOverflowError,
     CostParams,
     DeviceSpec,
@@ -128,9 +129,12 @@ class DeviceExecutor:
     """Runs batch kernels on one simulated device.
 
     Parameters mirror the hardware knobs :class:`SelfJoin` used to own:
-    the device spec, the cost model, the scheduler seed and the warp
-    replay fidelity. One executor is one device — buffer allocation,
-    kernel launch and transfer timing all happen against ``self.device``.
+    the device spec, the cost model, the scheduler seed, the warp replay
+    fidelity and the execution engine (``"interpreted"`` or
+    ``"vectorized"`` — see :mod:`repro.simt.vectorized`; both produce
+    identical results, the vectorized engine is just fast). One executor
+    is one device — buffer allocation, kernel launch and transfer timing
+    all happen against ``self.device``.
 
     Overflow parameters (only consulted under ``overflow_policy="retry"``):
     a failed batch is relaunched with capacity grown by ``overflow_growth``
@@ -146,11 +150,14 @@ class DeviceExecutor:
         *,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        engine: str = "interpreted",
         overflow_policy: str = "raise",
         overflow_growth: float = 4.0,
         max_overflow_retries: int = 6,
         overflow_backoff_seconds: float = 0.0,
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if overflow_policy not in OVERFLOW_POLICIES:
             raise ValueError(
                 f"unknown overflow policy {overflow_policy!r}; "
@@ -166,6 +173,7 @@ class DeviceExecutor:
         self.costs = costs if costs is not None else CostParams()
         self.seed = seed
         self.replay_mode = replay_mode
+        self.engine = engine
         self.overflow_policy = overflow_policy
         self.overflow_growth = overflow_growth
         self.max_overflow_retries = max_overflow_retries
@@ -198,6 +206,7 @@ class DeviceExecutor:
             issue_order=issue_order,
             seed=self.seed,
             replay_mode=self.replay_mode,
+            engine=self.engine,
         )
         pairs_per_batch: list[np.ndarray] = []
         batch_stats: list[KernelStats] = []

@@ -26,6 +26,7 @@ from repro.core.batching import plan_batches, plan_batches_balanced
 from repro.core.config import OptimizationConfig
 from repro.core.executor import BatchExecutor, DeviceExecutor
 from repro.core.granularity import split_candidates
+from repro.core.kernels import BulkEmitter, resolve_bulk_queries
 from repro.core.result import JoinResult
 from repro.core.workqueue import fetch_query_slot
 from repro.grid import GridIndex
@@ -38,9 +39,20 @@ from repro.simt import (
     DeviceSpec,
     ThreadContext,
 )
+from repro.simt.vectorized import (
+    BulkKernelResult,
+    BulkLaunch,
+    LabelCharges,
+    register_bulk_kernel,
+)
 from repro.util import as_points_array, check_epsilon, stable_argsort_desc
 
-__all__ = ["BipartiteKernelArgs", "SimilarityJoin", "bipartite_kernel"]
+__all__ = [
+    "BipartiteKernelArgs",
+    "SimilarityJoin",
+    "bipartite_bulk",
+    "bipartite_kernel",
+]
 
 _MAX_REPLANS = 8
 
@@ -115,6 +127,81 @@ def bipartite_kernel(ctx: ThreadContext, args: BipartiteKernelArgs) -> None:
             ctx.emit_pairs(np.stack([qcol, hit], axis=1))
 
 
+def bipartite_bulk(launch: BulkLaunch, args: BipartiteKernelArgs) -> BulkKernelResult:
+    """Array-level evaluation of a whole :func:`bipartite_kernel` launch.
+
+    Same contract as :func:`repro.core.kernels.selfjoin_bulk`: identical
+    pairs in buffer order, identical per-thread charges, identical queue
+    side effects. The bipartite probe differs from the self-join in that
+    queries live outside the index — their (unclamped) cell coordinates
+    may fall outside the grid, so the probe set is the full 3**n offsets
+    with a per-offset bounds check rather than a
+    :class:`~repro.core.patterns.PatternPlan`.
+    """
+    index = args.index
+    k = args.k
+    width = launch.num_threads
+    issue_pos, n_active, groups, q_of_group, live, charges = resolve_bulk_queries(
+        launch, args
+    )
+
+    lg = np.flatnonzero(live)
+    qs = q_of_group[lg]
+
+    tids = np.arange(n_active, dtype=np.int64)
+    t_live = np.zeros(n_active, dtype=bool)
+    if groups:
+        t_live = live[tids // k]
+    live_tids = tids[t_live]
+    present = np.zeros(width, dtype=bool)
+    present[live_tids] = True
+    setup = np.zeros(width, dtype=np.float64)
+    setup[present] = launch.costs.c_setup
+    charges["setup"] = LabelCharges(setup, present)
+
+    emitter = BulkEmitter(index, issue_pos, n_active, k, width, args._eps2)
+    visits_of_group = np.zeros(groups, dtype=np.int64)
+    if len(lg):
+        q_points = args.queries[qs]
+        coords = index.spec.cell_coords(q_points, clamp=False)
+        flat_base = np.zeros(len(lg), dtype=np.int64)
+        for oi, off in enumerate(neighbor_offsets(index.ndim)):
+            probe = coords + off
+            inside = index.spec.in_bounds(probe)
+            visits_of_group[lg[inside]] += 1  # in-bounds probes cost a visit
+            if not inside.any():
+                continue
+            ranks = np.full(len(lg), -1, dtype=np.int64)
+            ranks[inside] = index.lookup(index.spec.linearize(probe[inside]))
+            sel = np.flatnonzero(ranks >= 0)
+            if not len(sel):
+                continue
+            emitter.process_stage(
+                oi,
+                lg[sel],
+                qs[sel],
+                q_points[sel],
+                ranks[sel],
+                flat_base[sel],
+                mirror=False,
+            )
+            flat_base[sel] += index.cell_counts[ranks[sel]]
+
+    cells = np.zeros(width, dtype=np.float64)
+    cells_p = np.zeros(width, dtype=bool)
+    if len(live_tids):
+        visit_counts = visits_of_group[live_tids // k]
+        cells[live_tids] = visit_counts * launch.costs.c_cell
+        cells_p[live_tids] = visit_counts > 0
+    charges["cells"] = LabelCharges(cells, cells_p)
+
+    emitter.charge(charges, launch.costs.dist_cost(index.ndim), launch.costs.c_emit)
+    return BulkKernelResult(charges=charges, pairs=emitter.pairs())
+
+
+register_bulk_kernel(bipartite_kernel, bipartite_bulk)
+
+
 class SimilarityJoin:
     """Bipartite ε-join of two datasets on the simulated GPU.
 
@@ -131,6 +218,7 @@ class SimilarityJoin:
         device: DeviceSpec | None = None,
         costs: CostParams | None = None,
         seed: int = 0,
+        engine: str = "interpreted",
         executor: BatchExecutor | None = None,
     ):
         self.config = config if config is not None else OptimizationConfig()
@@ -142,6 +230,7 @@ class SimilarityJoin:
         self.device = device if device is not None else DeviceSpec()
         self.costs = costs if costs is not None else CostParams()
         self.seed = seed
+        self.engine = engine
         self.executor = executor
 
     # ------------------------------------------------------------------
@@ -211,7 +300,9 @@ class SimilarityJoin:
     def _default_executor(self) -> BatchExecutor:
         if self.executor is not None:
             return self.executor
-        return DeviceExecutor(self.device, self.costs, seed=self.seed)
+        return DeviceExecutor(
+            self.device, self.costs, seed=self.seed, engine=self.engine
+        )
 
     def _estimate(self, index, queries, ids, order) -> int:
         cfg = self.config

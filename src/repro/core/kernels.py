@@ -25,12 +25,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.granularity import split_candidates
-from repro.core.patterns import pattern_cells_for_query
+from repro.core.patterns import get_pattern_plan, pattern_cells_for_query
 from repro.core.workqueue import fetch_query_slot
 from repro.grid import GridIndex
 from repro.simt import AtomicCounter, ThreadContext
+from repro.simt.vectorized import (
+    BulkKernelResult,
+    BulkLaunch,
+    LabelCharges,
+    register_bulk_kernel,
+)
+from repro.util import gather_slices
 
-__all__ = ["KernelArgs", "selfjoin_kernel"]
+__all__ = ["KernelArgs", "selfjoin_bulk", "selfjoin_kernel"]
 
 
 @dataclass
@@ -133,3 +140,298 @@ def selfjoin_kernel(ctx: ThreadContext, args: KernelArgs) -> None:
         cand = index.points_in_cell(int(rank))
         mine, offset = split_candidates(cand, k, r, offset)
         _refine_and_emit(ctx, args, q, mine, mirror=mirror)
+
+
+# ----------------------------------------------------------------------
+# Bulk-lane (vectorized) form of the kernels above.
+#
+# The interpreter's per-thread work decomposes into pure functions of
+# candidate counts, cell visits and the warp issue order, so an entire
+# launch can be evaluated with array operations (see
+# repro.simt.vectorized for the contract). The pieces below are shared
+# with the bipartite kernel's bulk form in repro.core.join.
+
+
+def resolve_bulk_queries(launch: BulkLaunch, args) -> tuple:
+    """Per-group query resolution for a bulk launch, static or WORKQUEUE.
+
+    Works for any args bundle exposing ``k``, ``num_threads``,
+    ``uses_queue``, ``batch``, ``queue_counter`` and ``queue_order``.
+    Returns ``(issue_pos, n_active, groups, q_of_group, live, charges)``:
+
+    - ``n_active`` — threads that pass the launch-width guard;
+    - ``groups`` — number of query groups with at least one active thread;
+    - ``q_of_group`` / ``live`` — the query id each group serves, with
+      ``live=False`` for groups whose queue fetch came back drained;
+    - ``charges`` — the fetch-protocol charges ("atomic" for leaders,
+      "shfl" for followers), empty for the static mapping.
+
+    Under the queue the counter is advanced by one ``fetch_add`` per group
+    leader (via :meth:`~repro.simt.AtomicCounter.fetch_add_bulk`) and the
+    slot each group receives is its leader's rank in warp issue order —
+    the closed form of the interpreter's in-order fetch sequence.
+    """
+    k = args.k
+    width = launch.num_threads
+    n_active = min(width, args.num_threads)
+    issue_pos = launch.issue_positions()
+    groups = -(-n_active // k) if n_active else 0
+    charges: dict[str, LabelCharges] = {}
+
+    if not args.uses_queue:
+        q_of_group = args.batch[:groups]
+        live = np.ones(groups, dtype=bool)
+        return issue_pos, n_active, groups, q_of_group, live, charges
+
+    if k > 1:
+        # the interpreter raises these through ThreadContext.coop_group /
+        # CoopGroupTable.group_for; same launch misconfiguration, same error
+        if not launch.coop_groups:
+            raise RuntimeError("launch has no cooperative-group table")
+        if launch.warp_size % k != 0:
+            raise ValueError(
+                f"group size {k} must evenly divide the warp size {launch.warp_size}"
+            )
+
+    leaders = np.arange(groups, dtype=np.int64) * k
+    fetch_rank = np.empty(groups, dtype=np.int64)
+    fetch_rank[np.argsort(issue_pos[leaders])] = np.arange(groups, dtype=np.int64)
+    start = args.queue_counter.fetch_add_bulk(groups)
+    slots = start + fetch_rank
+    live = slots < len(args.queue_order)
+    q_of_group = np.full(groups, -1, dtype=np.int64)
+    if live.any():
+        q_of_group[live] = args.queue_order[slots[live]]
+
+    tids = np.arange(n_active, dtype=np.int64)
+    is_leader = tids % k == 0
+    atomic = np.zeros(width, dtype=np.float64)
+    atomic_p = np.zeros(width, dtype=bool)
+    atomic_p[tids[is_leader]] = True
+    atomic[atomic_p] = launch.costs.c_atomic
+    charges["atomic"] = LabelCharges(atomic, atomic_p)
+    if k > 1:
+        shfl = np.zeros(width, dtype=np.float64)
+        shfl_p = np.zeros(width, dtype=bool)
+        shfl_p[tids[~is_leader]] = True
+        shfl[shfl_p] = launch.costs.c_shfl
+        charges["shfl"] = LabelCharges(shfl, shfl_p)
+    return issue_pos, n_active, groups, q_of_group, live, charges
+
+
+class BulkEmitter:
+    """Accumulates candidate stages of a bulk launch.
+
+    A *stage* is one cell per query group (the own cell, or one pattern
+    offset's neighbor). Each :meth:`process_stage` call refines all of the
+    stage's candidates at once, tallies per-thread distance and emission
+    charges, and records the hits keyed so that :meth:`pairs` can
+    reconstruct the interpreter's exact buffer order: threads by warp
+    issue position, a thread's stages in traversal order, forward hits
+    before their mirrors, candidates in cell order.
+    """
+
+    def __init__(
+        self,
+        index: GridIndex,
+        issue_pos: np.ndarray,
+        n_active: int,
+        k: int,
+        width: int,
+        eps2: float,
+        *,
+        include_self: bool = True,
+    ):
+        self.index = index
+        self.issue_pos = issue_pos
+        self.n_active = n_active
+        self.k = k
+        self.width = width
+        self.eps2 = eps2
+        self.include_self = include_self
+        self.dist_counts = np.zeros(width, dtype=np.int64)
+        self.emit_counts = np.zeros(width, dtype=np.int64)
+        # point ids and issue positions fit int32 at simulator scale;
+        # halving record width halves the reorder's memory traffic
+        self._idx_dtype = (
+            np.int32 if max(index.num_points, width) < 2**31 else np.int64
+        )
+        self._records: list[tuple] = []
+
+    def process_stage(
+        self,
+        stage_key: int,
+        group_ids: np.ndarray,
+        q_ids: np.ndarray,
+        q_points: np.ndarray,
+        cell_ranks: np.ndarray,
+        flat_base: np.ndarray,
+        *,
+        mirror: bool,
+    ) -> None:
+        """Refine one cell per selected query group.
+
+        ``group_ids``/``q_ids``/``q_points``/``cell_ranks``/``flat_base``
+        are aligned arrays over the groups that visit a non-empty cell at
+        this stage; ``flat_base`` is each query's flat candidate-stream
+        position on entry (the strided k-way split keys off it).
+
+        Callers must invoke stages in every thread's traversal order
+        (``stage_key`` ascending: own cell first, then pattern offsets) —
+        :meth:`pairs` reconstructs buffer order from push order.
+        """
+        index = self.index
+        counts = index.cell_counts[cell_ranks]
+        total = int(counts.sum())
+        if total == 0:
+            return
+        qrow = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        cand = gather_slices(index.point_order, index.cell_starts[cell_ranks], counts)
+        if self.k == 1:
+            owner = group_ids[qrow]
+        else:
+            first = np.zeros(len(counts), dtype=np.int64)
+            first[1:] = np.cumsum(counts[:-1])
+            local = np.arange(total, dtype=np.int64) - np.repeat(first, counts)
+            flat = flat_base[qrow] + local
+            owner = group_ids[qrow] * self.k + flat % self.k
+        # threads beyond the launch width never ran in the interpreter:
+        # their candidates are neither refined nor charged
+        if int(group_ids[-1]) * self.k + self.k - 1 < self.n_active:
+            keep = None  # every owner ran: skip the guard passes
+            self.dist_counts += np.bincount(owner, minlength=self.width)
+        else:
+            keep = owner < self.n_active
+            self.dist_counts += np.bincount(owner[keep], minlength=self.width)
+        diff = index.points[cand]
+        diff -= q_points[qrow]
+        np.square(diff, out=diff)
+        d2 = diff.sum(axis=1)
+        hit = d2 <= self.eps2 if keep is None else keep & (d2 <= self.eps2)
+        qcol = q_ids[qrow]
+        if not self.include_self:
+            hit &= cand != qcol
+        if not hit.any():
+            return
+        h_owner = owner[hit]
+        h_issue = self.issue_pos[h_owner]
+        h_q = qcol[hit]
+        h_cand = cand[hit]
+        self._push(h_issue, h_q, h_cand)
+        per_hit = 1
+        if mirror:
+            self._push(h_issue, h_cand, h_q)
+            per_hit = 2
+        self.emit_counts += np.bincount(h_owner, minlength=self.width) * per_hit
+
+    def _push(self, issue, left, right) -> None:
+        rows = np.empty((len(issue), 2), dtype=self._idx_dtype)
+        rows[:, 0] = left
+        rows[:, 1] = right
+        self._records.append((issue.astype(self._idx_dtype, copy=False), rows))
+
+    def pairs(self) -> np.ndarray:
+        """All emitted pairs, in the interpreter's buffer order.
+
+        Relies on the push-order invariant: stages are pushed in every
+        thread's traversal order (own cell, then pattern offsets
+        ascending; forward hits immediately before their mirrors) and each
+        push lists a thread's hits in cell order. A *stable* sort on issue
+        position alone therefore reconstructs the interleaved per-thread
+        emission order — no secondary keys needed, and the reorder is a
+        single row gather.
+        """
+        if not self._records:
+            return np.empty((0, 2), dtype=np.int64)
+        issue = np.concatenate([rec[0] for rec in self._records])
+        rows = np.concatenate([rec[1] for rec in self._records])
+        perm = np.argsort(issue, kind="stable")
+        return rows[perm]
+
+    def charge(self, charges: dict[str, LabelCharges], dist_cost: float, emit_cost: float) -> None:
+        """Fill the "dist" and "emit" charges from the tallied counts."""
+        charges["dist"] = LabelCharges(
+            self.dist_counts * dist_cost, self.dist_counts > 0
+        )
+        charges["emit"] = LabelCharges(
+            self.emit_counts * emit_cost, self.emit_counts > 0
+        )
+
+
+def selfjoin_bulk(launch: BulkLaunch, args: KernelArgs) -> BulkKernelResult:
+    """Array-level evaluation of a whole :func:`selfjoin_kernel` launch.
+
+    Produces the same pairs (in buffer order), per-thread charges and
+    queue-counter side effects as interpreting the kernel thread by thread
+    — see :mod:`repro.simt.vectorized` for the contract and
+    ``tests/simt/test_vectorized_engine.py`` for the proof.
+    """
+    index = args.index
+    k = args.k
+    width = launch.num_threads
+    issue_pos, n_active, groups, q_of_group, live, charges = resolve_bulk_queries(
+        launch, args
+    )
+
+    lg = np.flatnonzero(live)
+    qs = q_of_group[lg]
+    qcell = index.point_cell_rank[qs]
+    plan = get_pattern_plan(args.pattern, index)
+
+    # setup + cell-visit charges: identical for every thread of a live group
+    tids = np.arange(n_active, dtype=np.int64)
+    t_live = np.zeros(n_active, dtype=bool)
+    if groups:
+        t_live = live[tids // k]
+    live_tids = tids[t_live]
+    present = np.zeros(width, dtype=bool)
+    present[live_tids] = True
+    setup = np.zeros(width, dtype=np.float64)
+    setup[present] = launch.costs.c_setup
+    charges["setup"] = LabelCharges(setup, present)
+
+    visit_of_group = np.zeros(groups, dtype=np.int64)
+    if len(lg):
+        visit_of_group[lg] = 1 + plan.visited_counts()[qcell]
+    cells = np.zeros(width, dtype=np.float64)
+    cells[live_tids] = visit_of_group[live_tids // k] * launch.costs.c_cell
+    charges["cells"] = LabelCharges(cells, present.copy())
+
+    emitter = BulkEmitter(
+        index,
+        issue_pos,
+        n_active,
+        k,
+        width,
+        args._eps2,
+        include_self=args.include_self,
+    )
+    if len(lg):
+        q_points = index.points[qs]
+        flat_base = np.zeros(len(lg), dtype=np.int64)
+        # own cell first (stage -1 sorts before every pattern offset)
+        emitter.process_stage(-1, lg, qs, q_points, qcell, flat_base, mirror=False)
+        flat_base += index.cell_counts[qcell]
+        mirror = args.pattern != "full"
+        for o in plan.pattern_offsets():
+            visit, nranks = plan.offset_visits(int(o))
+            sel = np.flatnonzero(visit[qcell] & (nranks[qcell] >= 0))
+            if not len(sel):
+                continue
+            ranks = nranks[qcell[sel]]
+            emitter.process_stage(
+                int(o),
+                lg[sel],
+                qs[sel],
+                q_points[sel],
+                ranks,
+                flat_base[sel],
+                mirror=mirror,
+            )
+            flat_base[sel] += index.cell_counts[ranks]
+
+    emitter.charge(charges, launch.costs.dist_cost(index.ndim), launch.costs.c_emit)
+    return BulkKernelResult(charges=charges, pairs=emitter.pairs())
+
+
+register_bulk_kernel(selfjoin_kernel, selfjoin_bulk)

@@ -36,12 +36,19 @@ from repro.grid.neighbors import offset_linear_deltas
 
 __all__ = [
     "PATTERN_NAMES",
+    "PatternPlan",
+    "get_pattern_plan",
     "pattern_cells_for_query",
     "pattern_offset_selector",
     "unicomp_pivot_dims",
 ]
 
 PATTERN_NAMES = ("full", "unicomp", "lidunicomp")
+
+#: Above this many (offset, cell) entries the plan stops retaining dense
+#: per-offset visit arrays and recomputes them on demand — keeps 6-D grids
+#: (3**6 = 729 offsets) from pinning hundreds of MB.
+PLAN_DENSE_LIMIT = 8_000_000
 
 
 def unicomp_pivot_dims(ndim: int) -> np.ndarray:
@@ -109,6 +116,149 @@ def pattern_offset_selector(pattern: str, index: GridIndex):
     return selector
 
 
+class PatternPlan:
+    """Memoized per-cell pattern geometry for one ``(pattern, index)`` pair.
+
+    The kernels ask the same two questions for every thread: *which offsets
+    does my cell probe* and *which non-empty cell sits behind each probe*.
+    Both depend only on ``(pattern, cell_rank)``, so the plan answers them
+    from caches:
+
+    - :meth:`cells_for_rank` — the single-cell view the interpreted kernel
+      consumes, computed once per origin cell;
+    - :meth:`offset_visits` — the transposed, all-cells-at-once view the
+      bulk engine consumes, computed once per offset (retained only while
+      the dense arrays stay under :data:`PLAN_DENSE_LIMIT` entries);
+    - :meth:`visited_counts` / :meth:`candidate_counts` — the per-cell
+      probe and candidate totals every analytic cycle charge reduces to.
+
+    Plans are obtained through :func:`get_pattern_plan`, which memoizes
+    them on ``index.plan_cache`` so all engines (and the perf model) share
+    one copy per pattern.
+    """
+
+    def __init__(self, pattern: str, index: GridIndex):
+        if pattern not in PATTERN_NAMES:
+            raise ValueError(
+                f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}"
+            )
+        self.pattern = pattern
+        self.index = index
+        self._offs = neighbor_offsets(index.ndim)
+        self._zero_idx = len(self._offs) // 2
+        self._cell_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._offset_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._visited_counts: np.ndarray | None = None
+        self._candidate_counts: np.ndarray | None = None
+        self._keep_dense = (
+            len(self._offs) * max(index.num_nonempty_cells, 1) <= PLAN_DENSE_LIMIT
+        )
+        if pattern == "full":
+            self._take_all = np.ones(len(self._offs), dtype=bool)
+            self._take_all[self._zero_idx] = False
+            self._pivots = None
+        elif pattern == "lidunicomp":
+            self._take_all = offset_linear_deltas(index, self._offs) > 0
+            self._pivots = None
+        else:  # unicomp — membership varies per cell via coordinate parity
+            self._pivots = unicomp_pivot_dims(index.ndim)
+            self._take_all = self._pivots >= 0
+        self._offset_candidates = np.flatnonzero(self._take_all)
+
+    # ------------------------------------------------------------------
+    def pattern_offsets(self) -> np.ndarray:
+        """Offset indices any cell could take under this pattern, ascending
+        — the traversal order of the kernels' pattern-cell loop."""
+        return self._offset_candidates
+
+    def take_mask(self, offset_idx: int) -> np.ndarray:
+        """Per-cell pattern membership of one neighbor offset (bounds not
+        yet applied; the origin offset is always all-False)."""
+        num_cells = self.index.num_nonempty_cells
+        if not self._take_all[offset_idx]:
+            return np.zeros(num_cells, dtype=bool)
+        if self._pivots is None:
+            return np.ones(num_cells, dtype=bool)
+        piv = self._pivots[offset_idx]
+        return (self.index.cell_coords_arr[:, piv] & 1) == 1
+
+    def offset_visits(self, offset_idx: int) -> tuple[np.ndarray, np.ndarray]:
+        """All-cells view of one offset: ``(visit_mask, neighbor_ranks)``.
+
+        ``visit_mask[c]`` — cell ``c`` probes this offset (member and
+        in-bounds, so it pays a cell-visit charge); ``neighbor_ranks[c]`` —
+        rank of the non-empty cell behind the probe, or -1 (empty neighbor
+        or no probe).
+        """
+        cached = self._offset_cache.get(offset_idx)
+        if cached is not None:
+            return cached
+        index = self.index
+        take = self.take_mask(offset_idx)
+        visit = np.zeros(index.num_nonempty_cells, dtype=bool)
+        ranks = np.full(index.num_nonempty_cells, -1, dtype=np.int64)
+        if take.any():
+            coords = index.cell_coords_arr[take] + self._offs[offset_idx]
+            inside = index.spec.in_bounds(coords)
+            visit[np.flatnonzero(take)[inside]] = True
+            ranks[visit] = index.lookup(index.spec.linearize(coords[inside]))
+        result = (visit, ranks)
+        if self._keep_dense:
+            self._offset_cache[offset_idx] = result
+        return result
+
+    def cells_for_rank(self, cell_rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """Single-cell view (see :func:`pattern_cells_for_query`), memoized
+        per origin cell so repeated threads share one computation."""
+        got = self._cell_cache.get(cell_rank)
+        if got is not None:
+            return got
+        index = self.index
+        origin = index.cell_coords_arr[cell_rank]
+        take = self._take_all.copy()
+        if self._pivots is not None:
+            cand = self._offset_candidates
+            take[cand] = (origin[self._pivots[cand]] & 1) == 1
+        coords = origin + self._offs[take]
+        inside = index.spec.in_bounds(coords)
+        visited = np.flatnonzero(take)[inside]
+        ranks = index.lookup(index.spec.linearize(coords[inside]))
+        got = (visited, ranks)
+        self._cell_cache[cell_rank] = got
+        return got
+
+    def visited_counts(self) -> np.ndarray:
+        """Per-cell number of probed pattern offsets (origin excluded)."""
+        if self._visited_counts is None:
+            total = np.zeros(self.index.num_nonempty_cells, dtype=np.int64)
+            for o in self._offset_candidates:
+                visit, _ = self.offset_visits(int(o))
+                total += visit
+            self._visited_counts = total
+        return self._visited_counts
+
+    def candidate_counts(self) -> np.ndarray:
+        """Per-cell candidate total: own points plus the points of every
+        visited non-empty pattern neighbor."""
+        if self._candidate_counts is None:
+            counts = self.index.cell_counts.copy()
+            for o in self._offset_candidates:
+                visit, ranks = self.offset_visits(int(o))
+                hit = visit & (ranks >= 0)
+                counts[hit] += self.index.cell_counts[ranks[hit]]
+            self._candidate_counts = counts
+        return self._candidate_counts
+
+
+def get_pattern_plan(pattern: str, index: GridIndex) -> PatternPlan:
+    """The memoized :class:`PatternPlan` for ``(pattern, index)``."""
+    plan = index.plan_cache.get(pattern)
+    if plan is None:
+        plan = PatternPlan(pattern, index)
+        index.plan_cache[pattern] = plan
+    return plan
+
+
 def pattern_cells_for_query(
     pattern: str, index: GridIndex, cell_rank: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -124,28 +274,8 @@ def pattern_cells_for_query(
       offset, or -1 when that cell is empty.
 
     The origin cell itself is never included (see
-    :func:`pattern_offset_selector`).
+    :func:`pattern_offset_selector`). Delegates to the
+    :class:`PatternPlan` memoized on the index, so every thread of a batch
+    pointing at the same cell shares one computation.
     """
-    if pattern not in PATTERN_NAMES:
-        raise ValueError(f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}")
-    ndim = index.ndim
-    offs = neighbor_offsets(ndim)
-    zero_idx = len(offs) // 2
-    origin = index.cell_coords_arr[cell_rank]
-
-    if pattern == "full":
-        take = np.ones(len(offs), dtype=bool)
-    elif pattern == "lidunicomp":
-        take = offset_linear_deltas(index, offs) > 0
-    else:  # unicomp
-        pivots = unicomp_pivot_dims(ndim)
-        take = np.zeros(len(offs), dtype=bool)
-        valid = pivots >= 0
-        take[valid] = (origin[pivots[valid]] & 1) == 1
-    take[zero_idx] = False
-
-    coords = origin + offs[take]
-    inside = index.spec.in_bounds(coords)
-    visited = np.flatnonzero(take)[inside]
-    ranks = index.lookup(index.spec.linearize(coords[inside]))
-    return visited, ranks
+    return get_pattern_plan(pattern, index).cells_for_rank(cell_rank)

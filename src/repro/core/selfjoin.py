@@ -72,6 +72,11 @@ class SelfJoin:
         reconvergence; matches the analytic model) or ``"lockstep"``
         (event-by-event divergence serialization; slower-or-equal warp
         times, see :mod:`repro.simt.warp`).
+    engine:
+        Kernel execution engine: ``"interpreted"`` (thread-at-a-time
+        reference) or ``"vectorized"`` (the bulk-lane fast path, identical
+        results — see :mod:`repro.simt.vectorized`). Ignored when an
+        explicit ``executor`` is supplied.
     executor:
         Optional :class:`~repro.core.executor.BatchExecutor` that runs the
         planned batches; defaults to a single
@@ -93,6 +98,7 @@ class SelfJoin:
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        engine: str = "interpreted",
         executor: BatchExecutor | None = None,
         estimate_safety_z: float = 0.0,
     ):
@@ -104,6 +110,7 @@ class SelfJoin:
         self.include_self = include_self
         self.seed = seed
         self.replay_mode = replay_mode
+        self.engine = engine
         self.executor = executor
         self.estimate_safety_z = estimate_safety_z
 
@@ -195,7 +202,11 @@ class SelfJoin:
         if self.executor is not None:
             return self.executor
         return DeviceExecutor(
-            self.device, self.costs, seed=self.seed, replay_mode=self.replay_mode
+            self.device,
+            self.costs,
+            seed=self.seed,
+            replay_mode=self.replay_mode,
+            engine=self.engine,
         )
 
     def _run_plan(

@@ -51,17 +51,23 @@ class GridIndex:
         # Group points by cell: one stable sort, then run-length encode.
         order = np.argsort(linear, kind="stable")
         sorted_ids = linear[order]
-        cell_ids, starts, counts = np.unique(
-            sorted_ids, return_index=True, return_counts=True
+        cell_ids, starts, inverse, counts = np.unique(
+            sorted_ids, return_index=True, return_inverse=True, return_counts=True
         )
 
         self.point_order: np.ndarray = order
         self.cell_ids: np.ndarray = cell_ids
         self.cell_starts: np.ndarray = starts.astype(np.int64)
         self.cell_counts: np.ndarray = counts.astype(np.int64)
-        # rank of each point's cell (cell_ids is sorted, so searchsorted is exact)
-        self.point_cell_rank: np.ndarray = np.searchsorted(cell_ids, linear)
+        # dense point → cell-rank array, built from the unique() inverse so
+        # the hot-path cell_of_point lookup never binary-searches
+        rank_of_point = np.empty(len(order), dtype=np.int64)
+        rank_of_point[order] = inverse.astype(np.int64, copy=False)
+        self.point_cell_rank: np.ndarray = rank_of_point
         self.cell_coords_arr: np.ndarray = self.spec.delinearize(cell_ids)
+        # memoized per-pattern geometry (see repro.core.patterns.PatternPlan);
+        # a plain dict so plans live exactly as long as the index they describe
+        self.plan_cache: dict = {}
 
     # ------------------------------------------------------------------
     @property

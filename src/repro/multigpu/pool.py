@@ -82,6 +82,9 @@ class DevicePool:
         issue-order shuffles are independent yet reproducible.
     replay_mode:
         Warp replay fidelity forwarded to every executor.
+    engine:
+        Kernel execution engine forwarded to every executor
+        (``"interpreted"`` or ``"vectorized"``).
     overflow_policy:
         Forwarded to every executor: ``"raise"`` (default — overflow
         propagates and the join re-plans) or ``"retry"`` (batch-level
@@ -98,6 +101,7 @@ class DevicePool:
         costs: CostParams | None = None,
         seed: int = 0,
         replay_mode: str = "aggregate",
+        engine: str = "interpreted",
         overflow_policy: str = "raise",
     ):
         if specs is None:
@@ -117,6 +121,7 @@ class DevicePool:
                     costs,
                     seed=seed + d,
                     replay_mode=replay_mode,
+                    engine=engine,
                     overflow_policy=overflow_policy,
                 ),
             )

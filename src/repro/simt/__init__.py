@@ -30,23 +30,38 @@ from repro.simt.coop import CoopGroupTable
 from repro.simt.context import ThreadContext
 from repro.simt.scheduler import issue_order_permutation, makespan
 from repro.simt.streams import simulate_stream_pipeline
-from repro.simt.warp import WarpStats, replay_warp
+from repro.simt.vectorized import (
+    ENGINES,
+    BulkKernelResult,
+    BulkLaunch,
+    LabelCharges,
+    bulk_kernel_for,
+    register_bulk_kernel,
+)
+from repro.simt.warp import WarpStats, replay_warp, replay_warps_aggregate
 
 __all__ = [
     "AtomicCounter",
     "BufferOverflowError",
+    "BulkKernelResult",
+    "BulkLaunch",
     "CoopGroupTable",
     "CostParams",
     "DeviceSpec",
+    "ENGINES",
     "GpuMachine",
     "KernelProfile",
     "KernelStats",
+    "LabelCharges",
     "ResultBuffer",
     "ThreadContext",
     "WarpStats",
+    "bulk_kernel_for",
     "issue_order_permutation",
     "makespan",
     "profile_kernel",
+    "register_bulk_kernel",
     "replay_warp",
+    "replay_warps_aggregate",
     "simulate_stream_pipeline",
 ]

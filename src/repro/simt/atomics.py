@@ -32,6 +32,23 @@ class AtomicCounter:
         self.num_ops += 1
         return old
 
+    def fetch_add_bulk(self, count: int, amount: int = 1) -> int:
+        """Apply ``count`` consecutive ``fetch_add(amount)`` calls at once.
+
+        Returns the value before the first of them. The bulk engine uses
+        this to advance the queue head for a whole launch while keeping
+        ``num_ops`` — which the cost model charges per operation —
+        identical to ``count`` individual fetches.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        old = self._value
+        self._value += int(count) * int(amount)
+        self.num_ops += int(count)
+        return old
+
     def reset(self, value: int = 0) -> None:
         """Host-side reset between kernel invocations (the queue persists
         across batches in the paper, so callers normally do *not* reset)."""

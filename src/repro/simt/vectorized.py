@@ -1,0 +1,186 @@
+"""The bulk-lane vectorized execution engine for the SIMT VM.
+
+``GpuMachine`` normally interprets a kernel one Python thread at a time —
+faithful, but the reproduction's wall-clock then scales with |D|·3**n
+Python iterations. This module provides the fast path: a *bulk kernel* is
+an array-level implementation of the same kernel function that computes an
+entire launch at once — every thread's per-region cycle charges and every
+emitted result pair, in the exact order the interpreter would have
+produced them.
+
+The contract a bulk kernel must honor (and the equivalence suite checks):
+
+- **identical pairs, in buffer order** — the result buffer's content is
+  byte-for-byte what thread-by-thread execution in warp issue order would
+  have appended;
+- **identical charges** — per-thread cycle totals per control-flow region
+  (label) match the interpreter's trace totals, so the aggregate warp
+  replay, WEE and the makespan come out the same to the cycle;
+- **identical device side effects** — atomic counters advance by the same
+  amount with the same operation count, and a capacity overflow raises
+  :class:`~repro.simt.memory.BufferOverflowError` exactly when the
+  interpreted launch would have.
+
+This is possible because every charge the self-join kernels make is a pure
+function of candidate counts and cell visits, and because the work-queue's
+fetch sequence under a static issue order is computable in closed form
+(group g's leader is the issue-rank-g fetch). Event-by-event ``lockstep``
+replay is the one thing the closed form cannot reproduce — the machine
+falls back to the interpreter for it.
+
+Bulk implementations are registered per kernel function
+(:func:`register_bulk_kernel`); :class:`~repro.simt.GpuMachine` consults
+the registry when constructed with ``engine="vectorized"`` and silently
+interprets anything that has no bulk form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.simt.context import ThreadTrace
+from repro.simt.costs import CostParams
+from repro.simt.warp import WarpStats, warp_stats_from_label_matrix
+
+__all__ = [
+    "ENGINES",
+    "TRACE_LABEL_ORDER",
+    "BulkKernelResult",
+    "BulkLaunch",
+    "LabelCharges",
+    "bulk_kernel_for",
+    "bulk_warp_stats",
+    "register_bulk_kernel",
+    "synthesize_traces",
+    "thread_issue_positions",
+]
+
+ENGINES = ("interpreted", "vectorized")
+
+#: Canonical region order for synthesized traces — the order the kernels'
+#: regions first appear in a thread's interpreted trace.
+TRACE_LABEL_ORDER = ("atomic", "shfl", "setup", "cells", "dist", "emit")
+
+
+def thread_issue_positions(
+    warp_order: np.ndarray, warp_size: int, num_threads: int
+) -> np.ndarray:
+    """Rank of each thread id in the machine's execution sequence.
+
+    The machine executes whole warps in ``warp_order``, lanes in lane
+    order, skipping thread ids beyond the launch width — ``pos[tid]`` is
+    where ``tid`` falls in that sequence. Everything order-dependent in a
+    bulk kernel (queue fetches, result emission) keys off this array.
+    """
+    ws = warp_size
+    seq = (
+        np.asarray(warp_order, dtype=np.int64)[:, None] * ws
+        + np.arange(ws, dtype=np.int64)[None, :]
+    ).ravel()
+    seq = seq[seq < num_threads]
+    pos = np.empty(num_threads, dtype=np.int64)
+    pos[seq] = np.arange(num_threads, dtype=np.int64)
+    return pos
+
+
+@dataclass(frozen=True)
+class BulkLaunch:
+    """Launch geometry the machine hands to a bulk kernel implementation."""
+
+    num_threads: int
+    warp_size: int
+    num_warps: int
+    warp_order: np.ndarray
+    costs: CostParams
+    coop_groups: bool = False
+
+    def issue_positions(self) -> np.ndarray:
+        """Per-thread execution rank (see :func:`thread_issue_positions`)."""
+        return thread_issue_positions(
+            self.warp_order, self.warp_size, self.num_threads
+        )
+
+
+@dataclass
+class LabelCharges:
+    """Per-thread cycle charges of one control-flow region.
+
+    ``present`` marks threads that record an *event* for the region even
+    when its cycles are zero (a kernel charging ``0.0`` still appends a
+    trace event) — needed only to synthesize interpreter-identical traces.
+    """
+
+    cycles: np.ndarray
+    present: np.ndarray
+
+    def __post_init__(self):
+        self.cycles = np.asarray(self.cycles, dtype=np.float64)
+        self.present = np.asarray(self.present, dtype=bool)
+
+
+@dataclass
+class BulkKernelResult:
+    """Everything one bulk kernel evaluation produced.
+
+    ``pairs`` must already be in the interpreter's emission order: threads
+    by issue position, each thread's blocks in kernel traversal order,
+    forward hits before their mirrors, candidates in cell order.
+    """
+
+    charges: dict[str, LabelCharges] = field(default_factory=dict)
+    pairs: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+
+
+_BULK_KERNELS: dict[Callable, Callable] = {}
+
+
+def register_bulk_kernel(kernel: Callable, impl: Callable) -> None:
+    """Register ``impl(launch, args) -> BulkKernelResult`` as the bulk form
+    of ``kernel(ctx, args)``. Re-registration replaces the previous form."""
+    _BULK_KERNELS[kernel] = impl
+
+
+def bulk_kernel_for(kernel: Callable):
+    """The registered bulk implementation of ``kernel``, or ``None``."""
+    return _BULK_KERNELS.get(kernel)
+
+
+def bulk_warp_stats(
+    result: BulkKernelResult, num_threads: int, num_warps: int, warp_size: int
+) -> list[WarpStats]:
+    """Aggregate-replay warp statistics from a bulk result's charges."""
+    labels = list(result.charges)
+    if labels:
+        matrix = np.stack(
+            [result.charges[label].cycles for label in labels], axis=1
+        )
+    else:
+        matrix = np.zeros((num_threads, 0), dtype=np.float64)
+    return warp_stats_from_label_matrix(matrix, num_threads, num_warps, warp_size)
+
+
+def synthesize_traces(
+    result: BulkKernelResult, num_threads: int
+) -> list[ThreadTrace]:
+    """Per-thread traces equivalent to the interpreter's, for profiling.
+
+    Each present region becomes one event carrying the thread's total
+    cycles for it, in canonical region order — label totals (what the
+    aggregate replay and :func:`repro.simt.profile_kernel` consume) match
+    the interpreted launch exactly; only the event *granularity* is
+    coarser, which is why ``lockstep`` replay never runs on this path.
+    """
+    traces = [ThreadTrace() for _ in range(num_threads)]
+    ordered = [label for label in TRACE_LABEL_ORDER if label in result.charges]
+    ordered += [label for label in result.charges if label not in TRACE_LABEL_ORDER]
+    for label in ordered:
+        ch = result.charges[label]
+        cycles = ch.cycles
+        for tid in np.flatnonzero(ch.present):
+            traces[tid].add(label, float(cycles[tid]))
+    return traces

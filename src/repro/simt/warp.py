@@ -26,9 +26,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.simt.context import ThreadTrace
 
-__all__ = ["WarpStats", "replay_warp"]
+__all__ = [
+    "WarpStats",
+    "replay_warp",
+    "replay_warps_aggregate",
+    "warp_stats_from_label_matrix",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +95,63 @@ def _replay_aggregate(traces: list[ThreadTrace], warp_size: int) -> WarpStats:
         warp_cycles += max(t.get(label, 0.0) for t in per_lane)
     active = sum(tr.total_cycles for tr in traces)
     return WarpStats(warp_cycles, active, len(traces), warp_size)
+
+
+def warp_stats_from_label_matrix(
+    matrix: np.ndarray, num_threads: int, num_warps: int, warp_size: int
+) -> list[WarpStats]:
+    """Aggregate replay of every warp at once from per-thread label totals.
+
+    ``matrix`` has shape ``(num_threads, num_labels)``; rows are threads in
+    tid order. The aggregate rule is evaluated as one padded reshape: a
+    warp's lock-step time is the per-label lane maximum summed over labels
+    — identical to :func:`replay_warp` on each warp's traces, without the
+    per-warp Python loop.
+    """
+    ws = warp_size
+    if num_warps == 0:
+        return []
+    matrix = np.asarray(matrix, dtype=np.float64)
+    num_labels = matrix.shape[1] if matrix.ndim == 2 else 0
+    padded = np.zeros((num_warps * ws, num_labels), dtype=np.float64)
+    padded[:num_threads] = matrix
+    cube = padded.reshape(num_warps, ws, num_labels)
+    busy = cube.max(axis=1).sum(axis=1) if num_labels else np.zeros(num_warps)
+    active = cube.sum(axis=(1, 2)) if num_labels else np.zeros(num_warps)
+    lanes = np.minimum(
+        np.full(num_warps, ws, dtype=np.int64),
+        num_threads - np.arange(num_warps, dtype=np.int64) * ws,
+    )
+    return [
+        WarpStats(float(busy[w]), float(active[w]), int(lanes[w]), ws)
+        for w in range(num_warps)
+    ]
+
+
+def replay_warps_aggregate(
+    traces: list[ThreadTrace], num_warps: int, warp_size: int
+) -> list[WarpStats]:
+    """Batched aggregate replay of a whole launch's thread traces.
+
+    ``traces`` holds one trace per thread in tid order. The per-trace label
+    totals are collected into one ``(threads, labels)`` matrix and the warp
+    maxima/sums are evaluated array-at-a-time — the vectorized counterpart
+    of calling :func:`replay_warp` per warp, with identical results for
+    cycle totals (label *order* does not affect an aggregate sum).
+    """
+    label_index: dict[str, int] = {}
+    per_thread: list[dict[str, float]] = []
+    for tr in traces:
+        totals = tr.label_totals()
+        per_thread.append(totals)
+        for label in totals:
+            if label not in label_index:
+                label_index[label] = len(label_index)
+    matrix = np.zeros((len(traces), len(label_index)), dtype=np.float64)
+    for tid, totals in enumerate(per_thread):
+        for label, cycles in totals.items():
+            matrix[tid, label_index[label]] = cycles
+    return warp_stats_from_label_matrix(matrix, len(traces), num_warps, warp_size)
 
 
 def _replay_lockstep(traces: list[ThreadTrace], warp_size: int) -> WarpStats:
