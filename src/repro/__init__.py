@@ -33,6 +33,16 @@ from repro.core import JoinResult, OptimizationConfig, PRESETS, SelfJoin, Simila
 from repro.grid import GridIndex
 from repro.multigpu import MultiGpuSelfJoin, MultiGpuSimilarityJoin
 from repro.resilience import FaultPlan, RecoveryPolicy
+from repro.runtime import (
+    JoinPlan,
+    OverflowConfig,
+    ProfilingOptions,
+    Runner,
+    RuntimeConfig,
+    ShardingConfig,
+    compile_self_join,
+    compile_similarity_join,
+)
 from repro.simt import CostParams, DeviceSpec
 
 __version__ = "1.0.0"
@@ -42,13 +52,21 @@ __all__ = [
     "DeviceSpec",
     "FaultPlan",
     "GridIndex",
+    "JoinPlan",
     "JoinResult",
     "MultiGpuSelfJoin",
     "MultiGpuSimilarityJoin",
     "OptimizationConfig",
+    "OverflowConfig",
     "PRESETS",
+    "ProfilingOptions",
     "RecoveryPolicy",
+    "Runner",
+    "RuntimeConfig",
     "SelfJoin",
     "SimilarityJoin",
+    "ShardingConfig",
+    "compile_self_join",
+    "compile_similarity_join",
     "__version__",
 ]

@@ -1,0 +1,81 @@
+"""``python -m repro`` — package-level maintenance commands.
+
+``--api-dump`` prints the public API surface: every ``__all__`` export of
+the public packages, with call signatures for classes and functions. CI
+diffs the dump against the checked-in ``api_manifest.txt``, so a knob
+added to (or dropped from) any layer — a facade kwarg, a RuntimeConfig
+field, an executor parameter — shows up as a reviewed manifest change
+instead of silent drift. Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro --api-dump > api_manifest.txt
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+
+#: The packages whose ``__all__`` constitutes the supported surface.
+PUBLIC_MODULES = (
+    "repro",
+    "repro.core",
+    "repro.grid",
+    "repro.multigpu",
+    "repro.resilience",
+    "repro.runtime",
+    "repro.simt",
+)
+
+
+def _signature(obj) -> str:
+    """Best-effort canonical signature; empty for non-callables."""
+    try:
+        if inspect.isclass(obj):
+            sig = inspect.signature(obj.__init__)
+            params = [p for n, p in sig.parameters.items() if n != "self"]
+            return str(sig.replace(parameters=params))
+        if callable(obj):
+            return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        pass
+    return ""
+
+
+def _kind(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj):
+        return "function"
+    if isinstance(obj, (str, int, float, tuple, frozenset, dict)):
+        return "const"
+    return "object"
+
+
+def api_surface() -> list[str]:
+    """One sorted line per export: ``module.name [kind] signature``."""
+    lines: list[str] = []
+    for mod_name in PUBLIC_MODULES:
+        mod = importlib.import_module(mod_name)
+        for name in sorted(getattr(mod, "__all__", ())):
+            obj = getattr(mod, name)
+            sig = _signature(obj)
+            entry = f"{mod_name}.{name} [{_kind(obj)}]"
+            if sig:
+                entry += f" {sig}"
+            lines.append(entry)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv == ["--api-dump"]:
+        print("\n".join(api_surface()))
+        return 0
+    prog = "python -m repro"
+    print(f"usage: {prog} --api-dump", file=sys.stderr)
+    return 0 if argv in ([], ["--help"], ["-h"]) else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

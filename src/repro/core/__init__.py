@@ -47,6 +47,7 @@ from repro.core.patterns import (
 from repro.core.result import JoinResult
 from repro.core.selfjoin import SelfJoin
 from repro.core.sortbywl import cell_workloads, point_workloads, sort_by_workload
+from repro.core.validation import validate_inputs
 
 __all__ = [
     "BatchExecutor",
@@ -71,4 +72,5 @@ __all__ = [
     "point_workloads",
     "sort_by_workload",
     "thread_share_counts",
+    "validate_inputs",
 ]

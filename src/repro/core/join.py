@@ -14,38 +14,33 @@ operation):
   the WORKQUEUE and the batching scheme all carry over unchanged.
 
 Result pairs are ``(a_index, b_index)`` — one direction only.
+
+The device-side kernels live in :mod:`repro.core.bipartite_kernels` (and
+are re-exported here); like :class:`~repro.core.selfjoin.SelfJoin`, the
+facade itself is a thin compiler: it validates input, builds B's index,
+compiles a :class:`~repro.runtime.plan.JoinPlan` and hands it to the
+:class:`~repro.runtime.runner.Runner`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.core.batching import plan_batches, plan_batches_balanced
+from repro.core.bipartite_kernels import (
+    BipartiteKernelArgs,
+    bipartite_bulk,
+    bipartite_kernel,
+)
 from repro.core.config import OptimizationConfig
-from repro.core.executor import BatchExecutor, DeviceExecutor
-from repro.core.granularity import split_candidates
-from repro.core.kernels import BulkEmitter, resolve_bulk_queries
+from repro.core.executor import BatchExecutor
 from repro.core.result import JoinResult
-from repro.core.workqueue import fetch_query_slot
+from repro.core.validation import validate_inputs
 from repro.grid import GridIndex
-from repro.grid.bipartite import bipartite_neighbor_counts, bipartite_workloads
-from repro.grid.neighbors import neighbor_offsets
-from repro.simt import (
-    AtomicCounter,
-    BufferOverflowError,
-    CostParams,
-    DeviceSpec,
-    ThreadContext,
-)
-from repro.simt.vectorized import (
-    BulkKernelResult,
-    BulkLaunch,
-    LabelCharges,
-    register_bulk_kernel,
-)
-from repro.util import as_points_array, check_epsilon, stable_argsort_desc
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.plan import compile_similarity_join
+from repro.runtime.runner import Runner
+from repro.runtime.shim import split_config, warn_legacy
+from repro.simt import CostParams, DeviceSpec
 
 __all__ = [
     "BipartiteKernelArgs",
@@ -54,184 +49,84 @@ __all__ = [
     "bipartite_kernel",
 ]
 
-_MAX_REPLANS = 8
-
-
-@dataclass
-class BipartiteKernelArgs:
-    """Device-side arguments of one bipartite batch kernel."""
-
-    index: GridIndex  # over B
-    queries: np.ndarray  # A's coordinates
-    batch: np.ndarray  # query ids this batch serves
-    k: int = 1
-    queue_counter: AtomicCounter | None = None
-    queue_order: np.ndarray | None = None
-
-    def __post_init__(self):
-        self.queries = as_points_array(self.queries)
-        self.batch = np.asarray(self.batch, dtype=np.int64)
-        if self.k < 1:
-            raise ValueError("k must be >= 1")
-        if (self.queue_counter is None) != (self.queue_order is None):
-            raise ValueError("queue_counter and queue_order must be given together")
-        self._eps2 = self.index.epsilon**2
-
-    @property
-    def uses_queue(self) -> bool:
-        return self.queue_counter is not None
-
-    @property
-    def num_threads(self) -> int:
-        return len(self.batch) * self.k
-
-
-def bipartite_kernel(ctx: ThreadContext, args: BipartiteKernelArgs) -> None:
-    """One thread of the bipartite join kernel (full pattern, external
-    queries, flat k-way candidate split)."""
-    k = args.k
-    if ctx.tid >= args.num_threads:
-        return
-    if args.uses_queue:
-        slot = fetch_query_slot(ctx, k, args.queue_counter)
-        if slot >= len(args.queue_order):
-            return
-        q = int(args.queue_order[slot])
-    else:
-        q = int(args.batch[ctx.tid // k])
-    r = ctx.tid % k
-
-    ctx.charge_setup()
-    index = args.index
-    query = args.queries[q]
-    coords = index.spec.cell_coords(query.reshape(1, -1), clamp=False)[0]
-
-    offset = 0
-    for off in neighbor_offsets(index.ndim):
-        probe = coords + off
-        if not index.spec.in_bounds(probe.reshape(1, -1))[0]:
-            continue
-        ctx.charge_cell_visit()
-        rank = int(index.lookup(index.spec.linearize(probe.reshape(1, -1)))[0])
-        if rank < 0:
-            continue
-        cand = index.points_in_cell(rank)
-        mine, offset = split_candidates(cand, k, r, offset)
-        ctx.charge_candidates(len(mine), index.ndim)
-        if len(mine) == 0:
-            continue
-        d2 = ((index.points[mine] - query) ** 2).sum(axis=1)
-        hit = mine[d2 <= args._eps2]
-        if len(hit):
-            qcol = np.full(len(hit), q, dtype=np.int64)
-            ctx.emit_pairs(np.stack([qcol, hit], axis=1))
-
-
-def bipartite_bulk(launch: BulkLaunch, args: BipartiteKernelArgs) -> BulkKernelResult:
-    """Array-level evaluation of a whole :func:`bipartite_kernel` launch.
-
-    Same contract as :func:`repro.core.kernels.selfjoin_bulk`: identical
-    pairs in buffer order, identical per-thread charges, identical queue
-    side effects. The bipartite probe differs from the self-join in that
-    queries live outside the index — their (unclamped) cell coordinates
-    may fall outside the grid, so the probe set is the full 3**n offsets
-    with a per-offset bounds check rather than a
-    :class:`~repro.core.patterns.PatternPlan`.
-    """
-    index = args.index
-    k = args.k
-    width = launch.num_threads
-    issue_pos, n_active, groups, q_of_group, live, charges = resolve_bulk_queries(
-        launch, args
-    )
-
-    lg = np.flatnonzero(live)
-    qs = q_of_group[lg]
-
-    tids = np.arange(n_active, dtype=np.int64)
-    t_live = np.zeros(n_active, dtype=bool)
-    if groups:
-        t_live = live[tids // k]
-    live_tids = tids[t_live]
-    present = np.zeros(width, dtype=bool)
-    present[live_tids] = True
-    setup = np.zeros(width, dtype=np.float64)
-    setup[present] = launch.costs.c_setup
-    charges["setup"] = LabelCharges(setup, present)
-
-    emitter = BulkEmitter(index, issue_pos, n_active, k, width, args._eps2)
-    visits_of_group = np.zeros(groups, dtype=np.int64)
-    if len(lg):
-        q_points = args.queries[qs]
-        coords = index.spec.cell_coords(q_points, clamp=False)
-        flat_base = np.zeros(len(lg), dtype=np.int64)
-        for oi, off in enumerate(neighbor_offsets(index.ndim)):
-            probe = coords + off
-            inside = index.spec.in_bounds(probe)
-            visits_of_group[lg[inside]] += 1  # in-bounds probes cost a visit
-            if not inside.any():
-                continue
-            ranks = np.full(len(lg), -1, dtype=np.int64)
-            ranks[inside] = index.lookup(index.spec.linearize(probe[inside]))
-            sel = np.flatnonzero(ranks >= 0)
-            if not len(sel):
-                continue
-            emitter.process_stage(
-                oi,
-                lg[sel],
-                qs[sel],
-                q_points[sel],
-                ranks[sel],
-                flat_base[sel],
-                mirror=False,
-            )
-            flat_base[sel] += index.cell_counts[ranks[sel]]
-
-    cells = np.zeros(width, dtype=np.float64)
-    cells_p = np.zeros(width, dtype=bool)
-    if len(live_tids):
-        visit_counts = visits_of_group[live_tids // k]
-        cells[live_tids] = visit_counts * launch.costs.c_cell
-        cells_p[live_tids] = visit_counts > 0
-    charges["cells"] = LabelCharges(cells, cells_p)
-
-    emitter.charge(charges, launch.costs.dist_cost(index.ndim), launch.costs.c_emit)
-    return BulkKernelResult(charges=charges, pairs=emitter.pairs())
-
-
-register_bulk_kernel(bipartite_kernel, bipartite_bulk)
-
 
 class SimilarityJoin:
     """Bipartite ε-join of two datasets on the simulated GPU.
 
     Accepts the same :class:`OptimizationConfig` as :class:`SelfJoin`
-    (``pattern`` must stay ``"full"``). ``execute(left, right, eps)``
-    returns a :class:`JoinResult` whose pairs are ``(left_idx,
+    (``pattern`` must stay ``"full"``) — or a full
+    :class:`~repro.runtime.config.RuntimeConfig`. ``execute(left, right,
+    eps)`` returns a :class:`JoinResult` whose pairs are ``(left_idx,
     right_idx)``.
+
+    The ``engine=`` and ``executor=`` keyword arguments are deprecated:
+    set ``RuntimeConfig.engine``, and pass executors to
+    :class:`~repro.runtime.runner.Runner` or :meth:`execute_on_index`.
     """
 
     def __init__(
         self,
-        config: OptimizationConfig | None = None,
+        config: OptimizationConfig | RuntimeConfig | None = None,
         *,
+        runtime: RuntimeConfig | None = None,
         device: DeviceSpec | None = None,
         costs: CostParams | None = None,
         seed: int = 0,
-        engine: str = "interpreted",
+        engine: str | None = None,
         executor: BatchExecutor | None = None,
     ):
-        self.config = config if config is not None else OptimizationConfig()
-        if self.config.pattern != "full":
+        config, runtime = split_config(config, runtime, "SimilarityJoin")
+        if engine is not None:
+            warn_legacy(
+                "SimilarityJoin", "engine", "set RuntimeConfig.engine instead"
+            )
+        if executor is not None:
+            warn_legacy(
+                "SimilarityJoin",
+                "executor",
+                "pass it to Runner(executor=...) instead",
+            )
+        if runtime is None:
+            runtime = RuntimeConfig(
+                optimization=config if config is not None else OptimizationConfig(),
+                engine=engine if engine is not None else "interpreted",
+                seed=seed,
+                device=device,
+                costs=costs,
+            )
+        else:
+            if config is not None:
+                runtime = runtime.with_(optimization=config)
+            if engine is not None:
+                runtime = runtime.with_(engine=engine)
+        if runtime.optimization.pattern != "full":
             raise ValueError(
                 "unidirectional patterns exploit self-join symmetry; the "
                 "bipartite join requires pattern='full'"
             )
-        self.device = device if device is not None else DeviceSpec()
-        self.costs = costs if costs is not None else CostParams()
-        self.seed = seed
-        self.engine = engine
+        self.runtime = runtime
         self.executor = executor
+
+    # -- legacy attribute spellings ------------------------------------
+    @property
+    def config(self) -> OptimizationConfig:
+        return self.runtime.optimization
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.runtime.device if self.runtime.device is not None else DeviceSpec()
+
+    @property
+    def costs(self) -> CostParams:
+        return self.runtime.costs if self.runtime.costs is not None else CostParams()
+
+    @property
+    def seed(self) -> int:
+        return self.runtime.seed
+
+    @property
+    def engine(self) -> str:
+        return self.runtime.engine
 
     # ------------------------------------------------------------------
     def execute(self, left, right, epsilon: float) -> JoinResult:
@@ -239,13 +134,14 @@ class SimilarityJoin:
 
         Both datasets and ``epsilon`` are validated at the entry point:
         non-finite coordinates and non-positive or non-finite thresholds
-        raise :class:`ValueError` here, not as a wrong answer deep in the
-        grid layer.
+        raise :class:`ValueError` here — locating the offending row and
+        naming the side — not as a wrong answer deep in the grid layer.
         """
-        check_epsilon(epsilon)
-        queries = as_points_array(left)
-        index = GridIndex(as_points_array(right), epsilon)
-        return self.execute_on_index(index, queries)
+        left, right, epsilon = validate_inputs(
+            left, right, epsilon=epsilon, names=("left", "right")
+        )
+        index = GridIndex(right, epsilon)
+        return self.execute_on_index(index, left)
 
     def execute_on_index(
         self,
@@ -257,99 +153,19 @@ class SimilarityJoin:
     ) -> JoinResult:
         """Run the join over a prebuilt index of B, optionally for a subset
         of A's query ids (a shard of the full bipartite join)."""
-        cfg = self.config
-        queries = as_points_array(queries)
-        executor = executor if executor is not None else self._default_executor()
-        ids = (
-            np.asarray(subset, dtype=np.int64)
-            if subset is not None
-            else np.arange(len(queries), dtype=np.int64)
+        plan = self.compile(index, queries, subset=subset)
+        runner = Runner(
+            executor=executor if executor is not None else self.executor,
+            pool=None,
         )
+        return runner.run(plan)
 
-        workloads, _ = bipartite_workloads(index, queries[ids])
-        if cfg.uses_sorted_points:
-            order = ids[stable_argsort_desc(workloads)]
-        else:
-            order = ids
-
-        est = self._estimate(index, queries, ids, order)
-        weights = None
-        if cfg.balanced_batches:
-            by_id = np.zeros(len(queries), dtype=np.float64)
-            by_id[ids] = workloads
-            weights = by_id[order]
-
-        for _ in range(_MAX_REPLANS):
-            if cfg.balanced_batches:
-                plan = plan_batches_balanced(
-                    order, weights, est, cfg.batch_result_capacity
-                )
-            else:
-                plan = plan_batches(
-                    order, est, cfg.batch_result_capacity, strided=not cfg.work_queue
-                )
-            try:
-                return self._run_plan(index, queries, order, plan, executor)
-            except BufferOverflowError:
-                est = max(est * 2, cfg.batch_result_capacity + 1)
-        raise RuntimeError(
-            f"batch planning failed to converge after {_MAX_REPLANS} attempts"
-        )
-
-    # ------------------------------------------------------------------
-    def _default_executor(self) -> BatchExecutor:
-        if self.executor is not None:
-            return self.executor
-        return DeviceExecutor(
-            self.device, self.costs, seed=self.seed, engine=self.engine
-        )
-
-    def _estimate(self, index, queries, ids, order) -> int:
-        cfg = self.config
-        nq = len(ids)
-        if nq == 0 or index.num_points == 0:
-            return 0
-        sample_size = min(nq, max(1, int(round(nq * cfg.sample_fraction))))
-        if cfg.work_queue:
-            sample = order[:sample_size]  # heaviest queries: overestimates
-        else:
-            step = max(1, nq // sample_size)
-            sample = ids[::step]
-        if len(sample) == 0:
-            return 0
-        counts = bipartite_neighbor_counts(index, queries[sample])
-        return int(np.ceil(counts.sum() * (nq / len(sample))))
-
-    def _run_plan(self, index, queries, order, plan, executor) -> JoinResult:
-        cfg = self.config
-        counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
-
-        def make_args(batch: np.ndarray) -> BipartiteKernelArgs:
-            return BipartiteKernelArgs(
-                index=index,
-                queries=queries,
-                batch=batch,
-                k=cfg.k,
-                queue_counter=counter,
-                queue_order=order if cfg.work_queue else None,
-            )
-
-        outcome = executor.run_batches(
-            bipartite_kernel,
-            plan.batches,
-            make_args,
-            result_capacity=cfg.batch_result_capacity,
-            num_streams=cfg.num_streams,
-            issue_order="fifo" if cfg.work_queue else "random",
-            coop_groups=cfg.work_queue and cfg.k > 1,
-        )
-        return JoinResult(
-            pairs=outcome.merged_pairs(),
-            epsilon=float(index.epsilon),
-            num_points=len(order),
-            batch_stats=outcome.batch_stats,
-            pipeline=outcome.pipeline,
-            config_description=f"bipartite {cfg.describe()}",
-            overflow_retries=outcome.num_overflow_retries,
-            overflow_wasted_seconds=outcome.overflow_wasted_seconds,
-        )
+    def compile(
+        self,
+        index: GridIndex,
+        queries: np.ndarray,
+        *,
+        subset: np.ndarray | None = None,
+    ):
+        """Compile this facade's :class:`~repro.runtime.plan.JoinPlan`."""
+        return compile_similarity_join(index, queries, self.runtime, subset=subset)

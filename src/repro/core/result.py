@@ -32,6 +32,11 @@ class JoinResult:
     #: in the pipeline's ``total_seconds``.
     overflow_retries: int = 0
     overflow_wasted_seconds: float = 0.0
+    #: per-batch pair blocks in buffer order (their concatenation equals
+    #: ``pairs``), kept by the runner for streaming consumption; ``None``
+    #: when retention was turned off or the pairs were re-ordered by a
+    #: multi-device merge.
+    fragments: tuple[np.ndarray, ...] | None = field(default=None, repr=False)
 
     @property
     def num_pairs(self) -> int:
@@ -86,6 +91,40 @@ class JoinResult:
         for q, a, b in zip(qs, bounds[:-1], bounds[1:]):
             out[int(q)] = sorted_pairs[a:b, 1]
         return out
+
+    def iter_pairs(self, chunk: int | None = None):
+        """Yield the result pairs in blocks, without copying the whole set.
+
+        Backed by the per-batch ``fragments`` when the runner kept them
+        (single-device runs), falling back to views of ``pairs`` otherwise
+        — either way the concatenation of every yielded block equals
+        ``pairs`` exactly, rows in the same order.
+
+        Without ``chunk``, blocks are the natural fragments (empty ones
+        skipped). With ``chunk``, blocks hold exactly ``chunk`` rows apiece
+        (the last one short), re-slicing across fragment boundaries.
+        """
+        blocks = self.fragments if self.fragments is not None else (self.pairs,)
+        if chunk is None:
+            for block in blocks:
+                if len(block):
+                    yield block
+            return
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        pending: list[np.ndarray] = []
+        have = 0
+        for block in blocks:
+            while len(block):
+                take = min(chunk - have, len(block))
+                pending.append(block[:take])
+                have += take
+                block = block[take:]
+                if have == chunk:
+                    yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+                    pending, have = [], 0
+        if have:
+            yield pending[0] if len(pending) == 1 else np.concatenate(pending)
 
     def sorted_pairs(self) -> np.ndarray:
         """Pairs in lexicographic order — canonical form for comparisons."""

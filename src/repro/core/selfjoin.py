@@ -1,7 +1,10 @@
-"""The public self-join facade: plan batches, run kernels, collect results.
+"""The public self-join facade: compile a plan, hand it to the runner.
 
-:class:`SelfJoin` wires together the grid index, the optimization config,
-the batching scheme and the SIMT machine:
+:class:`SelfJoin` no longer owns execution logic — it validates input,
+builds the ε-grid index, compiles a declarative
+:class:`~repro.runtime.plan.JoinPlan` (estimate → batch plan → launches →
+merge) from its :class:`~repro.runtime.config.RuntimeConfig`, and hands
+the plan to the one :class:`~repro.runtime.runner.Runner`:
 
 1. build the ε-grid index;
 2. if SORTBYWL / WORKQUEUE: quantify workloads and produce D';
@@ -17,39 +20,27 @@ If a batch overflows its result buffer (the estimator under-guessed), the
 run is re-planned with a doubled estimate — the same recovery a production
 implementation needs, and a tested code path here.
 
-Execution is delegated through the :class:`~repro.core.executor.BatchExecutor`
-seam: the planning above is device-independent, and
 :meth:`SelfJoin.execute_on_index` can run any *subset* of the query points
-against a prebuilt index on any executor. :mod:`repro.multigpu` uses exactly
-this entry point to run shards of one join on a pool of devices.
+against a prebuilt index on any executor. :mod:`repro.multigpu` compiles
+pooled plans over exactly the same runtime.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.batching import (
-    estimate_result_size_detailed,
-    plan_batches,
-    plan_batches_balanced,
-)
 from repro.core.config import OptimizationConfig
-from repro.core.executor import BatchExecutor, DeviceExecutor
-from repro.core.kernels import KernelArgs, selfjoin_kernel
+from repro.core.executor import BatchExecutor
 from repro.core.result import JoinResult
-from repro.core.sortbywl import point_workloads, sort_by_workload
+from repro.core.validation import validate_inputs
 from repro.grid import GridIndex
-from repro.simt import (
-    AtomicCounter,
-    BufferOverflowError,
-    CostParams,
-    DeviceSpec,
-)
-from repro.util import as_points_array, check_epsilon
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.plan import compile_self_join
+from repro.runtime.runner import Runner
+from repro.runtime.shim import split_config, warn_legacy
+from repro.simt import CostParams, DeviceSpec
 
 __all__ = ["SelfJoin"]
-
-_MAX_REPLANS = 8
 
 
 class SelfJoin:
@@ -58,10 +49,15 @@ class SelfJoin:
     Parameters
     ----------
     config:
-        The optimization selection; defaults to the GPUCALCGLOBAL baseline.
+        The optimization selection; defaults to the GPUCALCGLOBAL
+        baseline. A full :class:`~repro.runtime.config.RuntimeConfig` is
+        also accepted here (or via ``runtime=``), carrying every
+        execution knob in one value.
+    runtime:
+        Explicit :class:`~repro.runtime.config.RuntimeConfig`; mutually
+        exclusive with passing one as ``config``.
     device, costs:
         Simulated hardware; defaults match the paper's testbed class.
-        Ignored when an explicit ``executor`` is supplied.
     include_self:
         Whether each point joins with itself (``dist = 0 <= eps``).
     seed:
@@ -73,14 +69,11 @@ class SelfJoin:
         (event-by-event divergence serialization; slower-or-equal warp
         times, see :mod:`repro.simt.warp`).
     engine:
-        Kernel execution engine: ``"interpreted"`` (thread-at-a-time
-        reference) or ``"vectorized"`` (the bulk-lane fast path, identical
-        results — see :mod:`repro.simt.vectorized`). Ignored when an
-        explicit ``executor`` is supplied.
+        .. deprecated:: set ``RuntimeConfig.engine`` instead.
     executor:
-        Optional :class:`~repro.core.executor.BatchExecutor` that runs the
-        planned batches; defaults to a single
-        :class:`~repro.core.executor.DeviceExecutor` over ``device``.
+        .. deprecated:: pass the executor to
+           :class:`~repro.runtime.runner.Runner` (or to
+           :meth:`execute_on_index`) instead.
     estimate_safety_z:
         Pad the result-size estimate by this many standard errors of the
         sampled total before planning batches (0 = trust the point
@@ -91,28 +84,76 @@ class SelfJoin:
 
     def __init__(
         self,
-        config: OptimizationConfig | None = None,
+        config: OptimizationConfig | RuntimeConfig | None = None,
         *,
+        runtime: RuntimeConfig | None = None,
         device: DeviceSpec | None = None,
         costs: CostParams | None = None,
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
-        engine: str = "interpreted",
+        engine: str | None = None,
         executor: BatchExecutor | None = None,
         estimate_safety_z: float = 0.0,
     ):
-        if estimate_safety_z < 0:
-            raise ValueError("estimate_safety_z must be >= 0")
-        self.config = config if config is not None else OptimizationConfig()
-        self.device = device if device is not None else DeviceSpec()
-        self.costs = costs if costs is not None else CostParams()
-        self.include_self = include_self
-        self.seed = seed
-        self.replay_mode = replay_mode
-        self.engine = engine
+        config, runtime = split_config(config, runtime, "SelfJoin")
+        if engine is not None:
+            warn_legacy("SelfJoin", "engine", "set RuntimeConfig.engine instead")
+        if executor is not None:
+            warn_legacy(
+                "SelfJoin", "executor", "pass it to Runner(executor=...) instead"
+            )
+        if runtime is None:
+            runtime = RuntimeConfig(
+                optimization=config if config is not None else OptimizationConfig(),
+                engine=engine if engine is not None else "interpreted",
+                replay_mode=replay_mode,
+                seed=seed,
+                include_self=include_self,
+                estimate_safety_z=estimate_safety_z,
+                device=device,
+                costs=costs,
+            )
+        else:
+            if config is not None:
+                runtime = runtime.with_(optimization=config)
+            if engine is not None:
+                runtime = runtime.with_(engine=engine)
+        self.runtime = runtime
         self.executor = executor
-        self.estimate_safety_z = estimate_safety_z
+
+    # -- legacy attribute spellings ------------------------------------
+    @property
+    def config(self) -> OptimizationConfig:
+        return self.runtime.optimization
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.runtime.device if self.runtime.device is not None else DeviceSpec()
+
+    @property
+    def costs(self) -> CostParams:
+        return self.runtime.costs if self.runtime.costs is not None else CostParams()
+
+    @property
+    def include_self(self) -> bool:
+        return self.runtime.include_self
+
+    @property
+    def seed(self) -> int:
+        return self.runtime.seed
+
+    @property
+    def replay_mode(self) -> str:
+        return self.runtime.replay_mode
+
+    @property
+    def engine(self) -> str:
+        return self.runtime.engine
+
+    @property
+    def estimate_safety_z(self) -> float:
+        return self.runtime.estimate_safety_z
 
     # ------------------------------------------------------------------
     def execute(self, points, epsilon: float) -> JoinResult:
@@ -122,8 +163,7 @@ class SelfJoin:
         non-positive or non-finite ``epsilon`` raise :class:`ValueError`
         here, not as a wrong answer deep in the grid layer.
         """
-        check_epsilon(epsilon)
-        points = as_points_array(points)
+        points, epsilon = validate_inputs(points, epsilon=epsilon)
         index = GridIndex(points, epsilon)
         return self.execute_on_index(index)
 
@@ -143,109 +183,13 @@ class SelfJoin:
         computed for the subset alone; WORKQUEUE state (the atomic counter
         over the subset's D' slice) is private to this call.
         """
-        cfg = self.config
-        executor = executor if executor is not None else self._default_executor()
-
-        if cfg.uses_sorted_points:
-            order = sort_by_workload(index, cfg.pattern)
-            if subset is not None:
-                keep = np.zeros(index.num_points, dtype=bool)
-                keep[np.asarray(subset, dtype=np.int64)] = True
-                order = order[keep[order]]  # D' restricted, rank order kept
-        elif subset is not None:
-            order = np.asarray(subset, dtype=np.int64)
-        else:
-            order = np.arange(index.num_points, dtype=np.int64)
-
-        detailed = estimate_result_size_detailed(
-            index,
-            sample_fraction=cfg.sample_fraction,
-            mode="head" if cfg.work_queue else "strided",
-            order=order if cfg.work_queue else None,
-            include_self=self.include_self,
-            subset=subset,
+        plan = self.compile(index, subset=subset)
+        runner = Runner(
+            executor=executor if executor is not None else self.executor,
+            pool=None,
         )
-        est = (
-            detailed.with_margin(self.estimate_safety_z)
-            if self.estimate_safety_z > 0
-            else detailed.estimate
-        )
+        return runner.run(plan)
 
-        weights = (
-            point_workloads(index, cfg.pattern)[order].astype(float)
-            if cfg.balanced_batches
-            else None
-        )
-        for attempt in range(_MAX_REPLANS):
-            if cfg.balanced_batches:
-                plan = plan_batches_balanced(
-                    order, weights, est, cfg.batch_result_capacity
-                )
-            else:
-                plan = plan_batches(
-                    order,
-                    est,
-                    cfg.batch_result_capacity,
-                    strided=not cfg.work_queue,
-                )
-            try:
-                return self._run_plan(index, order, plan, executor)
-            except BufferOverflowError:
-                # estimator under-guessed; double and re-plan
-                est = max(est * 2, cfg.batch_result_capacity + 1)
-        raise RuntimeError(
-            f"batch planning failed to converge after {_MAX_REPLANS} attempts"
-        )
-
-    # ------------------------------------------------------------------
-    def _default_executor(self) -> BatchExecutor:
-        if self.executor is not None:
-            return self.executor
-        return DeviceExecutor(
-            self.device,
-            self.costs,
-            seed=self.seed,
-            replay_mode=self.replay_mode,
-            engine=self.engine,
-        )
-
-    def _run_plan(
-        self,
-        index: GridIndex,
-        order: np.ndarray,
-        plan,
-        executor: BatchExecutor,
-    ) -> JoinResult:
-        cfg = self.config
-        counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
-
-        def make_args(batch: np.ndarray) -> KernelArgs:
-            return KernelArgs(
-                index=index,
-                batch=batch,
-                k=cfg.k,
-                pattern=cfg.pattern,
-                include_self=self.include_self,
-                queue_counter=counter,
-                queue_order=order if cfg.work_queue else None,
-            )
-
-        outcome = executor.run_batches(
-            selfjoin_kernel,
-            plan.batches,
-            make_args,
-            result_capacity=cfg.batch_result_capacity,
-            num_streams=cfg.num_streams,
-            issue_order="fifo" if cfg.work_queue else "random",
-            coop_groups=cfg.work_queue and cfg.k > 1,
-        )
-        return JoinResult(
-            pairs=outcome.merged_pairs(),
-            epsilon=index.epsilon,
-            num_points=len(order),
-            batch_stats=outcome.batch_stats,
-            pipeline=outcome.pipeline,
-            config_description=cfg.describe(),
-            overflow_retries=outcome.num_overflow_retries,
-            overflow_wasted_seconds=outcome.overflow_wasted_seconds,
-        )
+    def compile(self, index: GridIndex, *, subset: np.ndarray | None = None):
+        """Compile this facade's :class:`~repro.runtime.plan.JoinPlan`."""
+        return compile_self_join(index, self.runtime, subset=subset)

@@ -1,0 +1,46 @@
+"""Shared input validation for every join facade.
+
+All four facades (:class:`~repro.core.selfjoin.SelfJoin`,
+:class:`~repro.core.join.SimilarityJoin` and the :mod:`repro.multigpu`
+pooled variants) funnel their user-facing inputs through
+:func:`validate_inputs`, so a NaN coordinate or a non-positive ε raises a
+row-locating :class:`ValueError` at the entry point — not as a wrong
+answer deep in the grid layer, where a NaN silently falls out of every
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.arrays import as_points_array, check_epsilon
+
+__all__ = ["validate_inputs"]
+
+
+def validate_inputs(
+    *datasets,
+    epsilon: float,
+    names: tuple[str, ...] | None = None,
+) -> tuple:
+    """Validate join inputs; returns the canonical arrays plus ``epsilon``.
+
+    ``epsilon`` is checked first (positive, finite), then each dataset is
+    coerced to the canonical float64 (n, d) array with the NaN/inf check
+    of :func:`~repro.util.arrays.as_points_array` — whose message locates
+    the first offending row. ``names`` labels the datasets in that
+    message (e.g. ``("left", "right")`` for a bipartite join), so the
+    caller learns *which* input is broken, not just which row.
+
+    Returns ``(*arrays, epsilon)`` in argument order.
+    """
+    check_epsilon(epsilon)
+    arrays: list[np.ndarray] = []
+    for i, data in enumerate(datasets):
+        try:
+            arrays.append(as_points_array(data))
+        except ValueError as err:
+            if names is not None and i < len(names):
+                raise ValueError(f"{names[i]}: {err}") from None
+            raise
+    return (*arrays, float(epsilon))

@@ -1,19 +1,18 @@
 """Multi-device sharded joins: the public facades.
 
 :class:`MultiGpuSelfJoin` runs one self-join as shards over a
-:class:`~repro.multigpu.pool.DevicePool`:
-
-1. build the ε-grid index once on the host (shared, read-only — as the
-   replicated index of a real multi-GPU deployment);
-2. partition the query points into ``shards_per_device × N`` shards with
-   the chosen planner (:mod:`repro.multigpu.sharding`);
-3. drive the pool through the shard set with the chosen scheduler mode
-   (:mod:`repro.multigpu.scheduler`); every shard runs the *unchanged*
-   single-device join — same config, same kernels, same batching — via
-   :meth:`repro.core.selfjoin.SelfJoin.execute_on_index` on its device's
-   executor;
-4. deterministically merge shard results (:mod:`repro.multigpu.merge`)
-   and attach pool-level metrics (:mod:`repro.multigpu.metrics`).
+:class:`~repro.multigpu.pool.DevicePool`. Like the single-device facades
+it owns no execution logic: it validates input, builds the ε-grid index
+once on the host (shared, read-only — as the replicated index of a real
+multi-GPU deployment), compiles a pooled
+:class:`~repro.runtime.plan.JoinPlan` — whose shard stage partitions the
+query points with the chosen planner (:mod:`repro.multigpu.sharding`) —
+and hands the plan to the :class:`~repro.runtime.runner.Runner`, which
+drives the pool through the shard set with the chosen scheduler mode
+(:mod:`repro.multigpu.scheduler`). Every shard runs the *unchanged*
+single-device join — same config, same kernels, same batching — then
+shard results are deterministically merged (:mod:`repro.multigpu.merge`)
+with pool-level metrics attached (:mod:`repro.multigpu.metrics`).
 
 The returned :class:`MultiJoinResult` *is a*
 :class:`~repro.core.result.JoinResult` — exact pairs in canonical order,
@@ -28,34 +27,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.config import OptimizationConfig
-from repro.core.join import SimilarityJoin
 from repro.core.result import JoinResult
-from repro.core.selfjoin import SelfJoin
+from repro.core.validation import validate_inputs
 from repro.grid import GridIndex
-from repro.grid.bipartite import bipartite_workloads
-from repro.multigpu.merge import merge_shard_results
-from repro.multigpu.metrics import PoolStats, pool_stats_from_trace
+from repro.multigpu.metrics import PoolStats
 from repro.multigpu.pool import DevicePool
-from repro.multigpu.scheduler import (
-    SCHEDULE_MODES,
-    HostScheduler,
-    RecoveryLog,
-    ScheduleTrace,
-)
-from repro.multigpu.sharding import (
-    SHARD_PLANNERS,
-    ShardPlan,
-    plan_query_shards,
-    plan_shards,
-)
-from repro.resilience.executor import FaultyExecutor
+from repro.multigpu.scheduler import RecoveryLog, ScheduleTrace
+from repro.multigpu.sharding import ShardPlan
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RecoveryPolicy
+from repro.runtime.config import RuntimeConfig, ShardingConfig
+from repro.runtime.plan import compile_self_join, compile_similarity_join
+from repro.runtime.runner import Runner
+from repro.runtime.shim import split_config, warn_legacy
 from repro.simt import CostParams, DeviceSpec
-from repro.util import as_points_array, check_epsilon
 
 __all__ = ["MultiGpuSelfJoin", "MultiGpuSimilarityJoin", "MultiJoinResult"]
 
@@ -94,12 +80,15 @@ class MultiJoinResult(JoinResult):
 
 
 class _PoolJoinBase:
-    """Shared pool/planner/scheduler plumbing of the two facades."""
+    """Shared RuntimeConfig/pool resolution of the two pooled facades."""
+
+    _facade = "MultiGpuJoin"
 
     def __init__(
         self,
-        config: OptimizationConfig | None,
+        config,
         *,
+        runtime: RuntimeConfig | None,
         pool: DevicePool | None,
         num_devices: int,
         planner: str,
@@ -107,119 +96,94 @@ class _PoolJoinBase:
         shards_per_device: int,
         device: DeviceSpec | None,
         costs: CostParams | None,
+        include_self: bool,
         seed: int,
         replay_mode: str,
-        fault_plan: FaultPlan | None = None,
-        recovery: RecoveryPolicy | None = None,
+        fault_plan: FaultPlan | None,
+        recovery: RecoveryPolicy | None,
+        warned: dict | None = None,
     ):
-        self.config = config if config is not None else OptimizationConfig()
-        if planner not in SHARD_PLANNERS:
-            raise ValueError(
-                f"unknown planner {planner!r}; expected one of {SHARD_PLANNERS}"
-            )
-        if schedule not in SCHEDULE_MODES:
-            raise ValueError(
-                f"unknown schedule mode {schedule!r}; expected one of {SCHEDULE_MODES}"
-            )
-        if shards_per_device < 1:
-            raise ValueError("shards_per_device must be >= 1")
-        # injecting faults without a recovery story would just crash the
-        # run, so a fault plan implies the default policy
-        if fault_plan is not None and recovery is None:
-            recovery = RecoveryPolicy()
-        self.fault_plan = fault_plan
-        self.recovery = recovery
-        self.pool = (
-            pool
-            if pool is not None
-            else DevicePool(
-                num_devices,
-                spec=device,
-                costs=costs,
+        config, runtime = split_config(config, runtime, self._facade)
+        for kwarg, value in (warned or {}).items():
+            if value is not None:
+                warn_legacy(
+                    self._facade,
+                    kwarg,
+                    f"set RuntimeConfig.{kwarg} instead",
+                )
+        if runtime is None:
+            runtime = RuntimeConfig(
+                optimization=config if config is not None else OptimizationConfig(),
                 seed=seed,
                 replay_mode=replay_mode,
-                overflow_policy="retry" if recovery is not None else "raise",
+                include_self=include_self,
+                device=device,
+                costs=costs,
+                sharding=ShardingConfig(
+                    num_devices=pool.num_devices if pool is not None else num_devices,
+                    planner=planner,
+                    schedule=schedule,
+                    shards_per_device=shards_per_device,
+                ),
+                recovery=recovery,
+                fault_plan=fault_plan,
             )
-        )
-        self.planner = planner
-        self.schedule = schedule
-        self.shards_per_device = shards_per_device
-        self.seed = seed
-        self.replay_mode = replay_mode
+        else:
+            if config is not None:
+                runtime = runtime.with_(optimization=config)
+            if runtime.sharding is None:
+                runtime = runtime.with_(sharding=ShardingConfig())
+            if pool is not None and runtime.sharding.num_devices != pool.num_devices:
+                runtime = runtime.with_(
+                    sharding=ShardingConfig(
+                        num_devices=pool.num_devices,
+                        planner=runtime.sharding.planner,
+                        schedule=runtime.sharding.schedule,
+                        shards_per_device=runtime.sharding.shards_per_device,
+                    )
+                )
+        self.runtime = runtime
+        self.pool = pool if pool is not None else DevicePool.from_runtime(runtime)
+
+    # -- legacy attribute spellings ------------------------------------
+    @property
+    def config(self) -> OptimizationConfig:
+        return self.runtime.optimization
+
+    @property
+    def planner(self) -> str:
+        return self.runtime.sharding.planner
+
+    @property
+    def schedule(self) -> str:
+        return self.runtime.sharding.schedule
+
+    @property
+    def shards_per_device(self) -> int:
+        return self.runtime.sharding.shards_per_device
 
     @property
     def num_shards(self) -> int:
-        return self.shards_per_device * self.pool.num_devices
+        return self.runtime.sharding.num_shards
 
-    def _describe(self, inner: str) -> str:
-        tag = " resilient" if self.recovery is not None else ""
-        return (
-            f"multigpu[{self.pool.num_devices}dev {self.planner}/"
-            f"{self.schedule}{tag}] {inner}"
-        )
+    @property
+    def seed(self) -> int:
+        return self.runtime.seed
 
-    def _arm_executors(self) -> dict:
-        """Fresh fault-injecting wrappers for this run, keyed by device id.
+    @property
+    def replay_mode(self) -> str:
+        return self.runtime.replay_mode
 
-        Wrappers hold mutable injection state (the transient RNG stream,
-        the overflow budget), so each ``execute()`` builds new ones — that
-        is what makes a seeded fault run reproduce its trace exactly.
-        Returns an empty mapping when no fault plan is set.
-        """
-        self.pool.reset_health()
-        if self.fault_plan is None or self.fault_plan.is_empty:
-            return {}
-        return {
-            d.device_id: FaultyExecutor(
-                d.executor, d.device_id, self.fault_plan, health=d.health
-            )
-            for d in self.pool
-        }
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self.runtime.fault_plan
 
-    def _scheduler(self) -> HostScheduler:
-        return HostScheduler(self.pool, self.schedule, recovery=self.recovery)
+    @property
+    def recovery(self) -> RecoveryPolicy | None:
+        return self.runtime.recovery
 
-    def _assemble(
-        self,
-        results: list,
-        trace: ScheduleTrace,
-        plan: ShardPlan,
-        *,
-        epsilon: float,
-        num_points: int,
-        description: str,
-    ) -> MultiJoinResult:
-        # speculative re-execution is first-result-wins, so results[] holds
-        # one copy per shard — but dedup anyway when it fired, making the
-        # merge duplicate-safe by construction rather than by argument
-        speculated = (
-            trace.recovery is not None and trace.recovery.num_speculations > 0
-        )
-        merged = merge_shard_results(
-            results,
-            trace,
-            epsilon=epsilon,
-            num_points=num_points,
-            dedup=plan.may_duplicate or speculated,
-            config_description=description,
-        )
-        stats = pool_stats_from_trace(trace, results, planner=plan.planner)
-        return MultiJoinResult(
-            pairs=merged.pairs,
-            epsilon=merged.epsilon,
-            num_points=merged.num_points,
-            batch_stats=merged.batch_stats,
-            pipeline=merged.pipeline,
-            config_description=merged.config_description,
-            overflow_retries=merged.overflow_retries,
-            overflow_wasted_seconds=merged.overflow_wasted_seconds,
-            planner=plan.planner,
-            schedule_mode=trace.mode,
-            num_devices=self.pool.num_devices,
-            pool_stats=stats,
-            trace=trace,
-            shard_plan=plan,
-        )
+    def _runner(self) -> Runner:
+        return Runner(pool=self.pool)
 
 
 class MultiGpuSelfJoin(_PoolJoinBase):
@@ -230,11 +194,13 @@ class MultiGpuSelfJoin(_PoolJoinBase):
     config:
         Per-device optimization stack — any single-device configuration,
         including WORKQUEUE and balanced batches, runs unchanged inside
-        each shard.
+        each shard. A :class:`~repro.runtime.config.RuntimeConfig` is
+        also accepted here (or via ``runtime=``).
     pool:
         An explicit :class:`~repro.multigpu.pool.DevicePool` (e.g.
-        heterogeneous); by default a homogeneous pool of ``num_devices``
-        copies of ``device`` is built.
+        heterogeneous); by default a homogeneous pool is built from the
+        runtime config. An explicit pool's size wins over
+        ``num_devices``.
     planner:
         ``"strided"``, ``"cell_blocks"`` or ``"balanced"`` (LPT over the
         SORTBYWL workload estimates) — see :mod:`repro.multigpu.sharding`.
@@ -246,20 +212,22 @@ class MultiGpuSelfJoin(_PoolJoinBase):
         (pure partitioning); larger values give the dynamic scheduler
         stealing granularity.
     fault_plan:
-        Optional seeded :class:`~repro.resilience.faults.FaultPlan`; the
-        pool's executors are wrapped per run to inject exactly those
-        faults. Implies ``recovery=RecoveryPolicy()`` unless given.
+        .. deprecated:: set ``RuntimeConfig.fault_plan`` instead. A plan
+           implies ``recovery=RecoveryPolicy()`` unless given.
     recovery:
-        Optional :class:`~repro.resilience.policy.RecoveryPolicy`
-        switching the scheduler to its self-healing loop (and the default
-        pool to ``overflow_policy="retry"``); the merged pairs stay
-        identical to the fault-free run.
+        .. deprecated:: set ``RuntimeConfig.recovery`` instead. Switches
+           the scheduler to its self-healing loop (and the default pool
+           to ``overflow_policy="retry"``); the merged pairs stay
+           identical to the fault-free run.
     """
+
+    _facade = "MultiGpuSelfJoin"
 
     def __init__(
         self,
-        config: OptimizationConfig | None = None,
+        config: OptimizationConfig | RuntimeConfig | None = None,
         *,
+        runtime: RuntimeConfig | None = None,
         pool: DevicePool | None = None,
         num_devices: int = 2,
         planner: str = "balanced",
@@ -275,6 +243,7 @@ class MultiGpuSelfJoin(_PoolJoinBase):
     ):
         super().__init__(
             config,
+            runtime=runtime,
             pool=pool,
             num_devices=num_devices,
             planner=planner,
@@ -282,44 +251,24 @@ class MultiGpuSelfJoin(_PoolJoinBase):
             shards_per_device=shards_per_device,
             device=device,
             costs=costs,
+            include_self=include_self,
             seed=seed,
             replay_mode=replay_mode,
             fault_plan=fault_plan,
             recovery=recovery,
+            warned={"fault_plan": fault_plan, "recovery": recovery},
         )
-        self.include_self = include_self
+
+    @property
+    def include_self(self) -> bool:
+        return self.runtime.include_self
 
     def execute(self, points, epsilon: float) -> MultiJoinResult:
         """Run the sharded self-join; exact pairs plus pool metrics."""
-        check_epsilon(epsilon)
-        points = as_points_array(points)
+        points, epsilon = validate_inputs(points, epsilon=epsilon)
         index = GridIndex(points, epsilon)
-        plan = plan_shards(
-            index, self.num_shards, self.planner, pattern=self.config.pattern
-        )
-        inner = SelfJoin(
-            self.config,
-            include_self=self.include_self,
-            seed=self.seed,
-            replay_mode=self.replay_mode,
-        )
-        armed = self._arm_executors()
-
-        def run_shard(device, shard):
-            executor = armed.get(device.device_id, device.executor)
-            return inner.execute_on_index(
-                index, subset=shard.points, executor=executor
-            )
-
-        results, trace = self._scheduler().run(plan, run_shard)
-        return self._assemble(
-            results,
-            trace,
-            plan,
-            epsilon=index.epsilon,
-            num_points=index.num_points,
-            description=self._describe(self.config.describe()),
-        )
+        plan = compile_self_join(index, self.runtime)
+        return self._runner().run(plan)
 
 
 class MultiGpuSimilarityJoin(_PoolJoinBase):
@@ -327,10 +276,13 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
     devices, B's index shared. ``pattern`` must stay ``"full"`` exactly as
     on the single-device bipartite path."""
 
+    _facade = "MultiGpuSimilarityJoin"
+
     def __init__(
         self,
-        config: OptimizationConfig | None = None,
+        config: OptimizationConfig | RuntimeConfig | None = None,
         *,
+        runtime: RuntimeConfig | None = None,
         pool: DevicePool | None = None,
         num_devices: int = 2,
         planner: str = "balanced",
@@ -345,6 +297,7 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
     ):
         super().__init__(
             config,
+            runtime=runtime,
             pool=pool,
             num_devices=num_devices,
             planner=planner,
@@ -352,10 +305,12 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
             shards_per_device=shards_per_device,
             device=device,
             costs=costs,
+            include_self=True,
             seed=seed,
             replay_mode=replay_mode,
             fault_plan=fault_plan,
             recovery=recovery,
+            warned={"fault_plan": fault_plan, "recovery": recovery},
         )
         if self.config.pattern != "full":
             raise ValueError(
@@ -365,28 +320,9 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
 
     def execute(self, left, right, epsilon: float) -> MultiJoinResult:
         """Join ``left`` against ``right``, sharding ``left``'s queries."""
-        check_epsilon(epsilon)
-        queries = as_points_array(left)
+        left, right, epsilon = validate_inputs(
+            left, right, epsilon=epsilon, names=("left", "right")
+        )
         index = GridIndex(right, epsilon)
-        workloads, _ = bipartite_workloads(index, queries)
-        plan = plan_query_shards(
-            workloads.astype(np.float64), self.num_shards, self.planner
-        )
-        inner = SimilarityJoin(self.config, seed=self.seed)
-        armed = self._arm_executors()
-
-        def run_shard(device, shard):
-            executor = armed.get(device.device_id, device.executor)
-            return inner.execute_on_index(
-                index, queries, subset=shard.points, executor=executor
-            )
-
-        results, trace = self._scheduler().run(plan, run_shard)
-        return self._assemble(
-            results,
-            trace,
-            plan,
-            epsilon=float(index.epsilon),
-            num_points=len(queries),
-            description=self._describe(f"bipartite {self.config.describe()}"),
-        )
+        plan = compile_similarity_join(index, left, self.runtime)
+        return self._runner().run(plan)

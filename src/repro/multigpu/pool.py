@@ -128,6 +128,48 @@ class DevicePool:
             for d, s in enumerate(specs)
         ]
 
+    @classmethod
+    def from_runtime(
+        cls,
+        runtime,
+        *,
+        specs: list[DeviceSpec] | None = None,
+    ) -> "DevicePool":
+        """Build the pool a :class:`~repro.runtime.config.RuntimeConfig`
+        describes: ``sharding.num_devices`` copies of its device spec,
+        executors carrying its engine, replay mode, seed ladder and
+        resolved overflow policy. ``specs`` overrides the homogeneous
+        layout for heterogeneous pools.
+        """
+        if runtime.sharding is None:
+            raise ValueError("runtime has no sharding config; nothing to pool")
+        if specs is None:
+            base = runtime.device if runtime.device is not None else DeviceSpec()
+            specs = [base] * runtime.sharding.num_devices
+        elif not specs:
+            raise ValueError("specs must name at least one device")
+        costs = runtime.costs if runtime.costs is not None else CostParams()
+        pool = cls.__new__(cls)
+        pool.devices = [
+            PoolDevice(
+                device_id=d,
+                spec=s,
+                executor=DeviceExecutor(
+                    s,
+                    costs,
+                    seed=runtime.seed + d,
+                    replay_mode=runtime.replay_mode,
+                    engine=runtime.engine,
+                    overflow_policy=runtime.overflow_policy,
+                    overflow_growth=runtime.overflow.growth,
+                    max_overflow_retries=runtime.overflow.max_retries,
+                    overflow_backoff_seconds=runtime.overflow.backoff_seconds,
+                ),
+            )
+            for d, s in enumerate(specs)
+        ]
+        return pool
+
     @property
     def num_devices(self) -> int:
         return len(self.devices)

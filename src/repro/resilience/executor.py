@@ -37,7 +37,29 @@ from repro.resilience.faults import (
 )
 from repro.simt.streams import simulate_stream_pipeline
 
-__all__ = ["FaultyExecutor"]
+__all__ = ["FaultyExecutor", "arm_pool"]
+
+
+def arm_pool(pool, fault_plan: FaultPlan | None) -> dict[int, "FaultyExecutor"]:
+    """Fresh fault-injecting wrappers for one run, keyed by device id.
+
+    Re-arms every device's health record first (so a reused pool stays
+    seed-reproducible), then — when a non-empty plan is given — wraps each
+    device's executor in a new :class:`FaultyExecutor` sharing its health.
+    Wrappers hold mutable injection state (the transient RNG stream, the
+    overflow budget), so each run builds new ones — that is what makes a
+    seeded fault run reproduce its trace exactly. Returns an empty mapping
+    when no (or an empty) fault plan is set.
+    """
+    pool.reset_health()
+    if fault_plan is None or fault_plan.is_empty:
+        return {}
+    return {
+        d.device_id: FaultyExecutor(
+            d.executor, d.device_id, fault_plan, health=d.health
+        )
+        for d in pool
+    }
 
 
 class FaultyExecutor:

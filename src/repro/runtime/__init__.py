@@ -1,0 +1,63 @@
+"""repro.runtime — compile joins to declarative plans, execute with one runner.
+
+The plan/compile/execute split of the codebase:
+
+- :class:`RuntimeConfig` holds every cross-cutting execution knob
+  (engine, overflow policy, sharding, recovery, fault injection,
+  profiling) alongside the paper's
+  :class:`~repro.core.config.OptimizationConfig`;
+- ``compile_self_join`` / ``compile_similarity_join`` turn a config plus
+  data into a declarative :class:`JoinPlan` (index build → estimate →
+  shard plan → batch launches → merge), with resilience applied as a
+  plan transform;
+- one :class:`Runner` executes any plan, on a lone
+  :class:`~repro.core.executor.DeviceExecutor` or a
+  :class:`~repro.multigpu.pool.DevicePool` — single-device is simply the
+  one-shard case.
+
+The public facades (:class:`~repro.core.selfjoin.SelfJoin`,
+:class:`~repro.core.join.SimilarityJoin`, :mod:`repro.multigpu`'s pooled
+variants) are thin compilers over this package.
+"""
+
+from repro.runtime.config import (
+    REPLAY_MODES,
+    OverflowConfig,
+    ProfilingOptions,
+    RuntimeConfig,
+    ShardingConfig,
+)
+from repro.runtime.plan import (
+    EstimateStage,
+    IndexStage,
+    JoinPlan,
+    LaunchStage,
+    MergeStage,
+    ResilienceStage,
+    ShardStage,
+    apply_resilience,
+    compile_self_join,
+    compile_similarity_join,
+)
+from repro.runtime.runner import Runner, execute_shard, executor_from_runtime
+
+__all__ = [
+    "REPLAY_MODES",
+    "EstimateStage",
+    "IndexStage",
+    "JoinPlan",
+    "LaunchStage",
+    "MergeStage",
+    "OverflowConfig",
+    "ProfilingOptions",
+    "ResilienceStage",
+    "Runner",
+    "RuntimeConfig",
+    "ShardStage",
+    "ShardingConfig",
+    "apply_resilience",
+    "compile_self_join",
+    "compile_similarity_join",
+    "execute_shard",
+    "executor_from_runtime",
+]

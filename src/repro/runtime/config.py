@@ -1,0 +1,244 @@
+"""`RuntimeConfig`: every cross-cutting execution knob, in one frozen value.
+
+Before this package existed each knob travelled its own path: ``engine=``
+was threaded through :class:`~repro.core.selfjoin.SelfJoin`,
+:class:`~repro.core.executor.DeviceExecutor` *and*
+:class:`~repro.multigpu.pool.DevicePool`; ``overflow_policy=`` took a
+different route; ``recovery=`` a third. A :class:`RuntimeConfig` composes
+the paper's :class:`~repro.core.config.OptimizationConfig` (the *what* —
+pattern, k, SORTBYWL, WORKQUEUE, batching) with every *how* knob — engine,
+replay fidelity, overflow handling, sharding, recovery, fault injection,
+profiling retention — so facades compile it into a
+:class:`~repro.runtime.plan.JoinPlan` and hand it to one
+:class:`~repro.runtime.runner.Runner` instead of forwarding keyword
+arguments layer by layer.
+
+Sub-configs group the knobs that travel together:
+
+- :class:`OverflowConfig` — what happens when a batch overflows its result
+  buffer (the :class:`~repro.core.executor.DeviceExecutor` retry knobs);
+- :class:`ShardingConfig` — pool size and the device-level load-balancing
+  strategy (:mod:`repro.multigpu`); ``None`` means single-device;
+- :class:`ProfilingOptions` — which execution artifacts the result keeps.
+
+Everything is frozen and hashable (fault plans and policies already are),
+so a ``RuntimeConfig`` can key caches and appear in golden fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import OptimizationConfig
+from repro.core.executor import OVERFLOW_POLICIES
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RecoveryPolicy
+from repro.simt import ENGINES, CostParams, DeviceSpec
+
+__all__ = [
+    "OverflowConfig",
+    "ProfilingOptions",
+    "REPLAY_MODES",
+    "RuntimeConfig",
+    "ShardingConfig",
+]
+
+REPLAY_MODES = ("aggregate", "lockstep")
+
+
+@dataclass(frozen=True)
+class OverflowConfig:
+    """Result-buffer overflow handling, resolved per run.
+
+    ``policy=None`` (the default) picks automatically: ``"retry"`` when a
+    :class:`~repro.resilience.policy.RecoveryPolicy` is active (a healing
+    run should not abandon a whole plan over one under-sized buffer) and
+    ``"raise"`` otherwise (the paper's re-plan-and-restart recovery).
+    The remaining knobs parameterize the ``"retry"`` path — see
+    :class:`~repro.core.executor.DeviceExecutor`.
+    """
+
+    policy: str | None = None
+    growth: float = 4.0
+    max_retries: int = 6
+    backoff_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.policy is not None and self.policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.policy!r}; "
+                f"expected one of {OVERFLOW_POLICIES} or None (auto)"
+            )
+        if self.growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+
+    def resolved_policy(self, recovery: RecoveryPolicy | None) -> str:
+        """The effective executor policy under the given recovery setting."""
+        if self.policy is not None:
+            return self.policy
+        return "retry" if recovery is not None else "raise"
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """How one join spreads over a :class:`~repro.multigpu.pool.DevicePool`.
+
+    ``num_devices`` copies of the runtime's device spec form the pool;
+    ``planner`` partitions the query points (strided / cell_blocks /
+    balanced LPT) and ``schedule`` drives dispatch (static pre-assignment
+    vs the dynamic most-work-first device queue). ``shards_per_device``
+    is the queue depth — the dynamic scheduler's stealing granularity.
+    """
+
+    num_devices: int = 2
+    planner: str = "balanced"
+    schedule: str = "dynamic"
+    shards_per_device: int = 2
+
+    def __post_init__(self):
+        # multigpu modules sit above this one in the import graph; pull the
+        # canonical name lists at validation time, not import time
+        from repro.multigpu.scheduler import SCHEDULE_MODES
+        from repro.multigpu.sharding import SHARD_PLANNERS
+
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.planner not in SHARD_PLANNERS:
+            raise ValueError(
+                f"unknown planner {self.planner!r}; expected one of {SHARD_PLANNERS}"
+            )
+        if self.schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule mode {self.schedule!r}; "
+                f"expected one of {SCHEDULE_MODES}"
+            )
+        if self.shards_per_device < 1:
+            raise ValueError("shards_per_device must be >= 1")
+
+    @property
+    def num_shards(self) -> int:
+        return self.num_devices * self.shards_per_device
+
+
+@dataclass(frozen=True)
+class ProfilingOptions:
+    """Which execution artifacts the returned result retains.
+
+    ``keep_fragments`` preserves the per-batch pair blocks that back
+    :meth:`~repro.core.result.JoinResult.iter_pairs` streaming;
+    ``keep_trace`` preserves the pooled run's
+    :class:`~repro.multigpu.scheduler.ScheduleTrace` (pool statistics are
+    computed either way). Turn them off to shed memory on huge runs.
+    """
+
+    keep_fragments: bool = True
+    keep_trace: bool = True
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The complete execution recipe of one join.
+
+    Parameters
+    ----------
+    optimization:
+        The paper's optimization selection (pattern, k, SORTBYWL,
+        WORKQUEUE, batching) — the *algorithm* half of the recipe.
+    engine:
+        Kernel execution engine: ``"interpreted"`` or ``"vectorized"``
+        (bit-identical results; see :mod:`repro.simt.vectorized`).
+    replay_mode:
+        Warp replay fidelity: ``"aggregate"`` or ``"lockstep"``.
+    seed:
+        Hardware-scheduler shuffle seed; pooled device ``d`` runs with
+        ``seed + d``.
+    include_self:
+        Self-join only: whether each point pairs with itself.
+    estimate_safety_z:
+        Pad the result-size estimate by this many standard errors before
+        planning batches (0 = the paper's point estimate).
+    device, costs:
+        Simulated hardware; ``None`` means the paper's testbed class.
+    overflow:
+        Buffer-overflow handling (see :class:`OverflowConfig`).
+    sharding:
+        ``None`` runs single-device; a :class:`ShardingConfig` runs the
+        join sharded over a device pool.
+    recovery:
+        Optional :class:`~repro.resilience.policy.RecoveryPolicy` enabling
+        the self-healing scheduler loop on pooled runs.
+    fault_plan:
+        Optional seeded :class:`~repro.resilience.faults.FaultPlan` to
+        inject. On pooled runs a plan implies the default
+        ``RecoveryPolicy`` unless one is given explicitly.
+    profiling:
+        Artifact-retention switches (see :class:`ProfilingOptions`).
+    """
+
+    optimization: OptimizationConfig = field(default_factory=OptimizationConfig)
+    engine: str = "interpreted"
+    replay_mode: str = "aggregate"
+    seed: int = 0
+    include_self: bool = True
+    estimate_safety_z: float = 0.0
+    device: DeviceSpec | None = None
+    costs: CostParams | None = None
+    overflow: OverflowConfig = field(default_factory=OverflowConfig)
+    sharding: ShardingConfig | None = None
+    recovery: RecoveryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    profiling: ProfilingOptions = field(default_factory=ProfilingOptions)
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay mode {self.replay_mode!r}; "
+                f"expected one of {REPLAY_MODES}"
+            )
+        if self.estimate_safety_z < 0:
+            raise ValueError("estimate_safety_z must be >= 0")
+        # injecting faults into a pool without a recovery story would just
+        # crash the run, so a fault plan implies the default policy there
+        if (
+            self.fault_plan is not None
+            and self.recovery is None
+            and self.sharding is not None
+        ):
+            object.__setattr__(self, "recovery", RecoveryPolicy())
+
+    # ------------------------------------------------------------------
+    @property
+    def pooled(self) -> bool:
+        """Whether this recipe runs on a device pool."""
+        return self.sharding is not None
+
+    @property
+    def overflow_policy(self) -> str:
+        """The effective executor overflow policy."""
+        return self.overflow.resolved_policy(self.recovery)
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable tag, composing the optimization tag."""
+        parts = [self.optimization.describe()]
+        if self.engine != "interpreted":
+            parts.append(self.engine)
+        if self.sharding is not None:
+            s = self.sharding
+            parts.append(f"{s.num_devices}dev {s.planner}/{s.schedule}")
+        if self.recovery is not None:
+            parts.append("resilient")
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            parts.append(self.fault_plan.describe())
+        return " | ".join(parts)

@@ -1,0 +1,219 @@
+"""Join operation strategies: the op-specific half of a shard execution.
+
+A :class:`~repro.runtime.plan.JoinPlan` is op-agnostic — estimate, shard,
+launch, merge — but three decisions differ between the self-join and the
+bipartite join: how the query order D' is derived (and restricted to a
+shard's subset), how the result size is estimated, and which kernel with
+which argument pack runs each batch. Each op bundles exactly those three,
+so the :class:`~repro.runtime.runner.Runner` executes either join through
+one code path.
+
+The bodies here are the former private planning code of
+:class:`~repro.core.selfjoin.SelfJoin` and
+:class:`~repro.core.join.SimilarityJoin`, moved — not rewritten — so the
+refactor preserves every result bit-for-bit (the golden equivalence suite
+in ``tests/runtime`` holds it to that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import estimate_result_size_detailed
+from repro.core.bipartite_kernels import BipartiteKernelArgs, bipartite_kernel
+from repro.core.config import OptimizationConfig
+from repro.core.kernels import KernelArgs, selfjoin_kernel
+from repro.core.sortbywl import point_workloads, sort_by_workload
+from repro.grid import GridIndex
+from repro.grid.bipartite import bipartite_neighbor_counts, bipartite_workloads
+from repro.simt import AtomicCounter
+from repro.util import as_points_array, stable_argsort_desc
+
+__all__ = ["BipartiteOp", "SelfJoinOp", "ShardPrep"]
+
+
+@dataclass(frozen=True)
+class ShardPrep:
+    """Everything the launch stage needs about one shard's queries.
+
+    ``order`` is the (possibly workload-sorted) query id sequence D';
+    ``estimate`` the planned result size; ``weights`` the per-query
+    workload estimates when balanced batching is on, else ``None``.
+    """
+
+    order: np.ndarray
+    estimate: int
+    weights: np.ndarray | None
+
+
+class SelfJoinOp:
+    """The self-join's op: symmetric patterns, in-index queries."""
+
+    kind = "self"
+    kernel = staticmethod(selfjoin_kernel)
+
+    def __init__(self, *, include_self: bool = True):
+        self.include_self = include_self
+
+    def describe(self, cfg: OptimizationConfig) -> str:
+        return cfg.describe()
+
+    def result_epsilon(self, index: GridIndex) -> float:
+        return index.epsilon
+
+    def total_points(self, index: GridIndex) -> int:
+        """Query-side cardinality of the unsharded join."""
+        return index.num_points
+
+    def prepare(
+        self,
+        index: GridIndex,
+        cfg: OptimizationConfig,
+        *,
+        subset: np.ndarray | None,
+        safety_z: float,
+    ) -> ShardPrep:
+        """Derive D', the result-size estimate and batch weights.
+
+        ``subset`` restricts the *query* side to the given point ids — the
+        candidate side always sees the whole index, so the result is
+        exactly the full join's rows whose query point lies in the subset.
+        """
+        if cfg.uses_sorted_points:
+            order = sort_by_workload(index, cfg.pattern)
+            if subset is not None:
+                keep = np.zeros(index.num_points, dtype=bool)
+                keep[np.asarray(subset, dtype=np.int64)] = True
+                order = order[keep[order]]  # D' restricted, rank order kept
+        elif subset is not None:
+            order = np.asarray(subset, dtype=np.int64)
+        else:
+            order = np.arange(index.num_points, dtype=np.int64)
+
+        detailed = estimate_result_size_detailed(
+            index,
+            sample_fraction=cfg.sample_fraction,
+            mode="head" if cfg.work_queue else "strided",
+            order=order if cfg.work_queue else None,
+            include_self=self.include_self,
+            subset=subset,
+        )
+        est = detailed.with_margin(safety_z) if safety_z > 0 else detailed.estimate
+
+        weights = (
+            point_workloads(index, cfg.pattern)[order].astype(float)
+            if cfg.balanced_batches
+            else None
+        )
+        return ShardPrep(order=order, estimate=est, weights=weights)
+
+    def make_args(
+        self,
+        index: GridIndex,
+        cfg: OptimizationConfig,
+        order: np.ndarray,
+        counter: AtomicCounter | None,
+    ):
+        def factory(batch: np.ndarray) -> KernelArgs:
+            return KernelArgs(
+                index=index,
+                batch=batch,
+                k=cfg.k,
+                pattern=cfg.pattern,
+                include_self=self.include_self,
+                queue_counter=counter,
+                queue_order=order if cfg.work_queue else None,
+            )
+
+        return factory
+
+
+class BipartiteOp:
+    """The bipartite join's op: external queries, full pattern only."""
+
+    kind = "bipartite"
+    kernel = staticmethod(bipartite_kernel)
+
+    def __init__(self, queries):
+        self.queries = as_points_array(queries)
+
+    def describe(self, cfg: OptimizationConfig) -> str:
+        return f"bipartite {cfg.describe()}"
+
+    def result_epsilon(self, index: GridIndex) -> float:
+        return float(index.epsilon)
+
+    def total_points(self, index: GridIndex) -> int:
+        return len(self.queries)
+
+    def prepare(
+        self,
+        index: GridIndex,
+        cfg: OptimizationConfig,
+        *,
+        subset: np.ndarray | None,
+        safety_z: float,
+    ) -> ShardPrep:
+        """Derive the shard's query order, estimate and batch weights.
+
+        The bipartite estimator has no sampling-error model, so
+        ``safety_z`` does not apply here (an overflow re-plans instead).
+        Workloads are quantified once and reused for both the SORTBYWL
+        order and the balanced-batch weights.
+        """
+        queries = self.queries
+        ids = (
+            np.asarray(subset, dtype=np.int64)
+            if subset is not None
+            else np.arange(len(queries), dtype=np.int64)
+        )
+
+        workloads, _ = bipartite_workloads(index, queries[ids])
+        if cfg.uses_sorted_points:
+            order = ids[stable_argsort_desc(workloads)]
+        else:
+            order = ids
+
+        est = self._estimate(index, cfg, ids, order)
+        weights = None
+        if cfg.balanced_batches:
+            by_id = np.zeros(len(queries), dtype=np.float64)
+            by_id[ids] = workloads
+            weights = by_id[order]
+        return ShardPrep(order=order, estimate=est, weights=weights)
+
+    def _estimate(self, index, cfg, ids, order) -> int:
+        nq = len(ids)
+        if nq == 0 or index.num_points == 0:
+            return 0
+        sample_size = min(nq, max(1, int(round(nq * cfg.sample_fraction))))
+        if cfg.work_queue:
+            sample = order[:sample_size]  # heaviest queries: overestimates
+        else:
+            step = max(1, nq // sample_size)
+            sample = ids[::step]
+        if len(sample) == 0:
+            return 0
+        counts = bipartite_neighbor_counts(index, self.queries[sample])
+        return int(np.ceil(counts.sum() * (nq / len(sample))))
+
+    def make_args(
+        self,
+        index: GridIndex,
+        cfg: OptimizationConfig,
+        order: np.ndarray,
+        counter: AtomicCounter | None,
+    ):
+        def factory(batch: np.ndarray) -> BipartiteKernelArgs:
+            return BipartiteKernelArgs(
+                index=index,
+                queries=self.queries,
+                batch=batch,
+                k=cfg.k,
+                queue_counter=counter,
+                queue_order=order if cfg.work_queue else None,
+            )
+
+        return factory

@@ -1,0 +1,342 @@
+"""The declarative :class:`JoinPlan` IR: what a join *will* do, as data.
+
+``compile_self_join`` / ``compile_similarity_join`` turn (index, queries,
+:class:`~repro.runtime.config.RuntimeConfig`) into a linear stage list —
+
+    index build → result-size estimate → [shard plan] → batch launches
+    → [resilience] → merge
+
+— without executing anything. The :class:`~repro.runtime.runner.Runner`
+then walks the stages; facades no longer own execution logic. Because a
+plan is plain data, it can be inspected, printed (``describe()``), and
+transformed: :func:`apply_resilience` is such a transform, splicing a
+:class:`ResilienceStage` into a compiled plan when the runtime carries a
+fault plan or a recovery policy.
+
+The sharded case is compiled here too (the shard plan is computed at
+compile time, the device schedule is resolved by the runner), so a
+single-device run is simply the plan without a :class:`ShardStage` — one
+shard covering every query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.grid import GridIndex
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.ops import BipartiteOp, SelfJoinOp
+
+if TYPE_CHECKING:
+    from repro.multigpu.sharding import ShardPlan
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.policy import RecoveryPolicy
+
+__all__ = [
+    "EstimateStage",
+    "IndexStage",
+    "JoinPlan",
+    "LaunchStage",
+    "MergeStage",
+    "ResilienceStage",
+    "ShardStage",
+    "apply_resilience",
+    "compile_self_join",
+    "compile_similarity_join",
+]
+
+
+@dataclass(frozen=True)
+class IndexStage:
+    """Record of the ε-grid build this plan runs against."""
+
+    epsilon: float
+    num_points: int
+    ndim: int
+    num_cells: int
+
+
+@dataclass(frozen=True)
+class EstimateStage:
+    """How the result size is estimated before batch planning."""
+
+    mode: str  # "head" (WORKQUEUE) or "strided"
+    sample_fraction: float
+    safety_z: float
+
+
+@dataclass(frozen=True)
+class ShardStage:
+    """Device-level partitioning: present only on pooled plans."""
+
+    plan: "ShardPlan"
+    schedule: str
+    num_devices: int
+
+
+@dataclass(frozen=True)
+class LaunchStage:
+    """How each planned batch is launched on an executor."""
+
+    kernel: str
+    engine: str
+    replay_mode: str
+    issue_order: str  # "fifo" (WORKQUEUE) or seeded "random"
+    coop_groups: bool
+    num_streams: int
+    result_capacity: int
+
+
+@dataclass(frozen=True)
+class ResilienceStage:
+    """Fault injection and/or self-healing wrapped around execution."""
+
+    fault_plan: "FaultPlan | None"
+    recovery: "RecoveryPolicy | None"
+
+
+@dataclass(frozen=True)
+class MergeStage:
+    """How shard/batch results become the final canonical result."""
+
+    dedup: bool
+    description: str
+
+
+Stage = (
+    IndexStage | EstimateStage | ShardStage | LaunchStage | ResilienceStage | MergeStage
+)
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A compiled join: op + index + config + the declarative stage list."""
+
+    op: SelfJoinOp | BipartiteOp
+    index: GridIndex
+    config: RuntimeConfig
+    stages: tuple[Stage, ...]
+    subset: np.ndarray | None = field(default=None, repr=False)
+
+    def stage(self, kind: type) -> Stage | None:
+        """The first stage of the given type, or ``None``."""
+        for s in self.stages:
+            if isinstance(s, kind):
+                return s
+        return None
+
+    @property
+    def pooled(self) -> bool:
+        return self.stage(ShardStage) is not None
+
+    @property
+    def shard_stage(self) -> ShardStage | None:
+        return self.stage(ShardStage)
+
+    @property
+    def launch_stage(self) -> LaunchStage:
+        return self.stage(LaunchStage)
+
+    @property
+    def resilience_stage(self) -> ResilienceStage | None:
+        return self.stage(ResilienceStage)
+
+    @property
+    def merge_stage(self) -> MergeStage:
+        return self.stage(MergeStage)
+
+    def describe(self) -> str:
+        """One line per stage — the plan as a human reads it."""
+        lines = [f"JoinPlan[{self.op.kind}] {self.merge_stage.description}"]
+        for s in self.stages:
+            if isinstance(s, IndexStage):
+                lines.append(
+                    f"  index    eps={s.epsilon:g} n={s.num_points} "
+                    f"dim={s.ndim} cells={s.num_cells}"
+                )
+            elif isinstance(s, EstimateStage):
+                z = f" z={s.safety_z:g}" if s.safety_z else ""
+                lines.append(
+                    f"  estimate {s.mode} sample={s.sample_fraction:g}{z}"
+                )
+            elif isinstance(s, ShardStage):
+                lines.append(
+                    f"  shard    {len(s.plan.shards)} shards "
+                    f"{s.plan.planner}/{s.schedule} over {s.num_devices} devices"
+                )
+            elif isinstance(s, LaunchStage):
+                coop = " coop" if s.coop_groups else ""
+                lines.append(
+                    f"  launch   {s.kernel} engine={s.engine} "
+                    f"issue={s.issue_order}{coop} streams={s.num_streams} "
+                    f"capacity={s.result_capacity}"
+                )
+            elif isinstance(s, ResilienceStage):
+                parts = []
+                if s.fault_plan is not None and not s.fault_plan.is_empty:
+                    parts.append(f"faults[{s.fault_plan.describe()}]")
+                if s.recovery is not None:
+                    parts.append("recovery")
+                lines.append(f"  resil    {' '.join(parts) or 'none'}")
+            elif isinstance(s, MergeStage):
+                lines.append(f"  merge    dedup={s.dedup}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _index_stage(index: GridIndex) -> IndexStage:
+    return IndexStage(
+        epsilon=float(index.epsilon),
+        num_points=index.num_points,
+        ndim=index.ndim,
+        num_cells=index.num_nonempty_cells,
+    )
+
+
+def _launch_stage(kernel_name: str, runtime: RuntimeConfig) -> LaunchStage:
+    opt = runtime.optimization
+    return LaunchStage(
+        kernel=kernel_name,
+        engine=runtime.engine,
+        replay_mode=runtime.replay_mode,
+        issue_order="fifo" if opt.work_queue else "random",
+        coop_groups=opt.work_queue and opt.k > 1,
+        num_streams=opt.num_streams,
+        result_capacity=opt.batch_result_capacity,
+    )
+
+
+def _pooled_description(runtime: RuntimeConfig, inner: str) -> str:
+    s = runtime.sharding
+    tag = " resilient" if runtime.recovery is not None else ""
+    return f"multigpu[{s.num_devices}dev {s.planner}/{s.schedule}{tag}] {inner}"
+
+
+def compile_self_join(
+    index: GridIndex,
+    runtime: RuntimeConfig,
+    *,
+    subset: np.ndarray | None = None,
+) -> JoinPlan:
+    """Compile a self-join over a prebuilt index into a :class:`JoinPlan`.
+
+    ``subset`` restricts the query side (one shard of a larger join) and
+    forces a single-device plan — sharding a shard is not a thing.
+    """
+    opt = runtime.optimization
+    stages: list[Stage] = [
+        _index_stage(index),
+        EstimateStage(
+            mode="head" if opt.work_queue else "strided",
+            sample_fraction=opt.sample_fraction,
+            safety_z=runtime.estimate_safety_z,
+        ),
+    ]
+    dedup = False
+    description = opt.describe()
+    if runtime.pooled and subset is None:
+        from repro.multigpu.sharding import plan_shards
+
+        shard_plan = plan_shards(
+            index, runtime.sharding.num_shards, runtime.sharding.planner,
+            pattern=opt.pattern,
+        )
+        stages.append(
+            ShardStage(
+                plan=shard_plan,
+                schedule=runtime.sharding.schedule,
+                num_devices=runtime.sharding.num_devices,
+            )
+        )
+        dedup = shard_plan.may_duplicate
+        description = _pooled_description(runtime, description)
+    stages.append(_launch_stage("selfjoin_kernel", runtime))
+    stages.append(MergeStage(dedup=dedup, description=description))
+    plan = JoinPlan(
+        op=SelfJoinOp(include_self=runtime.include_self),
+        index=index,
+        config=runtime,
+        stages=tuple(stages),
+        subset=subset,
+    )
+    return apply_resilience(plan)
+
+
+def compile_similarity_join(
+    index: GridIndex,
+    queries,
+    runtime: RuntimeConfig,
+    *,
+    subset: np.ndarray | None = None,
+) -> JoinPlan:
+    """Compile a bipartite join (``queries`` ⋈ indexed dataset).
+
+    The configuration must use ``pattern="full"`` — the unidirectional
+    patterns exploit self-join symmetry the bipartite join does not have.
+    """
+    opt = runtime.optimization
+    if opt.pattern != "full":
+        raise ValueError(
+            "unidirectional patterns exploit self-join symmetry; the "
+            "bipartite join requires pattern='full'"
+        )
+    op = BipartiteOp(queries)
+    stages: list[Stage] = [
+        _index_stage(index),
+        EstimateStage(
+            mode="head" if opt.work_queue else "strided",
+            sample_fraction=opt.sample_fraction,
+            safety_z=runtime.estimate_safety_z,
+        ),
+    ]
+    dedup = False
+    description = op.describe(opt)
+    if runtime.pooled and subset is None:
+        from repro.grid.bipartite import bipartite_workloads
+        from repro.multigpu.sharding import plan_query_shards
+
+        workloads, _ = bipartite_workloads(index, op.queries)
+        shard_plan = plan_query_shards(
+            workloads.astype(np.float64),
+            runtime.sharding.num_shards,
+            runtime.sharding.planner,
+        )
+        stages.append(
+            ShardStage(
+                plan=shard_plan,
+                schedule=runtime.sharding.schedule,
+                num_devices=runtime.sharding.num_devices,
+            )
+        )
+        dedup = shard_plan.may_duplicate
+        description = _pooled_description(runtime, description)
+    stages.append(_launch_stage("bipartite_kernel", runtime))
+    stages.append(MergeStage(dedup=dedup, description=description))
+    plan = JoinPlan(
+        op=op, index=index, config=runtime, stages=tuple(stages), subset=subset
+    )
+    return apply_resilience(plan)
+
+
+def apply_resilience(plan: JoinPlan) -> JoinPlan:
+    """Splice a :class:`ResilienceStage` in front of the merge stage.
+
+    A plan transform, not an execution flag: the returned plan *is* the
+    resilient plan. No-op when the runtime carries neither a non-empty
+    fault plan nor (on pooled plans) a recovery policy, or when the stage
+    is already present.
+    """
+    rc = plan.config
+    if plan.resilience_stage is not None:
+        return plan
+    faults = rc.fault_plan if rc.fault_plan is not None and not rc.fault_plan.is_empty else None
+    recovery = rc.recovery if plan.pooled else None
+    if faults is None and recovery is None:
+        return plan
+    stage = ResilienceStage(fault_plan=faults, recovery=recovery)
+    stages = list(plan.stages)
+    stages.insert(len(stages) - 1, stage)  # just before MergeStage
+    return replace(plan, stages=tuple(stages))

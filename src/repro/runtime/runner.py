@@ -1,0 +1,267 @@
+"""The one runner that executes every :class:`~repro.runtime.plan.JoinPlan`.
+
+``Runner.run(plan)`` is the only execution entry point of the codebase:
+the single-device joins, the multi-device sharded joins and the
+fault-injected resilient runs all pass through it. A single-device run is
+just the degenerate pooled run — one shard, no scheduler — so the per-
+shard function :func:`execute_shard` (estimate → batch plan → launch →
+overflow re-plan loop) is the shared core of both paths.
+
+The pooled path pulls :mod:`repro.multigpu` lazily: the runtime package
+sits *below* multigpu in the import graph (multigpu's facades compile
+into plans), so the upward reference resolves at call time, when the
+package is fully initialized.
+
+``Runner.stream(plan)`` yields the result pairs in blocks. Execution is
+eager — the simulator prices the transfer pipeline over the whole batch
+set — but consumption is incremental, backed by the per-batch fragments
+the executor produced (see :meth:`repro.core.result.JoinResult.iter_pairs`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.executor import BatchExecutor, DeviceExecutor
+from repro.core.batching import plan_batches, plan_batches_balanced
+from repro.core.config import OptimizationConfig
+from repro.core.result import JoinResult
+from repro.grid import GridIndex
+from repro.resilience.executor import FaultyExecutor
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.plan import JoinPlan
+from repro.simt import AtomicCounter, BufferOverflowError, CostParams, DeviceSpec
+
+__all__ = ["Runner", "execute_shard", "executor_from_runtime"]
+
+_MAX_REPLANS = 8
+
+
+def executor_from_runtime(
+    runtime: RuntimeConfig, *, device_index: int = 0
+) -> DeviceExecutor:
+    """Build the :class:`DeviceExecutor` a runtime config describes.
+
+    Pooled device ``d`` uses ``device_index=d`` (seeded ``seed + d``).
+    """
+    return DeviceExecutor(
+        runtime.device if runtime.device is not None else DeviceSpec(),
+        runtime.costs if runtime.costs is not None else CostParams(),
+        seed=runtime.seed + device_index,
+        replay_mode=runtime.replay_mode,
+        engine=runtime.engine,
+        overflow_policy=runtime.overflow_policy,
+        overflow_growth=runtime.overflow.growth,
+        max_overflow_retries=runtime.overflow.max_retries,
+        overflow_backoff_seconds=runtime.overflow.backoff_seconds,
+    )
+
+
+def execute_shard(
+    op,
+    index: GridIndex,
+    cfg: OptimizationConfig,
+    executor: BatchExecutor,
+    *,
+    subset: np.ndarray | None = None,
+    safety_z: float = 0.0,
+    description: str | None = None,
+    keep_fragments: bool = True,
+) -> JoinResult:
+    """Run one shard of a join (or the whole join: ``subset=None``).
+
+    Prepare order/estimate/weights via the op, plan batches, launch; if a
+    batch overflows its result buffer (the estimator under-guessed), the
+    run is re-planned with a doubled estimate — the same recovery a
+    production implementation needs, and a tested code path here.
+
+    WORKQUEUE state (the atomic counter over this shard's D' slice) is
+    private to this call; a fresh counter is built per launch attempt.
+    """
+    prep = op.prepare(index, cfg, subset=subset, safety_z=safety_z)
+    est = prep.estimate
+    for _attempt in range(_MAX_REPLANS):
+        if cfg.balanced_batches:
+            plan = plan_batches_balanced(
+                prep.order, prep.weights, est, cfg.batch_result_capacity
+            )
+        else:
+            plan = plan_batches(
+                prep.order,
+                est,
+                cfg.batch_result_capacity,
+                strided=not cfg.work_queue,
+            )
+        try:
+            return _launch(
+                op,
+                index,
+                cfg,
+                prep.order,
+                plan,
+                executor,
+                description=description,
+                keep_fragments=keep_fragments,
+            )
+        except BufferOverflowError:
+            # estimator under-guessed; double and re-plan
+            est = max(est * 2, cfg.batch_result_capacity + 1)
+    raise RuntimeError(
+        f"batch planning failed to converge after {_MAX_REPLANS} attempts"
+    )
+
+
+def _launch(
+    op,
+    index: GridIndex,
+    cfg: OptimizationConfig,
+    order: np.ndarray,
+    plan,
+    executor: BatchExecutor,
+    *,
+    description: str | None,
+    keep_fragments: bool,
+) -> JoinResult:
+    counter = AtomicCounter(name="workqueue") if cfg.work_queue else None
+    outcome = executor.run_batches(
+        op.kernel,
+        plan.batches,
+        op.make_args(index, cfg, order, counter),
+        result_capacity=cfg.batch_result_capacity,
+        num_streams=cfg.num_streams,
+        issue_order="fifo" if cfg.work_queue else "random",
+        coop_groups=cfg.work_queue and cfg.k > 1,
+    )
+    return JoinResult(
+        pairs=outcome.merged_pairs(),
+        epsilon=op.result_epsilon(index),
+        num_points=len(order),
+        batch_stats=outcome.batch_stats,
+        pipeline=outcome.pipeline,
+        config_description=description if description is not None else op.describe(cfg),
+        overflow_retries=outcome.num_overflow_retries,
+        overflow_wasted_seconds=outcome.overflow_wasted_seconds,
+        fragments=tuple(outcome.pairs_per_batch) if keep_fragments else None,
+    )
+
+
+class Runner:
+    """Executes compiled :class:`~repro.runtime.plan.JoinPlan`\\ s.
+
+    Parameters
+    ----------
+    executor:
+        Optional explicit :class:`~repro.core.executor.BatchExecutor` for
+        single-device plans (e.g. a prebuilt or fault-wrapped one); by
+        default the plan's :class:`RuntimeConfig` describes the executor.
+    pool:
+        Optional explicit :class:`~repro.multigpu.pool.DevicePool` for
+        pooled plans (e.g. heterogeneous); by default a homogeneous pool
+        is built from the runtime config. A reused pool's health records
+        are re-armed per run, keeping seeded fault runs reproducible.
+    """
+
+    def __init__(self, *, executor: BatchExecutor | None = None, pool=None):
+        self.executor = executor
+        self.pool = pool
+
+    def run(self, plan: JoinPlan) -> JoinResult:
+        """Execute the plan; pooled plans return a ``MultiJoinResult``."""
+        if plan.pooled:
+            return self._run_pooled(plan)
+        return self._run_single(plan)
+
+    def stream(
+        self, plan: JoinPlan, *, chunk: int | None = None
+    ) -> Iterator[np.ndarray]:
+        """Execute the plan and yield its result pairs in blocks.
+
+        Without ``chunk``, blocks are the runner's natural fragments (one
+        per batch on single-device runs); with ``chunk``, blocks are
+        re-sliced to exactly ``chunk`` rows (last one short). The
+        concatenation of all yielded blocks equals ``result.pairs``.
+        """
+        yield from self.run(plan).iter_pairs(chunk=chunk)
+
+    # ------------------------------------------------------------------
+    def _run_single(self, plan: JoinPlan) -> JoinResult:
+        rc = plan.config
+        executor = self.executor if self.executor is not None else executor_from_runtime(rc)
+        resil = plan.resilience_stage
+        if resil is not None and resil.fault_plan is not None:
+            executor = FaultyExecutor(executor, 0, resil.fault_plan)
+        return execute_shard(
+            plan.op,
+            plan.index,
+            rc.optimization,
+            executor,
+            subset=plan.subset,
+            safety_z=rc.estimate_safety_z,
+            description=plan.merge_stage.description,
+            keep_fragments=rc.profiling.keep_fragments,
+        )
+
+    def _run_pooled(self, plan: JoinPlan):
+        # upward imports: multigpu compiles *into* this runtime, so the
+        # runner resolves it lazily rather than at module import
+        from repro.multigpu.join import MultiJoinResult
+        from repro.multigpu.merge import merge_shard_results
+        from repro.multigpu.metrics import pool_stats_from_trace
+        from repro.multigpu.pool import DevicePool
+        from repro.multigpu.scheduler import HostScheduler
+        from repro.resilience.executor import arm_pool
+
+        rc = plan.config
+        shard_stage = plan.shard_stage
+        pool = self.pool if self.pool is not None else DevicePool.from_runtime(rc)
+        resil = plan.resilience_stage
+        armed = arm_pool(pool, resil.fault_plan if resil is not None else None)
+        scheduler = HostScheduler(pool, shard_stage.schedule, recovery=rc.recovery)
+        op, index, opt = plan.op, plan.index, rc.optimization
+
+        def run_shard(device, shard):
+            executor = armed.get(device.device_id, device.executor)
+            return execute_shard(
+                op,
+                index,
+                opt,
+                executor,
+                subset=shard.points,
+                safety_z=rc.estimate_safety_z,
+                keep_fragments=False,
+            )
+
+        results, trace = scheduler.run(shard_stage.plan, run_shard)
+
+        # speculative re-execution is first-result-wins, so results[] holds
+        # one copy per shard — but dedup anyway when it fired, making the
+        # merge duplicate-safe by construction rather than by argument
+        merge = plan.merge_stage
+        speculated = trace.recovery is not None and trace.recovery.num_speculations > 0
+        merged = merge_shard_results(
+            results,
+            trace,
+            epsilon=op.result_epsilon(index),
+            num_points=op.total_points(index),
+            dedup=merge.dedup or speculated,
+            config_description=merge.description,
+        )
+        stats = pool_stats_from_trace(trace, results, planner=shard_stage.plan.planner)
+        return MultiJoinResult(
+            pairs=merged.pairs,
+            epsilon=merged.epsilon,
+            num_points=merged.num_points,
+            batch_stats=merged.batch_stats,
+            pipeline=merged.pipeline,
+            config_description=merged.config_description,
+            overflow_retries=merged.overflow_retries,
+            overflow_wasted_seconds=merged.overflow_wasted_seconds,
+            planner=shard_stage.plan.planner,
+            schedule_mode=trace.mode,
+            num_devices=pool.num_devices,
+            pool_stats=stats,
+            trace=trace if rc.profiling.keep_trace else None,
+            shard_plan=shard_stage.plan,
+        )

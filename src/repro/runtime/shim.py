@@ -1,0 +1,47 @@
+"""Deprecation shims: legacy facade kwargs → :class:`RuntimeConfig`.
+
+The pre-runtime facades took every execution knob as its own keyword
+argument (``engine=``, ``executor=``, ``fault_plan=``, ``recovery=``)
+and forwarded it layer by layer. Those spellings keep working for one
+deprecation cycle: the facades call :func:`warn_legacy` and fold the
+value into the equivalent :class:`~repro.runtime.config.RuntimeConfig`,
+so legacy call sites produce *exactly* the config an explicit
+``RuntimeConfig(...)`` would (asserted by ``tests/runtime/
+test_deprecation_shim.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.config import OptimizationConfig
+from repro.runtime.config import RuntimeConfig
+
+__all__ = ["split_config", "warn_legacy"]
+
+
+def warn_legacy(facade: str, kwarg: str, instead: str) -> None:
+    """Emit the one-cycle :class:`DeprecationWarning` for a legacy kwarg."""
+    warnings.warn(
+        f"{facade}({kwarg}=...) is deprecated; {instead}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def split_config(
+    config, runtime: RuntimeConfig | None, facade: str
+) -> tuple[OptimizationConfig | None, RuntimeConfig | None]:
+    """Let a :class:`RuntimeConfig` ride in the legacy ``config`` slot.
+
+    Facades accept ``Facade(RuntimeConfig(...))`` as a convenience; this
+    normalizes the two slots and rejects giving both.
+    """
+    if isinstance(config, RuntimeConfig):
+        if runtime is not None:
+            raise ValueError(
+                f"{facade}: pass either a RuntimeConfig positionally or "
+                "runtime=..., not both"
+            )
+        return None, config
+    return config, runtime

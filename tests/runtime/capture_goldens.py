@@ -1,0 +1,29 @@
+"""Capture golden fingerprints into ``goldens.json``.
+
+Run from the repo root at the commit whose behaviour is the reference::
+
+    PYTHONPATH=src:. python tests/runtime/capture_goldens.py
+
+The committed ``goldens.json`` was captured at the last pre-``repro.runtime``
+commit; ``test_golden_equivalence.py`` holds the refactored pipeline to it.
+Re-run this script only when a deliberate, reviewed behaviour change makes
+the old reference obsolete.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from tests.runtime.golden_scenarios import capture_all
+
+
+def main() -> None:
+    out = pathlib.Path(__file__).with_name("goldens.json")
+    goldens = capture_all()
+    out.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} golden scenarios to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Legacy facade kwargs: one deprecation cycle, exact RuntimeConfig parity."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    PRESETS,
+    MultiGpuSelfJoin,
+    MultiGpuSimilarityJoin,
+    RuntimeConfig,
+    SelfJoin,
+    ShardingConfig,
+    SimilarityJoin,
+)
+from repro.core.executor import DeviceExecutor
+from repro.resilience import FaultPlan, RecoveryPolicy
+from repro.resilience.faults import Straggler
+
+
+def points(n=80, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 10.0, size=(n, 2))
+
+
+# ----------------------------------------------------------------------
+def test_selfjoin_engine_kwarg_warns_and_matches_explicit():
+    with pytest.warns(DeprecationWarning, match=r"SelfJoin\(engine=\.\.\.\)"):
+        legacy = SelfJoin(PRESETS["combined"], engine="vectorized", seed=3)
+    explicit = SelfJoin(
+        RuntimeConfig(optimization=PRESETS["combined"], engine="vectorized", seed=3)
+    )
+    assert legacy.runtime == explicit.runtime
+
+
+def test_selfjoin_executor_kwarg_warns_and_still_runs():
+    with pytest.warns(DeprecationWarning, match=r"SelfJoin\(executor=\.\.\.\)"):
+        legacy = SelfJoin(PRESETS["combined"], executor=DeviceExecutor(seed=0))
+    default = SelfJoin(PRESETS["combined"])
+    pts = points()
+    np.testing.assert_array_equal(
+        legacy.execute(pts, 0.7).sorted_pairs(),
+        default.execute(pts, 0.7).sorted_pairs(),
+    )
+
+
+def test_similarityjoin_engine_kwarg_warns_and_matches_explicit():
+    with pytest.warns(DeprecationWarning, match=r"SimilarityJoin\(engine=\.\.\.\)"):
+        legacy = SimilarityJoin(PRESETS["gpucalcglobal"], engine="vectorized")
+    explicit = SimilarityJoin(
+        RuntimeConfig(optimization=PRESETS["gpucalcglobal"], engine="vectorized")
+    )
+    assert legacy.runtime == explicit.runtime
+
+
+def test_multigpu_fault_plan_kwarg_warns_and_matches_explicit():
+    plan = FaultPlan(seed=5, stragglers=[Straggler(device_id=0, slowdown=2.0)])
+    with pytest.warns(
+        DeprecationWarning, match=r"MultiGpuSelfJoin\(fault_plan=\.\.\.\)"
+    ):
+        legacy = MultiGpuSelfJoin(PRESETS["combined"], num_devices=3, fault_plan=plan)
+    explicit = MultiGpuSelfJoin(
+        RuntimeConfig(
+            optimization=PRESETS["combined"],
+            sharding=ShardingConfig(num_devices=3),
+            fault_plan=plan,
+        )
+    )
+    assert legacy.runtime == explicit.runtime
+    # the fault plan implied the default recovery policy, as before
+    assert legacy.runtime.recovery == RecoveryPolicy()
+
+
+def test_multigpu_recovery_kwarg_warns_and_matches_explicit():
+    with pytest.warns(
+        DeprecationWarning, match=r"MultiGpuSimilarityJoin\(recovery=\.\.\.\)"
+    ):
+        legacy = MultiGpuSimilarityJoin(recovery=RecoveryPolicy(max_shard_attempts=5))
+    explicit = MultiGpuSimilarityJoin(
+        RuntimeConfig(
+            sharding=ShardingConfig(),
+            recovery=RecoveryPolicy(max_shard_attempts=5),
+        )
+    )
+    assert legacy.runtime == explicit.runtime
+    # recovery resolves the pool's overflow policy to "retry"
+    assert legacy.runtime.overflow_policy == "retry"
+    assert legacy.pool[0].executor.overflow_policy == "retry"
+
+
+def test_clean_construction_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        SelfJoin(PRESETS["combined"], seed=1, include_self=False)
+        SimilarityJoin(PRESETS["gpucalcglobal"], seed=2)
+        MultiGpuSelfJoin(PRESETS["combined"], num_devices=2)
+        SelfJoin(RuntimeConfig())
+
+
+def test_runtime_and_config_slots_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        SelfJoin(RuntimeConfig(), runtime=RuntimeConfig())
+
+
+def test_legacy_attributes_still_readable():
+    join = SelfJoin(PRESETS["combined"], seed=7, include_self=False)
+    assert join.config == PRESETS["combined"]
+    assert join.seed == 7
+    assert join.include_self is False
+    assert join.engine == "interpreted"
+    assert join.replay_mode == "aggregate"
+    mg = MultiGpuSelfJoin(num_devices=3, planner="strided", schedule="static")
+    assert (mg.planner, mg.schedule, mg.num_shards) == ("strided", "static", 6)

@@ -1,0 +1,52 @@
+"""Hold the runtime refactor to the pre-refactor goldens, bit-for-bit.
+
+``goldens.json`` was captured by ``capture_goldens.py`` at the last
+commit before ``repro.runtime`` existed (5472173), through the then-
+current facades. Every scenario re-runs here through the refactored
+plan/compile/execute pipeline and must reproduce the exact pair set
+(sha256 of the canonical sorted pairs), the exact scheduler trace
+signature, and the exact ``PoolStats`` floats (compared via
+``float.hex()`` — same bits, not "close enough").
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from tests.runtime.golden_scenarios import (
+    BIPARTITE_SCENARIOS,
+    run_bipartite_scenario,
+    run_scenario,
+    self_scenarios,
+)
+
+GOLDENS = json.loads(
+    (pathlib.Path(__file__).parent / "goldens.json").read_text()
+)
+
+
+def test_every_scenario_has_a_golden():
+    keys = {key for key, *_ in self_scenarios()}
+    keys |= {key for key, *_ in BIPARTITE_SCENARIOS}
+    assert keys == set(GOLDENS)
+
+
+@pytest.mark.parametrize(
+    ("key", "preset", "devices", "faulted"),
+    self_scenarios(),
+    ids=[key for key, *_ in self_scenarios()],
+)
+def test_self_join_matches_golden(key, preset, devices, faulted):
+    assert run_scenario(preset, devices, faulted) == GOLDENS[key]
+
+
+@pytest.mark.parametrize(
+    ("key", "preset", "devices"),
+    BIPARTITE_SCENARIOS,
+    ids=[key for key, *_ in BIPARTITE_SCENARIOS],
+)
+def test_bipartite_matches_golden(key, preset, devices):
+    assert run_bipartite_scenario(preset, devices) == GOLDENS[key]

@@ -1,0 +1,30 @@
+"""The public API surface must match the checked-in manifest.
+
+``api_manifest.txt`` pins every public export with its call signature, so
+an execution knob added to (or removed from) any layer fails here — and
+in the CI ``api-surface`` job — until the manifest change is reviewed.
+Regenerate after an intentional change::
+
+    PYTHONPATH=src python -m repro --api-dump > api_manifest.txt
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.__main__ import api_surface
+
+MANIFEST = pathlib.Path(__file__).parent.parent / "api_manifest.txt"
+
+
+def test_api_surface_matches_manifest():
+    recorded = MANIFEST.read_text().splitlines()
+    current = api_surface()
+    added = sorted(set(current) - set(recorded))
+    removed = sorted(set(recorded) - set(current))
+    assert current == recorded, (
+        "public API surface drifted from api_manifest.txt\n"
+        f"added/changed: {added}\n"
+        f"removed/changed: {removed}\n"
+        "if intentional: PYTHONPATH=src python -m repro --api-dump > api_manifest.txt"
+    )
