@@ -33,6 +33,7 @@ from repro.bench.experiments import load_bench_dataset
 from repro.core import SelfJoin
 from repro.core.config import PRESETS
 from repro.grid import GridIndex
+from repro.runtime import RuntimeConfig
 
 #: presets spanning the optimization space: baseline, half-pattern,
 #: sorted + k-striding, WORKQUEUE with coop fetch, and everything at once
@@ -57,7 +58,9 @@ def run_row(index: GridIndex, config_name: str, seed: int, reps: int) -> dict:
     timings: dict[str, float] = {}
     results = {}
     for engine in ("interpreted", "vectorized"):
-        join = SelfJoin(cfg, seed=seed, engine=engine)
+        join = SelfJoin(
+            runtime=RuntimeConfig(optimization=cfg, seed=seed, engine=engine)
+        )
         best = float("inf")
         for _ in range(reps):
             t0 = time.perf_counter()

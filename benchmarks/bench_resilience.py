@@ -44,6 +44,7 @@ from repro.resilience import (
     Straggler,
     TransientFaults,
 )
+from repro.runtime import RuntimeConfig, ShardingConfig
 from repro.simt import DeviceSpec
 
 SMALL_DEVICE = DeviceSpec(name="sim-small", num_sms=4, warps_per_sm_slot=2)
@@ -107,12 +108,14 @@ def run_scenarios(datasets, scenarios, config, seed: int):
         for sc_name, plan in scenarios.items():
             def run_once():
                 return MultiGpuSelfJoin(
-                    config,
-                    num_devices=NUM_DEVICES,
-                    device=SMALL_DEVICE,
-                    seed=seed,
-                    fault_plan=plan,
-                    recovery=RecoveryPolicy(),
+                    runtime=RuntimeConfig(
+                        optimization=config,
+                        sharding=ShardingConfig(num_devices=NUM_DEVICES),
+                        device=SMALL_DEVICE,
+                        seed=seed,
+                        fault_plan=plan,
+                        recovery=RecoveryPolicy(),
+                    )
                 ).execute(points, eps)
 
             result = run_once()

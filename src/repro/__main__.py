@@ -24,6 +24,7 @@ PUBLIC_MODULES = (
     "repro.multigpu",
     "repro.resilience",
     "repro.runtime",
+    "repro.serve",
     "repro.simt",
 )
 

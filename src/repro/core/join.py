@@ -36,10 +36,9 @@ from repro.core.executor import BatchExecutor
 from repro.core.result import JoinResult
 from repro.core.validation import validate_inputs
 from repro.grid import GridIndex
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import RuntimeConfig, _split_config
 from repro.runtime.plan import compile_similarity_join
 from repro.runtime.runner import Runner
-from repro.runtime.shim import split_config, warn_legacy
 from repro.simt import CostParams, DeviceSpec
 
 __all__ = [
@@ -58,10 +57,6 @@ class SimilarityJoin:
     :class:`~repro.runtime.config.RuntimeConfig`. ``execute(left, right,
     eps)`` returns a :class:`JoinResult` whose pairs are ``(left_idx,
     right_idx)``.
-
-    The ``engine=`` and ``executor=`` keyword arguments are deprecated:
-    set ``RuntimeConfig.engine``, and pass executors to
-    :class:`~repro.runtime.runner.Runner` or :meth:`execute_on_index`.
     """
 
     def __init__(
@@ -72,40 +67,23 @@ class SimilarityJoin:
         device: DeviceSpec | None = None,
         costs: CostParams | None = None,
         seed: int = 0,
-        engine: str | None = None,
-        executor: BatchExecutor | None = None,
     ):
-        config, runtime = split_config(config, runtime, "SimilarityJoin")
-        if engine is not None:
-            warn_legacy(
-                "SimilarityJoin", "engine", "set RuntimeConfig.engine instead"
-            )
-        if executor is not None:
-            warn_legacy(
-                "SimilarityJoin",
-                "executor",
-                "pass it to Runner(executor=...) instead",
-            )
+        config, runtime = _split_config(config, runtime, "SimilarityJoin")
         if runtime is None:
             runtime = RuntimeConfig(
                 optimization=config if config is not None else OptimizationConfig(),
-                engine=engine if engine is not None else "interpreted",
                 seed=seed,
                 device=device,
                 costs=costs,
             )
-        else:
-            if config is not None:
-                runtime = runtime.with_(optimization=config)
-            if engine is not None:
-                runtime = runtime.with_(engine=engine)
+        elif config is not None:
+            runtime = runtime.with_(optimization=config)
         if runtime.optimization.pattern != "full":
             raise ValueError(
                 "unidirectional patterns exploit self-join symmetry; the "
                 "bipartite join requires pattern='full'"
             )
         self.runtime = runtime
-        self.executor = executor
 
     # -- legacy attribute spellings ------------------------------------
     @property
@@ -154,11 +132,7 @@ class SimilarityJoin:
         """Run the join over a prebuilt index of B, optionally for a subset
         of A's query ids (a shard of the full bipartite join)."""
         plan = self.compile(index, queries, subset=subset)
-        runner = Runner(
-            executor=executor if executor is not None else self.executor,
-            pool=None,
-        )
-        return runner.run(plan)
+        return Runner(executor=executor, pool=None).run(plan)
 
     def compile(
         self,

@@ -166,6 +166,16 @@ class PatternPlan:
         self._offset_candidates = np.flatnonzero(self._take_all)
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable cache key: the pattern name bound to the index identity.
+
+        Two plans fingerprint equal iff they describe the same pattern
+        over byte-identical index inputs (dataset, ε, grid geometry) —
+        the invariant a cross-request plan cache needs to reuse memoized
+        geometry safely.
+        """
+        return f"{self.pattern}:{self.index.fingerprint()}"
+
     def pattern_offsets(self) -> np.ndarray:
         """Offset indices any cell could take under this pattern, ascending
         — the traversal order of the kernels' pattern-cell loop."""

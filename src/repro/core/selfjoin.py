@@ -34,10 +34,9 @@ from repro.core.executor import BatchExecutor
 from repro.core.result import JoinResult
 from repro.core.validation import validate_inputs
 from repro.grid import GridIndex
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import RuntimeConfig, _split_config
 from repro.runtime.plan import compile_self_join
 from repro.runtime.runner import Runner
-from repro.runtime.shim import split_config, warn_legacy
 from repro.simt import CostParams, DeviceSpec
 
 __all__ = ["SelfJoin"]
@@ -68,12 +67,6 @@ class SelfJoin:
         reconvergence; matches the analytic model) or ``"lockstep"``
         (event-by-event divergence serialization; slower-or-equal warp
         times, see :mod:`repro.simt.warp`).
-    engine:
-        .. deprecated:: set ``RuntimeConfig.engine`` instead.
-    executor:
-        .. deprecated:: pass the executor to
-           :class:`~repro.runtime.runner.Runner` (or to
-           :meth:`execute_on_index`) instead.
     estimate_safety_z:
         Pad the result-size estimate by this many standard errors of the
         sampled total before planning batches (0 = trust the point
@@ -92,21 +85,12 @@ class SelfJoin:
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
-        engine: str | None = None,
-        executor: BatchExecutor | None = None,
         estimate_safety_z: float = 0.0,
     ):
-        config, runtime = split_config(config, runtime, "SelfJoin")
-        if engine is not None:
-            warn_legacy("SelfJoin", "engine", "set RuntimeConfig.engine instead")
-        if executor is not None:
-            warn_legacy(
-                "SelfJoin", "executor", "pass it to Runner(executor=...) instead"
-            )
+        config, runtime = _split_config(config, runtime, "SelfJoin")
         if runtime is None:
             runtime = RuntimeConfig(
                 optimization=config if config is not None else OptimizationConfig(),
-                engine=engine if engine is not None else "interpreted",
                 replay_mode=replay_mode,
                 seed=seed,
                 include_self=include_self,
@@ -114,13 +98,9 @@ class SelfJoin:
                 device=device,
                 costs=costs,
             )
-        else:
-            if config is not None:
-                runtime = runtime.with_(optimization=config)
-            if engine is not None:
-                runtime = runtime.with_(engine=engine)
+        elif config is not None:
+            runtime = runtime.with_(optimization=config)
         self.runtime = runtime
-        self.executor = executor
 
     # -- legacy attribute spellings ------------------------------------
     @property
@@ -184,11 +164,7 @@ class SelfJoin:
         over the subset's D' slice) is private to this call.
         """
         plan = self.compile(index, subset=subset)
-        runner = Runner(
-            executor=executor if executor is not None else self.executor,
-            pool=None,
-        )
-        return runner.run(plan)
+        return Runner(executor=executor, pool=None).run(plan)
 
     def compile(self, index: GridIndex, *, subset: np.ndarray | None = None):
         """Compile this facade's :class:`~repro.runtime.plan.JoinPlan`."""

@@ -17,7 +17,7 @@ Public surface:
 """
 
 from repro.grid.cells import GridSpec
-from repro.grid.index import GridIndex
+from repro.grid.index import GridIndex, dataset_fingerprint
 from repro.grid.neighbors import (
     neighbor_offsets,
     neighbor_ranks_for_offset,
@@ -27,6 +27,7 @@ from repro.grid.neighbors import (
 __all__ = [
     "GridIndex",
     "GridSpec",
+    "dataset_fingerprint",
     "neighbor_offsets",
     "neighbor_ranks_for_offset",
     "neighbor_ranks_of_cell",

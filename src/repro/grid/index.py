@@ -17,12 +17,31 @@ the paper relies on.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.grid.cells import GridSpec
 from repro.util import as_points_array
 
-__all__ = ["GridIndex"]
+__all__ = ["GridIndex", "dataset_fingerprint"]
+
+
+def dataset_fingerprint(points) -> str:
+    """Stable content hash of a dataset: shape, dtype and every byte.
+
+    Two arrays fingerprint equal iff they hold the same values in the
+    same shape — independent of contiguity or of *when* the hash is
+    taken. This is the cache identity of a registered dataset (see
+    :class:`repro.serve.SessionCache`); a single perturbed coordinate
+    changes the digest.
+    """
+    pts = np.ascontiguousarray(as_points_array(points))
+    h = hashlib.sha256()
+    h.update(str(pts.shape).encode())
+    h.update(str(pts.dtype).encode())
+    h.update(pts.tobytes())
+    return h.hexdigest()
 
 
 class GridIndex:
@@ -68,6 +87,7 @@ class GridIndex:
         # memoized per-pattern geometry (see repro.core.patterns.PatternPlan);
         # a plain dict so plans live exactly as long as the index they describe
         self.plan_cache: dict = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +131,26 @@ class GridIndex:
     def cell_of_point(self, i: int) -> int:
         """Rank of the non-empty cell containing point ``i``."""
         return int(self.point_cell_rank[i])
+
+    def fingerprint(self) -> str:
+        """Stable cache key of this built index.
+
+        Combines the dataset's content hash with every grid parameter
+        that shapes the build (ε, bounding-box origin, cell counts), so
+        equal inputs fingerprint equal and any perturbation — a moved
+        point, a different ε, an explicit non-default spec — does not.
+        Memoized: the arrays are immutable once built.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(dataset_fingerprint(self.points).encode())
+            h.update(repr(float(self.spec.epsilon)).encode())
+            h.update(repr(float(self.spec.cell_length)).encode())
+            h.update(np.ascontiguousarray(self.spec.mins).tobytes())
+            h.update(np.ascontiguousarray(self.spec.maxs).tobytes())
+            h.update(np.ascontiguousarray(self.spec.widths).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def memory_bytes(self) -> int:
         """Bytes used by the index arrays (excluding the point data itself)."""

@@ -37,10 +37,9 @@ from repro.multigpu.scheduler import RecoveryLog, ScheduleTrace
 from repro.multigpu.sharding import ShardPlan
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RecoveryPolicy
-from repro.runtime.config import RuntimeConfig, ShardingConfig
+from repro.runtime.config import RuntimeConfig, ShardingConfig, _split_config
 from repro.runtime.plan import compile_self_join, compile_similarity_join
 from repro.runtime.runner import Runner
-from repro.runtime.shim import split_config, warn_legacy
 from repro.simt import CostParams, DeviceSpec
 
 __all__ = ["MultiGpuSelfJoin", "MultiGpuSimilarityJoin", "MultiJoinResult"]
@@ -99,18 +98,8 @@ class _PoolJoinBase:
         include_self: bool,
         seed: int,
         replay_mode: str,
-        fault_plan: FaultPlan | None,
-        recovery: RecoveryPolicy | None,
-        warned: dict | None = None,
     ):
-        config, runtime = split_config(config, runtime, self._facade)
-        for kwarg, value in (warned or {}).items():
-            if value is not None:
-                warn_legacy(
-                    self._facade,
-                    kwarg,
-                    f"set RuntimeConfig.{kwarg} instead",
-                )
+        config, runtime = _split_config(config, runtime, self._facade)
         if runtime is None:
             runtime = RuntimeConfig(
                 optimization=config if config is not None else OptimizationConfig(),
@@ -125,8 +114,6 @@ class _PoolJoinBase:
                     schedule=schedule,
                     shards_per_device=shards_per_device,
                 ),
-                recovery=recovery,
-                fault_plan=fault_plan,
             )
         else:
             if config is not None:
@@ -211,14 +198,11 @@ class MultiGpuSelfJoin(_PoolJoinBase):
         Queue depth: shards per device. 1 gives one shard per device
         (pure partitioning); larger values give the dynamic scheduler
         stealing granularity.
-    fault_plan:
-        .. deprecated:: set ``RuntimeConfig.fault_plan`` instead. A plan
-           implies ``recovery=RecoveryPolicy()`` unless given.
-    recovery:
-        .. deprecated:: set ``RuntimeConfig.recovery`` instead. Switches
-           the scheduler to its self-healing loop (and the default pool
-           to ``overflow_policy="retry"``); the merged pairs stay
-           identical to the fault-free run.
+
+    Fault injection and recovery are runtime concerns: set
+    ``RuntimeConfig.fault_plan`` / ``RuntimeConfig.recovery`` and pass the
+    config via ``runtime=`` (a plan implies ``RecoveryPolicy()`` unless
+    given; the merged pairs stay identical to the fault-free run).
     """
 
     _facade = "MultiGpuSelfJoin"
@@ -238,8 +222,6 @@ class MultiGpuSelfJoin(_PoolJoinBase):
         include_self: bool = True,
         seed: int = 0,
         replay_mode: str = "aggregate",
-        fault_plan: FaultPlan | None = None,
-        recovery: RecoveryPolicy | None = None,
     ):
         super().__init__(
             config,
@@ -254,9 +236,6 @@ class MultiGpuSelfJoin(_PoolJoinBase):
             include_self=include_self,
             seed=seed,
             replay_mode=replay_mode,
-            fault_plan=fault_plan,
-            recovery=recovery,
-            warned={"fault_plan": fault_plan, "recovery": recovery},
         )
 
     @property
@@ -292,8 +271,6 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
         costs: CostParams | None = None,
         seed: int = 0,
         replay_mode: str = "aggregate",
-        fault_plan: FaultPlan | None = None,
-        recovery: RecoveryPolicy | None = None,
     ):
         super().__init__(
             config,
@@ -308,9 +285,6 @@ class MultiGpuSimilarityJoin(_PoolJoinBase):
             include_self=True,
             seed=seed,
             replay_mode=replay_mode,
-            fault_plan=fault_plan,
-            recovery=recovery,
-            warned={"fault_plan": fault_plan, "recovery": recovery},
         )
         if self.config.pattern != "full":
             raise ValueError(

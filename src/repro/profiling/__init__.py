@@ -9,6 +9,9 @@ execution efficiency per (planner, scheduler, pool size) over
 :mod:`repro.multigpu` runs. :class:`ResilienceReport` accounts what a
 fault run cost beyond the fault-free one — retries, requeues,
 speculative wins, wasted device-seconds, degraded-mode makespan.
+:class:`ServiceReport` is the serving layer's aggregate view — queue
+latency percentiles, session-cache hit rate, per-tenant throughput and
+shared-pool utilization over a :mod:`repro.serve` service lifetime.
 """
 
 from repro.profiling.device_report import (
@@ -18,6 +21,7 @@ from repro.profiling.device_report import (
 )
 from repro.profiling.profiler import ProfileReport, ProfileRow, profile_run
 from repro.profiling.resilience_report import ResilienceReport, resilience_report
+from repro.profiling.service_report import ServiceReport, TenantRow, service_report
 from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
 
 __all__ = [
@@ -26,9 +30,12 @@ __all__ = [
     "ProfileReport",
     "ProfileRow",
     "ResilienceReport",
+    "ServiceReport",
+    "TenantRow",
     "WorkloadStats",
     "device_profile_row",
     "gini_coefficient",
     "profile_run",
     "resilience_report",
+    "service_report",
 ]

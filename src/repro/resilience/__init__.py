@@ -29,10 +29,12 @@ Quickstart::
 
     from repro.multigpu import MultiGpuSelfJoin
     from repro.resilience import DeviceFailure, FaultPlan, RecoveryPolicy
+    from repro.runtime import RuntimeConfig, ShardingConfig
 
     plan = FaultPlan(seed=7, failures=[DeviceFailure(device_id=1, at_shard=1)])
-    join = MultiGpuSelfJoin(num_devices=4, fault_plan=plan,
-                            recovery=RecoveryPolicy())
+    join = MultiGpuSelfJoin(runtime=RuntimeConfig(
+        sharding=ShardingConfig(num_devices=4),
+        fault_plan=plan, recovery=RecoveryPolicy()))
     result = join.execute(points, epsilon=0.5)   # pairs identical to fault-free
 """
 

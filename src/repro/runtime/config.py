@@ -242,3 +242,21 @@ class RuntimeConfig:
         if self.fault_plan is not None and not self.fault_plan.is_empty:
             parts.append(self.fault_plan.describe())
         return " | ".join(parts)
+
+
+def _split_config(config, runtime, facade: str):
+    """Let a :class:`RuntimeConfig` ride in a facade's ``config`` slot.
+
+    Facades accept ``Facade(RuntimeConfig(...))`` as a convenience; this
+    normalizes the two slots and rejects giving both. Private to the
+    facades — the supported public spellings are ``Facade(optimization)``
+    and ``Facade(runtime=RuntimeConfig(...))``.
+    """
+    if isinstance(config, RuntimeConfig):
+        if runtime is not None:
+            raise ValueError(
+                f"{facade}: pass either a RuntimeConfig positionally or "
+                "runtime=..., not both"
+            )
+        return None, config
+    return config, runtime

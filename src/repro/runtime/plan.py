@@ -51,12 +51,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class IndexStage:
-    """Record of the ε-grid build this plan runs against."""
+    """Record of the ε-grid build this plan runs against.
+
+    ``reused=True`` marks a plan compiled against a pre-built index (a
+    session-cache hit in :mod:`repro.serve`): the grid build — and any
+    :class:`~repro.core.patterns.PatternPlan` geometry memoized on the
+    index — was skipped, not performed by this plan.
+    """
 
     epsilon: float
     num_points: int
     ndim: int
     num_cells: int
+    reused: bool = False
 
 
 @dataclass(frozen=True)
@@ -153,9 +160,10 @@ class JoinPlan:
         lines = [f"JoinPlan[{self.op.kind}] {self.merge_stage.description}"]
         for s in self.stages:
             if isinstance(s, IndexStage):
+                reused = " (reused)" if s.reused else ""
                 lines.append(
                     f"  index    eps={s.epsilon:g} n={s.num_points} "
-                    f"dim={s.ndim} cells={s.num_cells}"
+                    f"dim={s.ndim} cells={s.num_cells}{reused}"
                 )
             elif isinstance(s, EstimateStage):
                 z = f" z={s.safety_z:g}" if s.safety_z else ""
@@ -187,12 +195,13 @@ class JoinPlan:
 
 
 # ----------------------------------------------------------------------
-def _index_stage(index: GridIndex) -> IndexStage:
+def _index_stage(index: GridIndex, *, reused: bool = False) -> IndexStage:
     return IndexStage(
         epsilon=float(index.epsilon),
         num_points=index.num_points,
         ndim=index.ndim,
         num_cells=index.num_nonempty_cells,
+        reused=reused,
     )
 
 
@@ -220,15 +229,18 @@ def compile_self_join(
     runtime: RuntimeConfig,
     *,
     subset: np.ndarray | None = None,
+    index_reused: bool = False,
 ) -> JoinPlan:
     """Compile a self-join over a prebuilt index into a :class:`JoinPlan`.
 
     ``subset`` restricts the query side (one shard of a larger join) and
     forces a single-device plan — sharding a shard is not a thing.
+    ``index_reused`` marks the index as served from a cache (the plan
+    skips the build cost; see :class:`IndexStage`).
     """
     opt = runtime.optimization
     stages: list[Stage] = [
-        _index_stage(index),
+        _index_stage(index, reused=index_reused),
         EstimateStage(
             mode="head" if opt.work_queue else "strided",
             sample_fraction=opt.sample_fraction,
@@ -271,11 +283,13 @@ def compile_similarity_join(
     runtime: RuntimeConfig,
     *,
     subset: np.ndarray | None = None,
+    index_reused: bool = False,
 ) -> JoinPlan:
     """Compile a bipartite join (``queries`` ⋈ indexed dataset).
 
     The configuration must use ``pattern="full"`` — the unidirectional
     patterns exploit self-join symmetry the bipartite join does not have.
+    ``index_reused`` marks B's index as served from a cache.
     """
     opt = runtime.optimization
     if opt.pattern != "full":
@@ -285,7 +299,7 @@ def compile_similarity_join(
         )
     op = BipartiteOp(queries)
     stages: list[Stage] = [
-        _index_stage(index),
+        _index_stage(index, reused=index_reused),
         EstimateStage(
             mode="head" if opt.work_queue else "strided",
             sample_fraction=opt.sample_fraction,

@@ -1,0 +1,106 @@
+"""``python -m repro.serve`` — a self-contained multi-tenant serving demo.
+
+Starts a :class:`~repro.serve.service.JoinService`, registers two
+synthetic datasets, drives three tenants with interleaved self- and
+similarity-join requests through the in-process client, and prints the
+:class:`~repro.profiling.ServiceReport` plus the incident log tail.
+
+Options::
+
+    --tenants N      concurrent tenants (default 3)
+    --requests N     requests per tenant (default 4)
+    --points N       points per dataset (default 600)
+    --seed N         dataset RNG seed (default 7)
+    --port P         also expose the JSON-lines TCP transport on P and
+                     answer one ping through it (demo of repro.serve.net)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.data import exponential, uniform
+from repro.runtime.config import RuntimeConfig
+from repro.serve.client import JoinClient
+from repro.serve.model import JoinRequest
+from repro.serve.service import JoinService, ServeConfig
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--requests", type=int, default=4)
+    parser.add_argument("--points", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--port", type=int, default=None)
+    return parser.parse_args(argv)
+
+
+async def _demo(args) -> int:
+    config = ServeConfig(tenant_weights={"tenant0": 2.0})
+    service = JoinService(config)
+    async with JoinClient(service) as client:
+        await service.start()
+        client.register_dataset("expo", exponential(args.points, 2, seed=args.seed))
+        client.register_dataset(
+            "unif", uniform(args.points, 2, seed=args.seed + 1, low=0.0, high=1.0)
+        )
+
+        if args.port is not None:
+            from repro.serve.net import TcpJoinClient, serve_tcp
+
+            server, port = await serve_tcp(service, port=args.port)
+            async with TcpJoinClient(port=port) as tcp:
+                print(f"tcp transport on 127.0.0.1:{port} — ping: {await tcp.ping()}")
+            server.close()
+            await server.wait_closed()
+
+        tickets = []
+        for r in range(args.requests):
+            for t in range(args.tenants):
+                if (r + t) % 2:
+                    request = JoinRequest(
+                        dataset="unif",
+                        epsilon=0.05,
+                        kind="similarity",
+                        query_dataset="expo",
+                        tenant=f"tenant{t}",
+                        runtime=RuntimeConfig(),
+                    )
+                else:
+                    request = JoinRequest(
+                        dataset="expo", epsilon=0.05, tenant=f"tenant{t}"
+                    )
+                tickets.append(await client.submit(request))
+        responses = [await client.result(t) for t in tickets]
+
+        for response in responses[: args.tenants]:
+            print(
+                f"{response.request_id} [{response.tenant}] {response.kind:10s}"
+                f" -> {response.state}: {response.num_pairs} pairs"
+                f"{' (cache hit)' if response.cache_hit else ''}"
+            )
+        if len(responses) > args.tenants:
+            print(f"… and {len(responses) - args.tenants} more")
+
+        print()
+        print(service.report().render())
+        print()
+        print("last events:")
+        for event in service.log.events[-6:]:
+            print(
+                f"  #{event.seq:03d} {event.kind:10s} {event.request_id:7s}"
+                f" {event.tenant:8s} {event.detail}"
+            )
+    return 0
+
+
+def main(argv=None) -> int:
+    return asyncio.run(_demo(_parse_args(argv)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

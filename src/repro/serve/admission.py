@@ -1,0 +1,120 @@
+"""Admission control: decide queue/reject before a request costs anything.
+
+The admission-time workload characterization follows the hybrid KNN-join
+lineage (Gowanlock, arXiv:1810.04758): estimate each request's result
+size *before* execution — via the same
+:func:`~repro.core.batching.estimate_result_size_detailed` machinery the
+batch planner trusts — and use that cost to (a) refuse requests that
+exceed the configured per-request budget, (b) refuse anything when the
+backlog is at depth, and (c) charge the tenant's deficit-round-robin
+account so fairness is proportional to estimated rows, not request count.
+
+The estimate needs a built index; the service resolves it through the
+:class:`~repro.serve.cache.SessionCache` first, so admission itself warms
+the cache for the execution that follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import estimate_result_size_detailed
+from repro.grid import GridIndex
+from repro.grid.bipartite import bipartite_neighbor_counts
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "check_admission",
+    "estimate_request_cost",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The configurable limits of the admission controller.
+
+    ``max_concurrency`` is the execution budget (simultaneous running
+    joins); ``max_queue_depth`` bounds the backlog across all tenants;
+    ``max_estimated_pairs`` rejects any single request whose estimated
+    result exceeds it (``None`` = no per-request ceiling).
+    """
+
+    max_concurrency: int = 2
+    max_queue_depth: int = 64
+    max_estimated_pairs: int | None = None
+
+    def __post_init__(self):
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_estimated_pairs is not None and self.max_estimated_pairs < 1:
+            raise ValueError("max_estimated_pairs must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    estimated_pairs: int
+    reason: str = ""
+
+
+def estimate_request_cost(
+    index: GridIndex,
+    *,
+    kind: str,
+    queries: np.ndarray | None = None,
+    sample_fraction: float = 0.01,
+    include_self: bool = True,
+) -> int:
+    """Estimated result rows of one request (≥ 0), from an exact sample.
+
+    Self-joins use the strided estimator the batch planner uses;
+    similarity joins solve a strided sample of the query side exactly and
+    scale — the same scheme, external query points.
+    """
+    if kind == "self":
+        detailed = estimate_result_size_detailed(
+            index, sample_fraction=sample_fraction, include_self=include_self
+        )
+        return int(detailed.estimate)
+    if queries is None:
+        raise ValueError("similarity cost estimate needs the query points")
+    nq = len(queries)
+    if nq == 0 or index.num_points == 0:
+        return 0
+    sample_size = min(nq, max(1, int(round(nq * sample_fraction))))
+    step = max(1, nq // sample_size)
+    sample = queries[::step]
+    counts = bipartite_neighbor_counts(index, sample)
+    return int(np.ceil(counts.sum() * (nq / len(sample))))
+
+
+def check_admission(
+    policy: AdmissionPolicy, *, queue_depth: int, estimated_pairs: int
+) -> AdmissionDecision:
+    """Apply the policy to one request's estimated cost and the backlog."""
+    if queue_depth >= policy.max_queue_depth:
+        return AdmissionDecision(
+            admitted=False,
+            estimated_pairs=estimated_pairs,
+            reason=f"queue_full (depth {queue_depth} >= {policy.max_queue_depth})",
+        )
+    if (
+        policy.max_estimated_pairs is not None
+        and estimated_pairs > policy.max_estimated_pairs
+    ):
+        return AdmissionDecision(
+            admitted=False,
+            estimated_pairs=estimated_pairs,
+            reason=(
+                f"over_budget (estimated {estimated_pairs} pairs "
+                f"> {policy.max_estimated_pairs})"
+            ),
+        )
+    return AdmissionDecision(admitted=True, estimated_pairs=estimated_pairs)

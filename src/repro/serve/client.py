@@ -1,0 +1,122 @@
+"""Deterministic in-process client — the canonical way to talk to the service.
+
+:class:`JoinClient` is a thin async facade over a :class:`JoinService`
+living in the same process: no sockets, no serialization, full
+:class:`~repro.core.result.JoinResult` objects in responses. The optional
+TCP transport (:mod:`repro.serve.net`) exposes the same verbs over a
+socket; everything in the test and benchmark suites uses this in-process
+form so runs are deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import AsyncIterator
+
+import numpy as np
+
+from repro.runtime.config import RuntimeConfig
+from repro.serve.model import JoinRequest, JoinResponse, JoinTicket
+from repro.serve.service import JoinService, ServeConfig
+
+__all__ = ["JoinClient"]
+
+
+class JoinClient:
+    """Async client bound to one in-process :class:`JoinService`.
+
+    Owns the service unless one is passed in::
+
+        async with JoinClient() as client:
+            client.register_dataset("expo", points)
+            response = await client.self_join("expo", epsilon=0.4)
+    """
+
+    def __init__(
+        self,
+        service: JoinService | None = None,
+        *,
+        config: ServeConfig | None = None,
+        tenant: str = "default",
+    ):
+        if service is not None and config is not None:
+            raise ValueError("pass either a service or a config, not both")
+        self.service = service if service is not None else JoinService(config)
+        self.tenant = tenant
+        self._owns_service = service is None
+
+    async def __aenter__(self) -> "JoinClient":
+        if self._owns_service:
+            await self.service.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        if self._owns_service:
+            await self.service.stop(drain=not any(exc))
+
+    def for_tenant(self, tenant: str) -> "JoinClient":
+        """A view of the same service acting as another tenant."""
+        view = JoinClient(self.service, tenant=tenant)
+        view._owns_service = False
+        return view
+
+    # ------------------------------------------------------------------
+    def register_dataset(self, name: str, points):
+        return self.service.register_dataset(name, points)
+
+    async def submit(self, request: JoinRequest) -> JoinTicket:
+        return await self.service.submit(request)
+
+    async def result(self, ticket: JoinTicket) -> JoinResponse:
+        return await self.service.result(ticket)
+
+    async def run(self, request: JoinRequest) -> JoinResponse:
+        return await self.service.run(request)
+
+    def stream(
+        self, ticket: JoinTicket, *, chunk: int | None = None
+    ) -> AsyncIterator[np.ndarray]:
+        return self.service.stream(ticket, chunk=chunk)
+
+    def cancel(self, ticket: JoinTicket) -> bool:
+        return self.service.cancel(ticket)
+
+    # ------------------------------------------------------------------
+    async def self_join(
+        self,
+        dataset: str,
+        *,
+        epsilon: float,
+        runtime: RuntimeConfig | None = None,
+        **kwargs,
+    ) -> JoinResponse:
+        """Submit-and-await one self-join on a registered dataset."""
+        request = JoinRequest(
+            dataset=dataset,
+            epsilon=epsilon,
+            kind="self",
+            tenant=kwargs.pop("tenant", self.tenant),
+            runtime=runtime if runtime is not None else RuntimeConfig(),
+            **kwargs,
+        )
+        return await self.run(request)
+
+    async def similarity_join(
+        self,
+        dataset: str,
+        query_dataset: str,
+        *,
+        epsilon: float,
+        runtime: RuntimeConfig | None = None,
+        **kwargs,
+    ) -> JoinResponse:
+        """Submit-and-await one similarity join (``dataset`` is indexed)."""
+        request = JoinRequest(
+            dataset=dataset,
+            epsilon=epsilon,
+            kind="similarity",
+            query_dataset=query_dataset,
+            tenant=kwargs.pop("tenant", self.tenant),
+            runtime=runtime if runtime is not None else RuntimeConfig(),
+            **kwargs,
+        )
+        return await self.run(request)

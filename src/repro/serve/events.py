@@ -1,0 +1,102 @@
+"""Structured service incidents — the serving mirror of ``ShardEvent``.
+
+Every decision the service takes (admit, reject, dispatch, cache hit,
+degraded pool, eviction, …) is appended to one ordered
+:class:`ServiceLog` as a typed :class:`ServiceEvent`, exactly as the
+resilient scheduler records :class:`~repro.multigpu.scheduler.ShardEvent`
+streams. The log is the audit trail the incident tests and the
+:class:`~repro.profiling.ServiceReport` read; its :meth:`signature`
+(timestamps excluded) is deterministic for a deterministic request
+sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["EVENT_KINDS", "ServiceEvent", "ServiceLog"]
+
+#: What one service event can record. ``register`` a dataset arriving,
+#: ``submit``/``reject`` admission decisions, ``dispatch`` a request
+#: leaving the queue for a device, ``cache_hit``/``cache_miss``/``evict``
+#: session-cache traffic, ``degraded`` a pooled run that lost devices but
+#: was healed by recovery, and the terminal request outcomes.
+EVENT_KINDS = (
+    "register",
+    "submit",
+    "reject",
+    "dispatch",
+    "cache_hit",
+    "cache_miss",
+    "evict",
+    "complete",
+    "failed",
+    "cancelled",
+    "timeout",
+    "degraded",
+    "shutdown",
+)
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One service incident, in wall-clock seconds since service start."""
+
+    seq: int
+    kind: str
+    request_id: str
+    tenant: str
+    at_seconds: float
+    detail: str = ""
+
+
+class ServiceLog:
+    """Append-only ordered incident log (thread-safe appends)."""
+
+    def __init__(self):
+        self._events: list[ServiceEvent] = []
+        self._lock = threading.Lock()
+
+    def append(
+        self,
+        kind: str,
+        *,
+        request_id: str = "",
+        tenant: str = "",
+        at_seconds: float = 0.0,
+        detail: str = "",
+    ) -> ServiceEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
+        with self._lock:
+            event = ServiceEvent(
+                seq=len(self._events),
+                kind=kind,
+                request_id=request_id,
+                tenant=tenant,
+                at_seconds=at_seconds,
+                detail=detail,
+            )
+            self._events.append(event)
+            return event
+
+    @property
+    def events(self) -> tuple[ServiceEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def of_kind(self, *kinds: str) -> tuple[ServiceEvent, ...]:
+        return tuple(e for e in self.events if e.kind in kinds)
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def signature(self) -> tuple:
+        """Hashable timestamp-free record — determinism tests compare these."""
+        return tuple(
+            (e.seq, e.kind, e.request_id, e.tenant, e.detail) for e in self.events
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,166 @@
+"""Optional TCP transport: the same verbs over newline-delimited JSON.
+
+Stdlib-only (``asyncio`` streams + ``json``), and entirely optional — the
+in-process :class:`~repro.serve.client.JoinClient` is the canonical
+surface and what every test uses. This module exists so a service can be
+driven from another process: ``python -m repro.serve --port 9876`` starts
+a listener, and :class:`TcpJoinClient` speaks to it.
+
+The wire protocol is deliberately small. One JSON object per line::
+
+    → {"op": "register", "name": "a", "points": [[…], …]}
+    ← {"ok": true, "fingerprint": "…", "num_points": 100}
+    → {"op": "join", "dataset": "a", "epsilon": 0.5, "kind": "self",
+       "tenant": "t0", "query_dataset": null}
+    ← {"ok": true, "state": "done", "num_pairs": 42, "pairs": [[i, j], …],
+       "cache_hit": false, "error": null}
+    → {"op": "ping"} / {"op": "shutdown"}
+
+Responses carry materialized pair lists, so this transport is meant for
+demo-scale results; in-process clients stream fragments instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve.model import JoinRequest
+from repro.serve.service import JoinService
+
+__all__ = ["TcpJoinClient", "serve_tcp"]
+
+#: Per-line stream buffer cap. asyncio's 64 KiB default truncates the
+#: single-line JSON reply of any non-trivial join (a few thousand pairs),
+#: so both ends raise it; results past this are for in-process streaming.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+
+async def _handle(service: JoinService, reader, writer, stop: asyncio.Event) -> None:
+    try:
+        while not reader.at_eof():
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                msg = json.loads(line)
+                reply = await _dispatch(service, msg, stop)
+            except Exception as exc:  # malformed input must not kill the listener
+                reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            writer.write((json.dumps(reply) + "\n").encode())
+            await writer.drain()
+            if stop.is_set():
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _dispatch(service: JoinService, msg: dict, stop: asyncio.Event) -> dict:
+    op = msg.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "shutdown":
+        stop.set()
+        return {"ok": True, "stopping": True}
+    if op == "register":
+        handle = service.register_dataset(
+            msg["name"], np.asarray(msg["points"], dtype=np.float64)
+        )
+        return {
+            "ok": True,
+            "fingerprint": handle.fingerprint,
+            "num_points": handle.num_points,
+        }
+    if op == "join":
+        request = JoinRequest(
+            dataset=msg["dataset"],
+            epsilon=float(msg["epsilon"]),
+            kind=msg.get("kind", "self"),
+            query_dataset=msg.get("query_dataset"),
+            tenant=msg.get("tenant", "default"),
+        )
+        response = await service.run(request)
+        pairs = (
+            response.result.pairs.tolist() if response.ok else []
+        )
+        return {
+            "ok": response.ok,
+            "state": response.state,
+            "num_pairs": response.num_pairs,
+            "pairs": pairs,
+            "cache_hit": response.cache_hit,
+            "error": response.error,
+        }
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve_tcp(
+    service: JoinService, *, host: str = "127.0.0.1", port: int = 0
+) -> tuple[asyncio.AbstractServer, int]:
+    """Start listening; returns ``(server, bound_port)`` (port 0 = pick one).
+
+    The server stops when a client sends ``{"op": "shutdown"}`` — await
+    ``server.wait_closed()`` after this returns, or close it yourself.
+    """
+    stop = asyncio.Event()
+
+    async def handler(reader, writer):
+        await _handle(service, reader, writer, stop)
+        if stop.is_set():
+            server.close()
+
+    server = await asyncio.start_server(handler, host, port, limit=STREAM_LIMIT)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, bound_port
+
+
+class TcpJoinClient:
+    """Minimal async client for the JSON-lines transport."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9876):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def __aenter__(self) -> "TcpJoinClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=STREAM_LIMIT
+        )
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def call(self, **msg) -> dict:
+        self._writer.write((json.dumps(msg) + "\n").encode())
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def register(self, name: str, points) -> dict:
+        return await self.call(
+            op="register", name=name, points=np.asarray(points).tolist()
+        )
+
+    async def join(self, dataset: str, *, epsilon: float, **kwargs) -> dict:
+        return await self.call(op="join", dataset=dataset, epsilon=epsilon, **kwargs)
+
+    async def ping(self) -> bool:
+        return bool((await self.call(op="ping")).get("pong"))
+
+    async def shutdown(self) -> dict:
+        return await self.call(op="shutdown")

@@ -1,0 +1,625 @@
+"""`JoinService`: async multi-tenant join serving on a shared device pool.
+
+The service is the first consumer of the PR-4 pipeline under
+concurrency: every request still compiles to a declarative
+:class:`~repro.runtime.plan.JoinPlan` executed by the one
+:class:`~repro.runtime.runner.Runner` — the service adds the *serving*
+concerns around that seam:
+
+- **registration** — datasets are registered once and addressed by name;
+  the content fingerprint (:func:`repro.grid.dataset_fingerprint`) is
+  the cache identity;
+- **admission** — each request's result size is estimated up front
+  (:mod:`repro.serve.admission`) and the request is queued or rejected
+  against the backlog bound and per-request budget;
+- **fairness** — queued requests drain by weighted deficit round-robin
+  (:mod:`repro.serve.fairness`), so tenants share estimated result rows
+  proportionally to their weights;
+- **caching** — built :class:`~repro.grid.GridIndex`\\ es (and the
+  :class:`~repro.core.patterns.PatternPlan`\\ s memoized on them) are
+  reused across requests through the
+  :class:`~repro.serve.cache.SessionCache`; plans compiled from a cached
+  index carry ``IndexStage(reused=True)``;
+- **concurrency** — up to ``max_concurrency`` joins execute at once in
+  worker threads; pooled configs share the service's one
+  :class:`~repro.multigpu.pool.DevicePool` (serialized on it), and the
+  service keeps serving when recovery degrades that pool — device health
+  is re-armed per run by :func:`repro.resilience.executor.arm_pool`;
+- **observability** — every decision lands in the
+  :class:`~repro.serve.events.ServiceLog`, and
+  :meth:`JoinService.report` renders the
+  :class:`~repro.profiling.ServiceReport`.
+
+Execution is per-request deterministic: results depend only on the
+request (data, config, seed), never on interleaving — the concurrency
+equivalence suite pins service responses bit-identical to serial
+:class:`Runner` runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import AsyncIterator
+
+import numpy as np
+
+from repro.grid import GridIndex, dataset_fingerprint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.plan import compile_self_join, compile_similarity_join
+from repro.runtime.runner import Runner
+from repro.serve.admission import (
+    AdmissionPolicy,
+    check_admission,
+    estimate_request_cost,
+)
+from repro.serve.cache import SessionCache
+from repro.serve.events import ServiceLog
+from repro.serve.fairness import FairQueue
+from repro.serve.model import (
+    DatasetHandle,
+    JoinRequest,
+    JoinResponse,
+    JoinTicket,
+    ServeError,
+)
+from repro.util import as_points_array
+
+__all__ = ["JoinService", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-level knobs (per-request knobs ride in the request's
+    :class:`~repro.runtime.config.RuntimeConfig`).
+
+    ``quantum`` is the deficit round-robin credit per tenant visit, in
+    estimated result rows; ``tenant_weights`` scales it per tenant
+    (unlisted tenants get weight 1). ``pool_devices`` sizes the shared
+    device pool for pooled requests (their sharding config is adapted to
+    it). ``default_timeout_seconds`` is the queue deadline applied when a
+    request does not bring its own.
+    """
+
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cache_entries: int = 8
+    quantum: float = 4096.0
+    tenant_weights: dict = field(default_factory=dict)
+    default_timeout_seconds: float | None = None
+    pool_devices: int = 2
+
+    def __post_init__(self):
+        if self.cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if self.pool_devices < 1:
+            raise ValueError("pool_devices must be >= 1")
+        if self.default_timeout_seconds is not None and self.default_timeout_seconds <= 0:
+            raise ValueError("default_timeout_seconds must be positive")
+
+
+class JoinService:
+    """The long-running join server. Use as an async context manager::
+
+        async with JoinService() as svc:
+            svc.register_dataset("stars", points)
+            ticket = await svc.submit(JoinRequest(dataset="stars", epsilon=0.5))
+            response = await svc.result(ticket)
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.cache = SessionCache(self.config.cache_entries)
+        self.log = ServiceLog()
+        self._queue = FairQueue(
+            quantum=self.config.quantum, weights=self.config.tenant_weights
+        )
+        self._datasets: dict[str, DatasetHandle] = {}
+        self._tickets: dict[str, JoinTicket] = {}
+        self._build_locks: dict[tuple[str, str], asyncio.Lock] = {}
+        self._slots = asyncio.Semaphore(self.config.admission.max_concurrency)
+        self._pool = None
+        self._pool_mutex = threading.Lock()
+        self._dispatcher: asyncio.Task | None = None
+        self._workers: set[asyncio.Task] = set()
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self._running = False
+        # accounting read by repro.profiling.service_report
+        self._counts = {
+            k: 0
+            for k in (
+                "submitted",
+                "completed",
+                "failed",
+                "rejected",
+                "cancelled",
+                "timeout",
+            )
+        }
+        self._queue_latencies: list[float] = []
+        self._tenant_stats: dict[str, dict] = {}
+        self._dispatch_order: list[str] = []
+        self._pool_busy_seconds = 0.0
+        self._pool_allocated_seconds = 0.0
+        self._pooled_runs = 0
+
+    # ------------------------------------------------------- lifecycle
+    async def start(self) -> "JoinService":
+        if self._running:
+            return self
+        self._running = True
+        self._t0 = time.monotonic()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop serving. ``drain=True`` finishes the backlog first;
+        ``drain=False`` cancels everything still queued."""
+        if not self._running:
+            return
+        if drain:
+            while len(self._queue) or self._workers:
+                await asyncio.sleep(0.005)
+        self._running = False
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if not drain:
+            # flush the backlog as cancelled tickets
+            while len(self._queue):
+                _, ticket, _ = self._queue._pop_now()
+                self._counts["cancelled"] += 1
+                self._finalize(ticket, state="cancelled", error="service stopped")
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self.log.append("shutdown", at_seconds=self._now())
+
+    async def __aenter__(self) -> "JoinService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=not any(exc))
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------- datasets
+    def register_dataset(self, name: str, points) -> DatasetHandle:
+        """Register (or replace) a named dataset; validates and fingerprints.
+
+        Registration is cheap — no index is built until the first request
+        references the dataset (admission builds it, warming the cache).
+        """
+        if not name:
+            raise ServeError("dataset name must be non-empty")
+        pts = as_points_array(points)
+        handle = DatasetHandle(
+            name=name,
+            fingerprint=dataset_fingerprint(pts),
+            num_points=pts.shape[0],
+            ndim=pts.shape[1],
+            points=pts,
+        )
+        self._datasets[name] = handle
+        self.log.append(
+            "register",
+            tenant="",
+            at_seconds=self._now(),
+            detail=f"{name} n={handle.num_points} dim={handle.ndim}",
+        )
+        return handle
+
+    def dataset(self, name: str) -> DatasetHandle:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise ServeError(f"unknown dataset {name!r}; register it first") from None
+
+    # ------------------------------------------------------- admission
+    async def submit(self, request: JoinRequest) -> JoinTicket:
+        """Admit one request: estimate its cost, queue it or reject it.
+
+        Always returns a ticket; a rejected request's ticket is already
+        terminal (``state="rejected"``) and its response carries the
+        reason. The index needed for the cost estimate is resolved
+        through the session cache — admission warms it for execution.
+        """
+        if not self._running:
+            raise ServeError("service is not running; use 'async with JoinService()'")
+        handle = self.dataset(request.dataset)
+        query_handle = (
+            self.dataset(request.query_dataset)
+            if request.query_dataset is not None
+            else None
+        )
+        self._seq += 1
+        ticket = JoinTicket(
+            request_id=f"r{self._seq:05d}",
+            request=request,
+            submitted_at=self._now(),
+        )
+        ticket.future = asyncio.get_running_loop().create_future()
+        self._tickets[ticket.request_id] = ticket
+        self._counts["submitted"] += 1
+        self._tenant(request.tenant)["submitted"] += 1
+        self.log.append(
+            "submit",
+            request_id=ticket.request_id,
+            tenant=request.tenant,
+            at_seconds=self._now(),
+            detail=f"{request.kind} {request.dataset} eps={request.epsilon:g}"
+            + (f" [{request.tag}]" if request.tag else ""),
+        )
+
+        index, cache_hit = await self._index_for(handle, request.epsilon, ticket)
+        cost = await asyncio.to_thread(
+            estimate_request_cost,
+            index,
+            kind=request.kind,
+            queries=query_handle.points if query_handle is not None else None,
+            sample_fraction=request.runtime.optimization.sample_fraction,
+            include_self=request.runtime.include_self,
+        )
+        ticket.estimated_pairs = cost
+        ticket.cache_hit = cache_hit
+
+        decision = check_admission(
+            self.config.admission,
+            queue_depth=len(self._queue),
+            estimated_pairs=cost,
+        )
+        if not decision.admitted:
+            self._counts["rejected"] += 1
+            self._tenant(request.tenant)["rejected"] += 1
+            self.log.append(
+                "reject",
+                request_id=ticket.request_id,
+                tenant=request.tenant,
+                at_seconds=self._now(),
+                detail=decision.reason,
+            )
+            self._finalize(ticket, state="rejected", error=decision.reason)
+            return ticket
+
+        self._queue.push(request.tenant, ticket, float(cost))
+        return ticket
+
+    async def _index_for(
+        self, handle: DatasetHandle, epsilon: float, ticket: JoinTicket
+    ) -> tuple[GridIndex, bool]:
+        """Resolve the ε-grid through the cache, building at most once."""
+        key = SessionCache.key(handle.fingerprint, epsilon)
+        lock = self._build_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            index = self.cache.get(handle.fingerprint, epsilon)
+            if index is not None:
+                self.log.append(
+                    "cache_hit",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail=f"{handle.name} eps={epsilon:g}",
+                )
+                return index, True
+            self.log.append(
+                "cache_miss",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail=f"{handle.name} eps={epsilon:g}",
+            )
+            index = await asyncio.to_thread(GridIndex, handle.points, float(epsilon))
+            evicted = self.cache.put(handle.fingerprint, epsilon, index)
+            for old_key in evicted:
+                self.log.append(
+                    "evict", at_seconds=self._now(), detail=f"key={old_key[0][:12]}…"
+                )
+            return index, False
+
+    # ------------------------------------------------------- serving
+    async def _dispatch_loop(self) -> None:
+        while True:
+            tenant, ticket, _cost = await self._queue.pop()
+            if ticket.cancel_requested:
+                self._counts["cancelled"] += 1
+                self.log.append(
+                    "cancelled",
+                    request_id=ticket.request_id,
+                    tenant=tenant,
+                    at_seconds=self._now(),
+                    detail="cancelled while queued",
+                )
+                self._finalize(ticket, state="cancelled", error="cancelled while queued")
+                continue
+            timeout = (
+                ticket.request.timeout_seconds
+                if ticket.request.timeout_seconds is not None
+                else self.config.default_timeout_seconds
+            )
+            waited = self._now() - ticket.submitted_at
+            if timeout is not None and waited > timeout:
+                self._counts["timeout"] += 1
+                self.log.append(
+                    "timeout",
+                    request_id=ticket.request_id,
+                    tenant=tenant,
+                    at_seconds=self._now(),
+                    detail=f"queued {waited:.3f}s > {timeout:g}s deadline",
+                )
+                self._finalize(
+                    ticket,
+                    state="timeout",
+                    error=f"queue deadline exceeded ({waited:.3f}s > {timeout:g}s)",
+                    queue_seconds=waited,
+                )
+                continue
+            try:
+                await self._slots.acquire()
+            except asyncio.CancelledError:
+                # stop(drain=False) cancelled us while we held a popped
+                # ticket — resolve it so result() callers never hang
+                self._counts["cancelled"] += 1
+                self._finalize(ticket, state="cancelled", error="service stopped")
+                raise
+            self._dispatch_order.append(tenant)
+            self.log.append(
+                "dispatch",
+                request_id=ticket.request_id,
+                tenant=tenant,
+                at_seconds=self._now(),
+                detail=f"est={ticket.estimated_pairs}",
+            )
+            worker = asyncio.create_task(self._run_ticket(ticket, queue_seconds=waited))
+            self._workers.add(worker)
+            worker.add_done_callback(self._workers.discard)
+
+    async def _run_ticket(self, ticket: JoinTicket, *, queue_seconds: float) -> None:
+        try:
+            ticket.state = "running"
+            self._queue_latencies.append(queue_seconds)
+            started = self._now()
+            try:
+                result = await asyncio.to_thread(self._execute_sync, ticket)
+            except Exception as exc:  # the service outlives any one request
+                self._counts["failed"] += 1
+                self._tenant(ticket.tenant)["failed"] += 1
+                self.log.append(
+                    "failed",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+                self._finalize(
+                    ticket,
+                    state="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    queue_seconds=queue_seconds,
+                    execute_seconds=self._now() - started,
+                )
+                return
+            wall = self._now() - started
+            if ticket.cancel_requested:
+                self._counts["cancelled"] += 1
+                self.log.append(
+                    "cancelled",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail="cancelled while running; result discarded",
+                )
+                self._finalize(
+                    ticket,
+                    state="cancelled",
+                    error="cancelled while running",
+                    queue_seconds=queue_seconds,
+                    execute_seconds=wall,
+                )
+                return
+            recovery = getattr(result, "recovery_log", None)
+            if recovery is not None and recovery.num_devices_lost > 0:
+                self.log.append(
+                    "degraded",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail=(
+                        f"lost {recovery.num_devices_lost} device(s); healed by "
+                        f"recovery ({recovery.num_requeues} requeues)"
+                    ),
+                )
+            stats = getattr(result, "pool_stats", None)
+            if stats is not None:
+                self._pooled_runs += 1
+                self._pool_busy_seconds += stats.total_busy_seconds
+                self._pool_allocated_seconds += (
+                    getattr(result, "num_devices", 1) * result.makespan_seconds
+                )
+            self._counts["completed"] += 1
+            trow = self._tenant(ticket.tenant)
+            trow["completed"] += 1
+            trow["pairs"] += result.num_pairs
+            trow["estimated_pairs"] += ticket.estimated_pairs
+            trow["simulated_seconds"] += result.total_seconds
+            trow["wall_seconds"] += wall
+            trow["cache_hits"] += 1 if ticket.cache_hit else 0
+            self.log.append(
+                "complete",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail=f"pairs={result.num_pairs}"
+                + (" cache_hit" if ticket.cache_hit else ""),
+            )
+            self._finalize(
+                ticket,
+                state="done",
+                result=result,
+                queue_seconds=queue_seconds,
+                execute_seconds=wall,
+            )
+        finally:
+            self._slots.release()
+
+    def _execute_sync(self, ticket: JoinTicket):
+        """Compile and run one request (worker thread; deterministic)."""
+        req = ticket.request
+        handle = self._datasets[req.dataset]
+        index = self.cache.get(handle.fingerprint, req.epsilon)
+        if index is None:  # evicted between admission and dispatch: rebuild
+            index = GridIndex(handle.points, float(req.epsilon))
+            self.cache.put(handle.fingerprint, req.epsilon, index)
+            ticket.cache_hit = False
+        rc = req.runtime
+        if rc.pooled:
+            rc = self._adapt_to_pool(rc)
+        if req.kind == "self":
+            plan = compile_self_join(index, rc, index_reused=ticket.cache_hit)
+        else:
+            queries = self._datasets[req.query_dataset].points
+            plan = compile_similarity_join(
+                index, queries, rc, index_reused=ticket.cache_hit
+            )
+        if rc.pooled:
+            # one shared pool: pooled plans serialize on it, and arm_pool
+            # re-arms device health per run, so a pool degraded by one
+            # request's faults serves the next request whole again
+            with self._pool_mutex:
+                return Runner(pool=self._pool).run(plan)
+        return Runner().run(plan)
+
+    def _adapt_to_pool(self, rc: RuntimeConfig) -> RuntimeConfig:
+        """Fit a pooled request onto the service's shared device pool."""
+        with self._pool_mutex:
+            if self._pool is None:
+                from repro.multigpu.pool import DevicePool
+
+                sized = rc.with_(
+                    sharding=replace(
+                        rc.sharding, num_devices=self.config.pool_devices
+                    )
+                )
+                self._pool = DevicePool.from_runtime(sized)
+        if rc.sharding.num_devices != self._pool.num_devices:
+            rc = rc.with_(
+                sharding=replace(rc.sharding, num_devices=self._pool.num_devices)
+            )
+        return rc
+
+    # ------------------------------------------------------- results
+    async def result(self, ticket: JoinTicket) -> JoinResponse:
+        """Await the terminal :class:`JoinResponse` of one ticket."""
+        return await asyncio.shield(ticket.future)
+
+    async def run(self, request: JoinRequest) -> JoinResponse:
+        """Submit and await — the one-call convenience."""
+        return await self.result(await self.submit(request))
+
+    async def stream(
+        self, ticket: JoinTicket, *, chunk: int | None = None
+    ) -> AsyncIterator[np.ndarray]:
+        """Async-iterate the result pairs in blocks.
+
+        Built on :meth:`JoinResult.iter_pairs` fragments; yields control
+        between blocks so large result sets flow incrementally alongside
+        other requests. Raises :class:`ServeError` if the request did not
+        complete. Stopping early (``break`` / ``aclose()``) is the
+        streaming cancellation path.
+        """
+        response = await self.result(ticket)
+        if not response.ok:
+            raise ServeError(
+                f"request {ticket.request_id} ended {response.state}: "
+                f"{response.error or 'no result to stream'}"
+            )
+        for block in response.result.iter_pairs(chunk=chunk):
+            yield block
+            await asyncio.sleep(0)
+
+    def cancel(self, ticket: JoinTicket) -> bool:
+        """Cooperatively cancel a request (see :meth:`JoinTicket.cancel`)."""
+        return ticket.cancel()
+
+    def _finalize(
+        self,
+        ticket: JoinTicket,
+        *,
+        state: str,
+        result=None,
+        error: str | None = None,
+        queue_seconds: float = 0.0,
+        execute_seconds: float = 0.0,
+    ) -> None:
+        ticket.state = state
+        response = JoinResponse(
+            request_id=ticket.request_id,
+            tenant=ticket.tenant,
+            kind=ticket.request.kind,
+            dataset=ticket.request.dataset,
+            state=state,
+            result=result,
+            error=error,
+            cache_hit=ticket.cache_hit,
+            queue_seconds=queue_seconds,
+            execute_seconds=execute_seconds,
+            tag=ticket.request.tag,
+        )
+        if not ticket.future.done():
+            ticket.future.set_result(response)
+
+    # ------------------------------------------------------- reporting
+    def _tenant(self, tenant: str) -> dict:
+        row = self._tenant_stats.get(tenant)
+        if row is None:
+            row = self._tenant_stats[tenant] = {
+                k: 0
+                for k in (
+                    "submitted",
+                    "completed",
+                    "failed",
+                    "rejected",
+                    "cache_hits",
+                    "pairs",
+                    "estimated_pairs",
+                )
+            }
+            row["simulated_seconds"] = 0.0
+            row["wall_seconds"] = 0.0
+        return row
+
+    def snapshot(self) -> dict:
+        """Accounting snapshot the :class:`~repro.profiling.ServiceReport`
+        is built from (plain data; see ``repro.profiling.service_report``)."""
+        return {
+            "counts": dict(self._counts),
+            "queue_latencies": list(self._queue_latencies),
+            "tenants": {
+                t: dict(row) for t, row in sorted(self._tenant_stats.items())
+            },
+            "tenant_weights": {
+                t: self._queue.weight(t) for t in sorted(self._tenant_stats)
+            },
+            "dispatch_order": list(self._dispatch_order),
+            "cache": self.cache.stats,
+            "pool_devices": self._pool.num_devices if self._pool is not None else 0,
+            "pooled_runs": self._pooled_runs,
+            "pool_busy_seconds": self._pool_busy_seconds,
+            "pool_allocated_seconds": self._pool_allocated_seconds,
+            "uptime_seconds": self._now(),
+        }
+
+    def report(self):
+        """The :class:`~repro.profiling.ServiceReport` for this service."""
+        from repro.profiling import service_report
+
+        return service_report(self)

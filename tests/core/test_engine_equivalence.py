@@ -22,8 +22,17 @@ from repro.core.config import PRESETS
 from repro.data.adversarial import dense_core_sparse_halo
 from repro.grid import GridIndex
 from repro.resilience import FaultPlan, FaultyExecutor, ForcedOverflow
+from repro.runtime import RuntimeConfig
 
 _EPS = 0.8
+
+
+def _self_join(cfg, *, seed, engine, **runtime_kw) -> SelfJoin:
+    return SelfJoin(
+        runtime=RuntimeConfig(
+            optimization=cfg, seed=seed, engine=engine, **runtime_kw
+        )
+    )
 
 
 @pytest.fixture(scope="module")
@@ -55,7 +64,7 @@ class TestSelfJoinPresets:
         # counter's cross-batch persistence is exercised too
         cfg = PRESETS[preset].with_(batch_result_capacity=1500)
         results = [
-            SelfJoin(cfg, seed=3, engine=engine).execute_on_index(index)
+            _self_join(cfg, seed=3, engine=engine).execute_on_index(index)
             for engine in ("interpreted", "vectorized")
         ]
         assert_results_equal(*results)
@@ -66,7 +75,7 @@ class TestSelfJoinPresets:
         cfg = OptimizationConfig(pattern="lidunicomp", k=2, work_queue=True)
         subset = np.arange(0, index.num_points, 3, dtype=np.int64)
         results = [
-            SelfJoin(cfg, seed=5, engine=engine).execute_on_index(
+            _self_join(cfg, seed=5, engine=engine).execute_on_index(
                 index, subset=subset
             )
             for engine in ("interpreted", "vectorized")
@@ -76,7 +85,7 @@ class TestSelfJoinPresets:
     def test_exclude_self_equivalence(self, index):
         cfg = OptimizationConfig(pattern="unicomp", k=4, work_queue=True)
         results = [
-            SelfJoin(
+            _self_join(
                 cfg, seed=1, engine=engine, include_self=False
             ).execute_on_index(index)
             for engine in ("interpreted", "vectorized")
@@ -102,9 +111,9 @@ class TestBipartitePresets:
         queries = rng.uniform(-1.0, 9.0, size=(140, 2))
         cfg = cfg.with_(batch_result_capacity=1200)
         results = [
-            SimilarityJoin(cfg, seed=2, engine=engine).execute(
-                queries, points, _EPS
-            )
+            SimilarityJoin(
+                runtime=RuntimeConfig(optimization=cfg, seed=2, engine=engine)
+            ).execute(queries, points, _EPS)
             for engine in ("interpreted", "vectorized")
         ]
         assert_results_equal(*results)
@@ -134,7 +143,7 @@ class TestOverflowEquivalence:
                 FaultPlan(overflows=[ForcedOverflow(0, times=1, clamp_capacity=16)]),
             )
             results.append(
-                SelfJoin(cfg, seed=3, engine=engine).execute_on_index(
+                _self_join(cfg, seed=3, engine=engine).execute_on_index(
                     index, executor=executor
                 )
             )

@@ -26,10 +26,11 @@ def points() -> np.ndarray:
 
 def test_explicit_default_executor_is_identical(points):
     cfg = OptimizationConfig(work_queue=True, k=2)
-    implicit = SelfJoin(cfg, seed=4).execute(points, _EPS)
-    explicit = SelfJoin(
-        cfg, seed=4, executor=DeviceExecutor(seed=4)
-    ).execute(points, _EPS)
+    index = GridIndex(points, _EPS)
+    implicit = SelfJoin(cfg, seed=4).execute_on_index(index)
+    explicit = SelfJoin(cfg, seed=4).execute_on_index(
+        index, executor=DeviceExecutor(seed=4)
+    )
     assert implicit.pairs.tobytes() == explicit.pairs.tobytes()
     assert implicit.kernel_seconds == pytest.approx(explicit.kernel_seconds)
     assert implicit.total_seconds == pytest.approx(explicit.total_seconds)
@@ -37,11 +38,12 @@ def test_explicit_default_executor_is_identical(points):
 
 def test_executor_device_spec_changes_timing_not_answer(points):
     cfg = OptimizationConfig()
-    base = SelfJoin(cfg).execute(points, _EPS)
-    small = SelfJoin(
-        cfg,
+    index = GridIndex(points, _EPS)
+    base = SelfJoin(cfg).execute_on_index(index)
+    small = SelfJoin(cfg).execute_on_index(
+        index,
         executor=DeviceExecutor(DeviceSpec(name="small", num_sms=1, warps_per_sm_slot=2)),
-    ).execute(points, _EPS)
+    )
     assert np.array_equal(base.sorted_pairs(), small.sorted_pairs())
     # 2 warp slots instead of 112 must serialize the 8 warps of work
     assert small.kernel_seconds > base.kernel_seconds

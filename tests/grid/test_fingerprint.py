@@ -1,0 +1,89 @@
+"""Fingerprint stability: equal inputs hash equal, perturbed inputs don't.
+
+The fingerprints are the cache identity of the serving layer's
+``SessionCache`` — a false positive would silently serve one dataset's
+neighbors for another, so these tests pin the contract bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import get_pattern_plan
+from repro.grid import GridIndex, GridSpec, dataset_fingerprint
+
+
+def points(n=60, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 10.0, size=(n, 2))
+
+
+# ------------------------------------------------------- dataset hashes
+def test_equal_datasets_fingerprint_equal():
+    assert dataset_fingerprint(points()) == dataset_fingerprint(points())
+
+
+def test_copy_and_noncontiguous_view_fingerprint_equal():
+    pts = points()
+    assert dataset_fingerprint(pts) == dataset_fingerprint(pts.copy())
+    # a Fortran-ordered copy holds the same values — identity is content
+    assert dataset_fingerprint(pts) == dataset_fingerprint(np.asfortranarray(pts))
+
+
+def test_single_coordinate_perturbation_changes_fingerprint():
+    pts = points()
+    bumped = pts.copy()
+    bumped[17, 1] += 1e-9
+    assert dataset_fingerprint(pts) != dataset_fingerprint(bumped)
+
+
+def test_shape_is_part_of_the_identity():
+    flat = np.zeros((4, 2))
+    assert dataset_fingerprint(flat) != dataset_fingerprint(np.zeros((2, 4)))
+
+
+# ------------------------------------------------------- index hashes
+def test_equal_indexes_fingerprint_equal():
+    a = GridIndex(points(), 0.5)
+    b = GridIndex(points(), 0.5)
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_is_memoized_and_stable():
+    idx = GridIndex(points(), 0.5)
+    assert idx.fingerprint() == idx.fingerprint()
+
+
+def test_epsilon_changes_index_fingerprint():
+    pts = points()
+    assert GridIndex(pts, 0.5).fingerprint() != GridIndex(pts, 0.7).fingerprint()
+
+
+def test_dataset_changes_index_fingerprint():
+    assert (
+        GridIndex(points(seed=0), 0.5).fingerprint()
+        != GridIndex(points(seed=1), 0.5).fingerprint()
+    )
+
+
+def test_explicit_spec_changes_index_fingerprint():
+    pts = points()
+    default = GridIndex(pts, 0.5)
+    widened = GridIndex(
+        pts, 0.5, spec=GridSpec(0.5, pts.min(axis=0) - 1.0, pts.max(axis=0) + 1.0)
+    )
+    assert default.fingerprint() != widened.fingerprint()
+
+
+# ------------------------------------------------------- pattern plans
+def test_pattern_plan_fingerprints_separate_patterns():
+    idx = GridIndex(points(), 0.5)
+    fps = {get_pattern_plan(p, idx).fingerprint() for p in ("full", "unicomp", "lidunicomp")}
+    assert len(fps) == 3
+
+
+def test_pattern_plan_fingerprint_tracks_index_identity():
+    a = get_pattern_plan("lidunicomp", GridIndex(points(), 0.5))
+    b = get_pattern_plan("lidunicomp", GridIndex(points(), 0.5))
+    c = get_pattern_plan("lidunicomp", GridIndex(points(seed=2), 0.5))
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()

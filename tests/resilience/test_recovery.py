@@ -26,6 +26,7 @@ from repro.resilience import (
     Straggler,
     TransientFaults,
 )
+from repro.runtime import RuntimeConfig, ShardingConfig
 
 _EPS = 0.9
 
@@ -59,10 +60,15 @@ def baseline(points) -> np.ndarray:
     return SelfJoin().execute(points, _EPS).sorted_pairs()
 
 
-def _join(planner="balanced", schedule="dynamic", **kw) -> MultiGpuSelfJoin:
-    return MultiGpuSelfJoin(
-        num_devices=4, planner=planner, schedule=schedule, **kw
+def _join(
+    planner="balanced", schedule="dynamic", fault_plan=None, recovery=None
+) -> MultiGpuSelfJoin:
+    runtime = RuntimeConfig(
+        sharding=ShardingConfig(num_devices=4, planner=planner, schedule=schedule),
+        fault_plan=fault_plan,
+        recovery=recovery,
     )
+    return MultiGpuSelfJoin(runtime=runtime)
 
 
 # ------------------------------------------------------- pair identity
@@ -87,8 +93,10 @@ def test_bipartite_recovery_matches(points):
     left, right = points[:130], points[110:]
     single = SimilarityJoin().execute(left, right, _EPS)
     multi = MultiGpuSimilarityJoin(
-        num_devices=3,
-        fault_plan=FaultPlan(seed=8, failures=[DeviceFailure(0, at_shard=1)]),
+        runtime=RuntimeConfig(
+            sharding=ShardingConfig(num_devices=3),
+            fault_plan=FaultPlan(seed=8, failures=[DeviceFailure(0, at_shard=1)]),
+        )
     ).execute(left, right, _EPS)
     assert np.array_equal(multi.sorted_pairs(), single.sorted_pairs())
     assert multi.recovery_log.num_devices_lost == 1
@@ -140,9 +148,11 @@ def test_hopeless_transients_exhaust_attempt_budget(points):
         transients=[TransientFaults(d, probability=1.0) for d in range(2)]
     )
     join = MultiGpuSelfJoin(
-        num_devices=2,
-        fault_plan=plan,
-        recovery=RecoveryPolicy(max_shard_attempts=4),
+        runtime=RuntimeConfig(
+            sharding=ShardingConfig(num_devices=2),
+            fault_plan=plan,
+            recovery=RecoveryPolicy(max_shard_attempts=4),
+        )
     )
     with pytest.raises(RuntimeError, match="attempts"):
         join.execute(points, _EPS)

@@ -21,7 +21,7 @@ import hashlib
 
 import numpy as np
 
-from repro import PRESETS, SelfJoin, SimilarityJoin
+from repro import PRESETS, RuntimeConfig, SelfJoin, ShardingConfig, SimilarityJoin
 from repro.multigpu import MultiGpuSelfJoin, MultiGpuSimilarityJoin
 from repro.resilience import (
     DeviceFailure,
@@ -121,10 +121,12 @@ def run_scenario(preset: str, devices: int, faulted: bool) -> dict:
     if faulted:
         fault_plan = FAULTS_1DEV if devices == 1 else FAULTS_4DEV
     join = MultiGpuSelfJoin(
-        cfg,
-        num_devices=devices,
-        seed=SEED,
-        fault_plan=fault_plan,
+        runtime=RuntimeConfig(
+            optimization=cfg,
+            seed=SEED,
+            sharding=ShardingConfig(num_devices=devices),
+            fault_plan=fault_plan,
+        )
     )
     return pooled_fingerprint(join.execute(pts, EPSILON))
 

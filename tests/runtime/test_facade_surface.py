@@ -1,0 +1,137 @@
+"""The facade surface after the deprecation cycle: legacy kwargs are gone.
+
+The one-cycle shims (``engine=``, ``executor=``, ``fault_plan=``,
+``recovery=`` on the facades, and ``repro.runtime.shim``) were removed;
+these tests pin the end state — the legacy spellings raise ``TypeError``,
+the supported spellings (``runtime=RuntimeConfig(...)`` and a
+``RuntimeConfig`` in the config slot) carry every knob, and the readable
+convenience attributes survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PRESETS,
+    MultiGpuSelfJoin,
+    MultiGpuSimilarityJoin,
+    RuntimeConfig,
+    SelfJoin,
+    ShardingConfig,
+    SimilarityJoin,
+)
+from repro.core.executor import DeviceExecutor
+from repro.resilience import FaultPlan, RecoveryPolicy
+from repro.resilience.faults import Straggler
+
+
+def points(n=80, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 10.0, size=(n, 2))
+
+
+# ------------------------------------------------- legacy kwargs are gone
+@pytest.mark.parametrize(
+    "facade, kwargs",
+    [
+        (SelfJoin, {"engine": "vectorized"}),
+        (SelfJoin, {"executor": None}),
+        (SimilarityJoin, {"engine": "vectorized"}),
+        (SimilarityJoin, {"executor": None}),
+        (MultiGpuSelfJoin, {"fault_plan": FaultPlan()}),
+        (MultiGpuSelfJoin, {"recovery": RecoveryPolicy()}),
+        (MultiGpuSimilarityJoin, {"fault_plan": FaultPlan()}),
+        (MultiGpuSimilarityJoin, {"recovery": RecoveryPolicy()}),
+    ],
+    ids=lambda p: getattr(p, "__name__", None) or "+".join(sorted(p)),
+)
+def test_removed_kwargs_raise_typeerror(facade, kwargs):
+    with pytest.raises(TypeError):
+        facade(**kwargs)
+
+
+def test_shim_module_is_gone():
+    with pytest.raises(ModuleNotFoundError):
+        import repro.runtime.shim  # noqa: F401
+
+
+# ------------------------------------------------- supported spellings
+def test_runtime_kwarg_carries_engine():
+    join = SelfJoin(
+        runtime=RuntimeConfig(
+            optimization=PRESETS["combined"], engine="vectorized", seed=3
+        )
+    )
+    assert join.engine == "vectorized"
+    assert join.config == PRESETS["combined"]
+
+
+def test_runtime_config_in_config_slot():
+    join = SelfJoin(
+        RuntimeConfig(optimization=PRESETS["combined"], engine="vectorized", seed=3)
+    )
+    explicit = SelfJoin(
+        runtime=RuntimeConfig(
+            optimization=PRESETS["combined"], engine="vectorized", seed=3
+        )
+    )
+    assert join.runtime == explicit.runtime
+
+
+def test_runtime_and_config_slots_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        SelfJoin(RuntimeConfig(), runtime=RuntimeConfig())
+
+
+def test_executor_moves_to_execute_on_index():
+    pts = points()
+    cfg = PRESETS["combined"]
+    from repro.grid import GridIndex
+
+    index = GridIndex(pts, 0.7)
+    default = SelfJoin(cfg).execute_on_index(index)
+    explicit = SelfJoin(cfg).execute_on_index(
+        index, executor=DeviceExecutor(seed=0)
+    )
+    np.testing.assert_array_equal(
+        default.sorted_pairs(), explicit.sorted_pairs()
+    )
+
+
+def test_fault_plan_and_recovery_ride_the_runtime():
+    plan = FaultPlan(seed=5, stragglers=[Straggler(device_id=0, slowdown=2.0)])
+    join = MultiGpuSelfJoin(
+        runtime=RuntimeConfig(
+            optimization=PRESETS["combined"],
+            sharding=ShardingConfig(num_devices=3),
+            fault_plan=plan,
+        )
+    )
+    assert join.fault_plan == plan
+    # the fault plan implies the default recovery policy
+    assert join.recovery == RecoveryPolicy()
+    assert join.runtime.overflow_policy == "retry"
+    assert join.pool[0].executor.overflow_policy == "retry"
+
+
+def test_recovery_via_runtime_on_bipartite_facade():
+    join = MultiGpuSimilarityJoin(
+        runtime=RuntimeConfig(
+            sharding=ShardingConfig(),
+            recovery=RecoveryPolicy(max_shard_attempts=5),
+        )
+    )
+    assert join.recovery == RecoveryPolicy(max_shard_attempts=5)
+    assert join.runtime.overflow_policy == "retry"
+
+
+def test_legacy_attributes_still_readable():
+    join = SelfJoin(PRESETS["combined"], seed=7, include_self=False)
+    assert join.config == PRESETS["combined"]
+    assert join.seed == 7
+    assert join.include_self is False
+    assert join.engine == "interpreted"
+    assert join.replay_mode == "aggregate"
+    mg = MultiGpuSelfJoin(num_devices=3, planner="strided", schedule="static")
+    assert (mg.planner, mg.schedule, mg.num_shards) == ("strided", "static", 6)

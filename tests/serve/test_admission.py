@@ -1,0 +1,80 @@
+"""Admission control: cost estimation and the queue/reject decision."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SelfJoin, SimilarityJoin
+from repro.grid import GridIndex
+from repro.serve import AdmissionPolicy, check_admission, estimate_request_cost
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    pts = rng.uniform(0, 4, size=(300, 2))
+    queries = rng.uniform(0, 4, size=(150, 2))
+    return pts, queries, GridIndex(pts, 0.4)
+
+
+def test_self_cost_tracks_actual_result(data):
+    pts, _, index = data
+    actual = SelfJoin().execute(pts, 0.4).num_pairs
+    est = estimate_request_cost(index, kind="self", sample_fraction=0.2)
+    assert est > 0
+    assert 0.3 * actual <= est <= 3.0 * actual
+
+
+def test_similarity_cost_tracks_actual_result(data):
+    pts, queries, index = data
+    actual = SimilarityJoin().execute(queries, pts, 0.4).num_pairs
+    est = estimate_request_cost(
+        index, kind="similarity", queries=queries, sample_fraction=0.2
+    )
+    assert est > 0
+    assert 0.3 * actual <= est <= 3.0 * actual
+
+
+def test_similarity_cost_requires_queries(data):
+    with pytest.raises(ValueError, match="query points"):
+        estimate_request_cost(data[2], kind="similarity")
+
+
+def test_empty_query_side_costs_zero(data):
+    est = estimate_request_cost(
+        data[2], kind="similarity", queries=np.empty((0, 2))
+    )
+    assert est == 0
+
+
+def test_queue_full_rejection():
+    policy = AdmissionPolicy(max_queue_depth=2)
+    ok = check_admission(policy, queue_depth=1, estimated_pairs=10)
+    assert ok.admitted
+    full = check_admission(policy, queue_depth=2, estimated_pairs=10)
+    assert not full.admitted
+    assert "queue_full" in full.reason
+
+
+def test_over_budget_rejection():
+    policy = AdmissionPolicy(max_estimated_pairs=100)
+    ok = check_admission(policy, queue_depth=0, estimated_pairs=100)
+    assert ok.admitted
+    over = check_admission(policy, queue_depth=0, estimated_pairs=101)
+    assert not over.admitted
+    assert "over_budget" in over.reason
+
+
+def test_no_budget_means_no_ceiling():
+    policy = AdmissionPolicy()
+    assert check_admission(policy, queue_depth=0, estimated_pairs=10**12).admitted
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_concurrency=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_estimated_pairs=0)

@@ -1,0 +1,73 @@
+"""SessionCache: LRU behaviour, keying by content + ε, stats accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import GridIndex, dataset_fingerprint
+from repro.serve import SessionCache
+
+
+def _index(seed=0, n=40, eps=0.5):
+    pts = np.random.default_rng(seed).uniform(0, 5, size=(n, 2))
+    return pts, GridIndex(pts, eps)
+
+
+def test_miss_then_hit():
+    pts, index = _index()
+    fp = dataset_fingerprint(pts)
+    cache = SessionCache(capacity=2)
+    assert cache.get(fp, 0.5) is None
+    cache.put(fp, 0.5, index)
+    assert cache.get(fp, 0.5) is index
+    stats = cache.stats
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_epsilon_is_part_of_the_key():
+    pts, index = _index()
+    fp = dataset_fingerprint(pts)
+    cache = SessionCache()
+    cache.put(fp, 0.5, index)
+    assert cache.get(fp, 0.25) is None
+
+
+def test_lru_evicts_least_recently_used():
+    cache = SessionCache(capacity=2)
+    entries = []
+    for seed in range(3):
+        pts, index = _index(seed=seed)
+        entries.append((dataset_fingerprint(pts), index))
+    cache.put(entries[0][0], 0.5, entries[0][1])
+    cache.put(entries[1][0], 0.5, entries[1][1])
+    assert cache.get(entries[0][0], 0.5) is entries[0][1]  # refresh 0
+    evicted = cache.put(entries[2][0], 0.5, entries[2][1])  # evicts 1
+    assert evicted == [SessionCache.key(entries[1][0], 0.5)]
+    assert cache.get(entries[1][0], 0.5) is None
+    assert cache.get(entries[0][0], 0.5) is entries[0][1]
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+
+
+def test_identical_content_shares_entry():
+    pts, index = _index()
+    cache = SessionCache()
+    cache.put(dataset_fingerprint(pts), 0.5, index)
+    copy = pts.copy()  # same bytes, different object
+    assert cache.get(dataset_fingerprint(copy), 0.5) is index
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        SessionCache(capacity=0)
+
+
+def test_clear():
+    pts, index = _index()
+    cache = SessionCache()
+    cache.put(dataset_fingerprint(pts), 0.5, index)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(dataset_fingerprint(pts), 0.5) is None

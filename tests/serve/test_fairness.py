@@ -1,0 +1,124 @@
+"""Weighted deficit round-robin: determinism, proportionality, no starvation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import FairQueue
+
+
+def _drain(queue: FairQueue) -> list:
+    """Pop everything synchronously (the queue is already populated)."""
+    order = []
+
+    async def run():
+        while len(queue):
+            tenant, item, cost = await queue.pop()
+            order.append((tenant, item))
+
+    asyncio.run(run())
+    return order
+
+
+def test_single_tenant_is_fifo():
+    q = FairQueue(quantum=10)
+    for i in range(5):
+        q.push("a", i, cost=1000)
+    assert _drain(q) == [("a", i) for i in range(5)]
+
+
+def test_round_robin_between_equal_tenants():
+    q = FairQueue(quantum=10)
+    for i in range(3):
+        q.push("a", f"a{i}", cost=10)
+        q.push("b", f"b{i}", cost=10)
+    order = [t for t, _ in _drain(q)]
+    assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_heavy_request_does_not_starve_light_tenant():
+    # tenant a queues huge requests; tenant b's small ones must interleave,
+    # not wait for all of a's to finish
+    q = FairQueue(quantum=10)
+    for i in range(3):
+        q.push("a", f"a{i}", cost=10_000)
+    for i in range(3):
+        q.push("b", f"b{i}", cost=10)
+    order = [t for t, _ in _drain(q)]
+    first_b = order.index("b")
+    assert first_b <= 1
+    # b's cheap requests all clear before a's last huge one
+    assert order.index("b2") if "b2" in order else True
+    assert order[-1] == "a"
+
+
+def test_weights_buy_proportional_rows():
+    # equal-cost items; weight 2 tenant should dispatch ~2x as often early
+    q = FairQueue(quantum=100, weights={"heavy": 2.0})
+    for i in range(8):
+        q.push("heavy", f"h{i}", cost=100)
+        q.push("light", f"l{i}", cost=100)
+    order = [t for t, _ in _drain(q)]
+    first_six = order[:6]
+    assert first_six.count("heavy") >= first_six.count("light")
+
+
+def test_dispatch_order_is_deterministic():
+    def build():
+        q = FairQueue(quantum=50, weights={"b": 1.5})
+        for i in range(4):
+            q.push("a", f"a{i}", cost=130)
+            q.push("b", f"b{i}", cost=75)
+            q.push("c", f"c{i}", cost=20)
+        return q
+
+    assert _drain(build()) == _drain(build())
+
+
+def test_fast_forward_does_not_spin():
+    # costs are orders of magnitude above the quantum; the fast-forward
+    # boost must still drain promptly (this would effectively hang if the
+    # implementation credited one quantum per visit)
+    q = FairQueue(quantum=1.0)
+    for i in range(3):
+        q.push("a", i, cost=10**9)
+    assert [i for _, i in _drain(q)] == [0, 1, 2]
+
+
+def test_pop_waits_for_push():
+    async def run():
+        q = FairQueue(quantum=10)
+
+        async def producer():
+            await asyncio.sleep(0.01)
+            q.push("a", "late", cost=5)
+
+        asyncio.get_running_loop().create_task(producer())
+        tenant, item, cost = await asyncio.wait_for(q.pop(), timeout=2.0)
+        return tenant, item
+
+    assert asyncio.run(run()) == ("a", "late")
+
+
+def test_cost_floor_and_validation():
+    q = FairQueue(quantum=10)
+    q.push("a", "zero-cost", cost=0)
+    assert _drain(q) == [("a", "zero-cost")]
+    with pytest.raises(ValueError, match="quantum"):
+        FairQueue(quantum=0)
+    with pytest.raises(ValueError, match="weight"):
+        FairQueue(weights={"a": -1.0})
+
+
+def test_depth_accounting():
+    q = FairQueue()
+    assert len(q) == 0
+    q.push("a", 1, cost=1)
+    q.push("a", 2, cost=1)
+    q.push("b", 3, cost=1)
+    assert len(q) == 3
+    assert q.depth("a") == 2
+    assert q.depth("b") == 1
+    assert q.depth("missing") == 0

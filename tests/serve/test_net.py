@@ -1,0 +1,79 @@
+"""The optional TCP JSON-lines transport: round-trips and framing."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core import SelfJoin
+from repro.data import exponential
+from repro.serve import JoinService
+from repro.serve.net import TcpJoinClient, serve_tcp
+
+
+def test_tcp_roundtrip_with_large_result():
+    """A ~27k-pair reply is one JSON line well past asyncio's 64 KiB
+    default stream limit — framing must survive it on both ends."""
+    points = exponential(500, 2, seed=42)
+    eps = 0.04
+    expected = SelfJoin().execute(points, eps)
+
+    async def main():
+        async with JoinService() as svc:
+            server, port = await serve_tcp(svc)
+            try:
+                async with TcpJoinClient("127.0.0.1", port) as client:
+                    assert await client.ping()
+                    reg = await client.register("d", points)
+                    assert reg["ok"] and reg["num_points"] == len(points)
+                    out = await client.join(dataset="d", epsilon=eps)
+                    assert out["ok"] and out["state"] == "done"
+                    assert out["num_pairs"] == expected.num_pairs
+                    np.testing.assert_array_equal(
+                        np.asarray(out["pairs"]), expected.pairs
+                    )
+                    # second join over the same wire hits the cache
+                    again = await client.join(dataset="d", epsilon=eps)
+                    assert again["cache_hit"]
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(main())
+
+
+def test_tcp_malformed_and_unknown_ops_do_not_kill_listener():
+    async def main():
+        async with JoinService() as svc:
+            server, port = await serve_tcp(svc)
+            try:
+                async with TcpJoinClient("127.0.0.1", port) as client:
+                    bad = await client.call(op="nonsense")
+                    assert not bad["ok"] and "unknown op" in bad["error"]
+                    # raw garbage line: server replies with an error
+                    client._writer.write(b"this is not json\n")
+                    await client._writer.drain()
+                    line = await client._reader.readline()
+                    import json
+
+                    assert not json.loads(line)["ok"]
+                    # and the connection still works afterwards
+                    assert await client.ping()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(main())
+
+
+def test_tcp_shutdown_op_stops_server():
+    async def main():
+        async with JoinService() as svc:
+            server, port = await serve_tcp(svc)
+            async with TcpJoinClient("127.0.0.1", port) as client:
+                reply = await client.shutdown()
+                assert reply["ok"] and reply["stopping"]
+            await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+
+    asyncio.run(main())

@@ -1,0 +1,345 @@
+"""JoinService behaviour: lifecycle, caching, rejection, cancellation,
+timeouts, failures, degraded pools, streaming, events and the report.
+
+``pytest-asyncio`` is not a dependency; every test drives its coroutine
+with ``asyncio.run`` so the suite runs on a stock pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import SelfJoin
+from repro.data import uniform
+from repro.resilience import DeviceFailure, FaultPlan
+from repro.runtime import RuntimeConfig, ShardingConfig
+from repro.serve import (
+    AdmissionPolicy,
+    JoinClient,
+    JoinRequest,
+    JoinService,
+    ServeConfig,
+    ServeError,
+)
+
+_EPS = 0.08
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform(220, 2, seed=21, low=0.0, high=1.0)
+
+
+@pytest.fixture(scope="module")
+def expected_pairs(points):
+    return SelfJoin().execute(points, _EPS).sorted_pairs()
+
+
+def serve(coro_fn, config: ServeConfig | None = None):
+    """Run one async test body against a started service."""
+
+    async def main():
+        async with JoinService(config) as svc:
+            return await coro_fn(svc)
+
+    return asyncio.run(main())
+
+
+# ------------------------------------------------------------ basics
+def test_submit_and_result_roundtrip(points, expected_pairs):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        response = await svc.result(ticket)
+        assert response.ok and response.state == "done"
+        assert ticket.done
+        np.testing.assert_array_equal(
+            response.result.sorted_pairs(), expected_pairs
+        )
+        assert response.queue_seconds >= 0.0
+        assert response.execute_seconds > 0.0
+        return response
+
+    response = serve(body)
+    assert not response.cache_hit  # first request builds the index
+
+
+def test_unknown_dataset_raises(points):
+    async def body(svc):
+        with pytest.raises(ServeError, match="register"):
+            await svc.submit(JoinRequest(dataset="ghost", epsilon=_EPS))
+
+    serve(body)
+
+
+def test_submit_requires_running_service(points):
+    async def body():
+        svc = JoinService()
+        svc.register_dataset("u", points)
+        with pytest.raises(ServeError, match="not running"):
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+
+    asyncio.run(body())
+
+
+def test_repeat_requests_hit_the_cache(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        first = await svc.run(JoinRequest(dataset="u", epsilon=_EPS))
+        second = await svc.run(JoinRequest(dataset="u", epsilon=_EPS))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.num_pairs == first.num_pairs
+        assert svc.cache.stats.hit_rate > 0
+        assert svc.log.count("cache_miss") == 1
+        assert svc.log.count("cache_hit") >= 1
+        # a different ε is a different grid — miss again
+        third = await svc.run(JoinRequest(dataset="u", epsilon=_EPS * 2))
+        assert not third.cache_hit
+
+    serve(body)
+
+
+def test_rejection_over_budget(points):
+    config = ServeConfig(admission=AdmissionPolicy(max_estimated_pairs=1))
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        response = await svc.result(ticket)
+        assert ticket.state == "rejected"
+        assert not response.ok
+        assert "over_budget" in response.error
+        assert svc.log.count("reject") == 1
+
+    serve(body, config)
+
+
+def test_cancel_while_queued(points):
+    # one slot, a long request in front: the second ticket is still queued
+    # when cancelled, so it must terminate without running
+    config = ServeConfig(admission=AdmissionPolicy(max_concurrency=1))
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        first = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        second = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        assert second.cancel()
+        r1 = await svc.result(first)
+        r2 = await svc.result(second)
+        assert r1.ok
+        assert r2.state == "cancelled" and not r2.ok
+        assert svc.log.count("cancelled") == 1
+
+    serve(body, config)
+
+
+def test_queue_deadline_timeout(points):
+    config = ServeConfig(admission=AdmissionPolicy(max_concurrency=1))
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        first = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        # an impossible deadline: whatever time admission took already
+        # exceeded it, so it times out at dispatch instead of starting
+        second = await svc.submit(
+            JoinRequest(dataset="u", epsilon=_EPS, timeout_seconds=1e-9)
+        )
+        r1 = await svc.result(first)
+        r2 = await svc.result(second)
+        assert r1.ok
+        assert r2.state == "timeout" and not r2.ok
+        assert "deadline" in r2.error
+        assert svc.log.count("timeout") == 1
+
+    serve(body, config)
+
+
+def test_failed_request_keeps_service_alive(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        # unicomp pattern is invalid for a bipartite join → compile error
+        svc.register_dataset("q", points[:50])
+        bad = await svc.run(
+            JoinRequest(
+                dataset="u",
+                epsilon=_EPS,
+                kind="similarity",
+                query_dataset="q",
+                runtime=RuntimeConfig(
+                    optimization=__import__(
+                        "repro.core", fromlist=["OptimizationConfig"]
+                    ).OptimizationConfig(pattern="unicomp")
+                ),
+            )
+        )
+        assert bad.state == "failed"
+        assert "full" in bad.error
+        # the service keeps serving after a failed request
+        good = await svc.run(JoinRequest(dataset="u", epsilon=_EPS))
+        assert good.ok
+        assert svc.log.count("failed") == 1
+
+    serve(body)
+
+
+def test_similarity_request(points):
+    async def body(svc):
+        svc.register_dataset("right", points)
+        svc.register_dataset("left", points[:80])
+        response = await svc.run(
+            JoinRequest(
+                dataset="right", epsilon=_EPS, kind="similarity", query_dataset="left"
+            )
+        )
+        assert response.ok
+        from repro.core import SimilarityJoin
+
+        direct = SimilarityJoin().execute(points[:80], points, _EPS)
+        np.testing.assert_array_equal(
+            response.result.sorted_pairs(), direct.sorted_pairs()
+        )
+
+    serve(body)
+
+
+# ------------------------------------------------------------ pooled + degraded
+def test_pooled_requests_share_the_service_pool(points, expected_pairs):
+    config = ServeConfig(pool_devices=3)
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        rc = RuntimeConfig(sharding=ShardingConfig(num_devices=8))
+        response = await svc.run(JoinRequest(dataset="u", epsilon=_EPS, runtime=rc))
+        assert response.ok
+        np.testing.assert_array_equal(
+            response.result.sorted_pairs(), expected_pairs
+        )
+        # the request asked for 8 devices but ran on the service's 3
+        assert svc._pool.num_devices == 3
+        assert response.result.num_devices == 3
+
+    serve(body, config)
+
+
+def test_service_survives_pool_degradation(points, expected_pairs):
+    """A fault-degraded pooled run heals per-run: the next pooled request
+    sees the full pool again (arm_pool re-arms health each run)."""
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        faulty = RuntimeConfig(
+            sharding=ShardingConfig(num_devices=2),
+            fault_plan=FaultPlan(seed=3, failures=[DeviceFailure(0, at_shard=1)]),
+        )
+        degraded = await svc.run(
+            JoinRequest(dataset="u", epsilon=_EPS, runtime=faulty)
+        )
+        assert degraded.ok
+        np.testing.assert_array_equal(
+            degraded.result.sorted_pairs(), expected_pairs
+        )
+        assert degraded.result.recovery_log.num_devices_lost == 1
+        assert svc.log.count("degraded") == 1
+        # the same pool serves the next fault-free request undegraded
+        clean = await svc.run(
+            JoinRequest(
+                dataset="u",
+                epsilon=_EPS,
+                runtime=RuntimeConfig(sharding=ShardingConfig(num_devices=2)),
+            )
+        )
+        assert clean.ok
+        assert clean.result.recovery_log is None or (
+            clean.result.recovery_log.num_devices_lost == 0
+        )
+        np.testing.assert_array_equal(clean.result.sorted_pairs(), expected_pairs)
+
+    serve(body)
+
+
+# ------------------------------------------------------------ streaming
+def test_stream_blocks_reassemble_exactly(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        blocks = []
+        async for block in svc.stream(ticket, chunk=97):
+            blocks.append(block)
+        response = await svc.result(ticket)
+        assert all(len(b) == 97 for b in blocks[:-1])
+        np.testing.assert_array_equal(
+            np.concatenate(blocks), response.result.pairs
+        )
+
+    serve(body)
+
+
+def test_stream_of_failed_request_raises(points):
+    config = ServeConfig(admission=AdmissionPolicy(max_estimated_pairs=1))
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        with pytest.raises(ServeError, match="rejected"):
+            async for _ in svc.stream(ticket):
+                pass
+
+    serve(body, config)
+
+
+# ------------------------------------------------------------ client + report
+def test_client_facade(points):
+    async def main():
+        async with JoinClient() as client:
+            client.register_dataset("u", points)
+            response = await client.self_join("u", epsilon=_EPS)
+            assert response.ok
+            other = client.for_tenant("t2")
+            assert other.service is client.service
+            r2 = await other.self_join("u", epsilon=_EPS)
+            assert r2.tenant == "t2" and r2.cache_hit
+
+    asyncio.run(main())
+
+
+def test_report_and_snapshot(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        for _ in range(3):
+            await svc.run(JoinRequest(dataset="u", epsilon=_EPS, tenant="a"))
+        await svc.run(JoinRequest(dataset="u", epsilon=_EPS, tenant="b"))
+        report = svc.report()
+        assert report.requests_completed == 4
+        assert report.cache_hit_rate > 0
+        assert report.tenant("a").completed == 3
+        assert report.tenant("b").completed == 1
+        assert report.queue_latency(50) >= 0.0
+        rendered = report.render()
+        assert "Service report" in rendered and "a" in rendered
+        record = report.to_record()
+        assert record["counts"]["completed"] == 4
+        assert 0.0 < record["cache_hit_rate"] <= 1.0
+
+    serve(body)
+
+
+def test_stop_without_drain_cancels_backlog(points):
+    async def main():
+        svc = JoinService(ServeConfig(admission=AdmissionPolicy(max_concurrency=1)))
+        await svc.start()
+        svc.register_dataset("u", points)
+        tickets = [
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+            for _ in range(3)
+        ]
+        await svc.stop(drain=False)
+        states = [(await svc.result(t)).state for t in tickets]
+        # whatever had started finishes; the backlog is cancelled
+        assert states.count("cancelled") >= 1
+        assert svc.log.count("shutdown") == 1
+
+    asyncio.run(main())
