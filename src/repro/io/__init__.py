@@ -2,16 +2,23 @@
 
 Plain-file interop so the library slots into pipelines: datasets load from
 CSV or ``.npy``/``.npz``; join results save as ``.npz`` bundles (pairs +
-metadata) or CSV pair lists, and round-trip losslessly.
+metadata) or CSV pair lists, and round-trip losslessly. Shard fragments
+(:mod:`repro.io.checkpoints`) are the atomic on-disk records of the
+checkpoint journal (:mod:`repro.resilience.checkpoint`) — full
+:class:`~repro.core.result.JoinResult` round-trips, written per completed
+shard so interrupted runs resume bit-identically.
 """
 
+from repro.io.checkpoints import load_shard_fragment, save_shard_fragment
 from repro.io.datasets import load_points, save_points
 from repro.io.results import load_result_bundle, save_result_bundle, write_pairs_csv
 
 __all__ = [
     "load_points",
     "load_result_bundle",
+    "load_shard_fragment",
     "save_points",
     "save_result_bundle",
+    "save_shard_fragment",
     "write_pairs_csv",
 ]

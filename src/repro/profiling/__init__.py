@@ -10,10 +10,14 @@ execution efficiency per (planner, scheduler, pool size) over
 fault run cost beyond the fault-free one — retries, requeues,
 speculative wins, wasted device-seconds, degraded-mode makespan.
 :class:`ServiceReport` is the serving layer's aggregate view — queue
-latency percentiles, session-cache hit rate, per-tenant throughput and
-shared-pool utilization over a :mod:`repro.serve` service lifetime.
+latency percentiles, session-cache hit rate, per-tenant throughput,
+availability, checkpoint overhead and shared-pool utilization over a
+:mod:`repro.serve` service lifetime. :class:`ChaosReport` closes the
+loop for chaos runs: injected service faults by species, whether every
+faulted request resolved terminally, and the mean time-to-recovery.
 """
 
+from repro.profiling.chaos_report import ChaosIncident, ChaosReport, chaos_report
 from repro.profiling.device_report import (
     DeviceProfileRow,
     DeviceReport,
@@ -25,6 +29,8 @@ from repro.profiling.service_report import ServiceReport, TenantRow, service_rep
 from repro.profiling.workload_stats import WorkloadStats, gini_coefficient
 
 __all__ = [
+    "ChaosIncident",
+    "ChaosReport",
     "DeviceProfileRow",
     "DeviceReport",
     "ProfileReport",
@@ -33,6 +39,7 @@ __all__ = [
     "ServiceReport",
     "TenantRow",
     "WorkloadStats",
+    "chaos_report",
     "device_profile_row",
     "gini_coefficient",
     "profile_run",

@@ -40,6 +40,7 @@ class TenantRow:
     completed: int
     failed: int
     rejected: int
+    rate_limited: int
     cache_hits: int
     pairs: int
     estimated_pairs: int
@@ -69,6 +70,11 @@ class ServiceReport:
     pooled_runs: int = 0
     pool_busy_seconds: float = 0.0
     pool_allocated_seconds: float = 0.0
+    checkpoint_writes: int = 0
+    checkpoint_loads: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_write_seconds: float = 0.0
+    chaos: str = ""
     uptime_seconds: float = 0.0
 
     # ------------------------------------------------------- derived
@@ -79,6 +85,23 @@ class ServiceReport:
     @property
     def requests_completed(self) -> int:
         return self.counts.get("completed", 0)
+
+    @property
+    def availability(self) -> float:
+        """Completed over executed (completed + failed + timed out).
+
+        Rejections and cancellations are excluded — those are the service
+        (or the client) declining work, not failing it. 1.0 when nothing
+        executed.
+        """
+        executed = (
+            self.counts.get("completed", 0)
+            + self.counts.get("failed", 0)
+            + self.counts.get("timeout", 0)
+        )
+        if executed == 0:
+            return 1.0
+        return self.counts.get("completed", 0) / executed
 
     @property
     def cache_hit_rate(self) -> float:
@@ -147,6 +170,18 @@ class ServiceReport:
                 f"{c.get('timeout', 0)} timed out"
             ),
             (
+                f"availability {100 * self.availability:.1f}%"
+                + (
+                    f"; protection: {c.get('rate_limited', 0)} rate-limited, "
+                    f"{c.get('circuit_open', 0)} circuit-open, "
+                    f"{c.get('retried', 0)} retried"
+                    if c.get("rate_limited", 0)
+                    or c.get("circuit_open", 0)
+                    or c.get("retried", 0)
+                    else ""
+                )
+            ),
+            (
                 f"queue latency p50/p95/p99: "
                 f"{format_seconds(self.queue_latency(50))} / "
                 f"{format_seconds(self.queue_latency(95))} / "
@@ -164,6 +199,15 @@ class ServiceReport:
                 f"shared pool ({self.pool_devices} devices): {self.pooled_runs} "
                 f"pooled runs, utilization {100 * self.pool_utilization:.1f}%"
             )
+        if self.checkpoint_writes or self.checkpoint_loads:
+            lines.append(
+                f"checkpoints: {self.checkpoint_writes} fragments written "
+                f"({self.checkpoint_bytes} B, "
+                f"{format_seconds(self.checkpoint_write_seconds)}), "
+                f"{self.checkpoint_loads} resumed from the journal"
+            )
+        if self.chaos:
+            lines.append(f"chaos plan: {self.chaos}")
         lines.append(f"uptime {format_seconds(self.uptime_seconds)}")
         return "\n".join(lines)
 
@@ -182,6 +226,11 @@ class ServiceReport:
             "pooled_runs": self.pooled_runs,
             "pool_utilization": self.pool_utilization,
             "fairness_spread": self.fairness_spread(),
+            "availability": self.availability,
+            "checkpoint_writes": self.checkpoint_writes,
+            "checkpoint_loads": self.checkpoint_loads,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_write_seconds": self.checkpoint_write_seconds,
             "uptime_seconds": self.uptime_seconds,
             "tenants": {
                 row.tenant: {
@@ -190,6 +239,7 @@ class ServiceReport:
                     "completed": row.completed,
                     "failed": row.failed,
                     "rejected": row.rejected,
+                    "rate_limited": row.rate_limited,
                     "cache_hits": row.cache_hits,
                     "pairs": row.pairs,
                     "estimated_pairs": row.estimated_pairs,
@@ -213,6 +263,7 @@ def service_report(service_or_snapshot) -> ServiceReport:
     if callable(snapshot_fn):
         snap = snapshot_fn()
     cache = snap.get("cache")
+    ckpt = snap.get("checkpoint", {})
     weights = snap.get("tenant_weights", {})
     tenants = tuple(
         TenantRow(
@@ -222,6 +273,7 @@ def service_report(service_or_snapshot) -> ServiceReport:
             completed=row.get("completed", 0),
             failed=row.get("failed", 0),
             rejected=row.get("rejected", 0),
+            rate_limited=row.get("rate_limited", 0),
             cache_hits=row.get("cache_hits", 0),
             pairs=row.get("pairs", 0),
             estimated_pairs=row.get("estimated_pairs", 0),
@@ -242,5 +294,10 @@ def service_report(service_or_snapshot) -> ServiceReport:
         pooled_runs=snap.get("pooled_runs", 0),
         pool_busy_seconds=float(snap.get("pool_busy_seconds", 0.0)),
         pool_allocated_seconds=float(snap.get("pool_allocated_seconds", 0.0)),
+        checkpoint_writes=int(ckpt.get("writes", 0)),
+        checkpoint_loads=int(ckpt.get("loads", 0)),
+        checkpoint_bytes=int(ckpt.get("bytes_written", 0)),
+        checkpoint_write_seconds=float(ckpt.get("write_seconds", 0.0)),
+        chaos=str(snap.get("chaos", "")),
         uptime_seconds=float(snap.get("uptime_seconds", 0.0)),
     )

@@ -38,14 +38,30 @@ Quickstart::
     result = join.execute(points, epsilon=0.5)   # pairs identical to fault-free
 """
 
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointStats,
+    CheckpointStore,
+    RunJournal,
+    config_identity,
+    run_fingerprint,
+)
 from repro.resilience.executor import FaultyExecutor
 from repro.resilience.faults import (
     AllDevicesLostError,
+    CancellationStorm,
+    ClientDisconnect,
+    CrashPoint,
     DeviceFailure,
     DeviceLostError,
     FaultError,
     FaultPlan,
     ForcedOverflow,
+    PoolCollapse,
+    RunnerCrash,
+    ServiceFaultPlan,
+    SimulatedCrashError,
+    SlowClient,
     Straggler,
     TransientFaults,
     TransientKernelError,
@@ -54,14 +70,28 @@ from repro.resilience.policy import RecoveryPolicy
 
 __all__ = [
     "AllDevicesLostError",
+    "CancellationStorm",
+    "CheckpointError",
+    "CheckpointStats",
+    "CheckpointStore",
+    "ClientDisconnect",
+    "CrashPoint",
     "DeviceFailure",
     "DeviceLostError",
     "FaultError",
     "FaultPlan",
     "FaultyExecutor",
     "ForcedOverflow",
+    "PoolCollapse",
     "RecoveryPolicy",
+    "RunJournal",
+    "RunnerCrash",
+    "ServiceFaultPlan",
+    "SimulatedCrashError",
+    "SlowClient",
     "Straggler",
     "TransientFaults",
     "TransientKernelError",
+    "config_identity",
+    "run_fingerprint",
 ]

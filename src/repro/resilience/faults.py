@@ -35,11 +35,19 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "AllDevicesLostError",
+    "CancellationStorm",
+    "ClientDisconnect",
+    "CrashPoint",
     "DeviceFailure",
     "DeviceLostError",
     "FaultError",
     "FaultPlan",
     "ForcedOverflow",
+    "PoolCollapse",
+    "RunnerCrash",
+    "ServiceFaultPlan",
+    "SimulatedCrashError",
+    "SlowClient",
     "Straggler",
     "TransientFaults",
     "TransientKernelError",
@@ -79,6 +87,23 @@ class TransientKernelError(FaultError):
 
 class AllDevicesLostError(FaultError):
     """Every device in the pool has failed; the join cannot complete."""
+
+
+class SimulatedCrashError(FaultError):
+    """The *host process* died mid-run (a :class:`CrashPoint` fired).
+
+    Unlike device faults this is not recoverable in-process — the
+    scheduler's recovery loop deliberately lets it propagate. The run's
+    durable state is whatever the checkpoint journal holds; resume with
+    :meth:`repro.runtime.runner.Runner.resume`.
+    """
+
+    def __init__(self, at_shard: int):
+        super().__init__(
+            f"simulated host crash at shard dispatch {at_shard} "
+            "(resume from the checkpoint journal)"
+        )
+        self.at_shard = int(at_shard)
 
 
 @dataclass(frozen=True)
@@ -146,6 +171,25 @@ class ForcedOverflow:
 
 
 @dataclass(frozen=True)
+class CrashPoint:
+    """The host process dies when it dispatches its ``at_shard``-th shard
+    execution (0-based count of shard dispatches across the whole run).
+
+    The runner raises :class:`SimulatedCrashError` *before* that dispatch
+    executes, so exactly ``at_shard`` shard executions completed — the
+    crash-at-shard-k scenario the checkpoint/resume acceptance pins. A
+    single-device run counts as one dispatch: ``at_shard=0`` crashes it
+    before any work, ``at_shard>=1`` never fires.
+    """
+
+    at_shard: int = 0
+
+    def __post_init__(self):
+        if self.at_shard < 0:
+            raise ValueError("at_shard must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded, declarative set of faults to inject into one run.
 
@@ -158,10 +202,11 @@ class FaultPlan:
     stragglers: tuple[Straggler, ...] = ()
     transients: tuple[TransientFaults, ...] = ()
     overflows: tuple[ForcedOverflow, ...] = ()
+    crashes: tuple[CrashPoint, ...] = ()
 
     def __post_init__(self):
         # accept lists for ergonomics; store tuples so the plan stays hashable
-        for name in ("failures", "stragglers", "transients", "overflows"):
+        for name in ("failures", "stragglers", "transients", "overflows", "crashes"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     # -- per-device views ------------------------------------------------
@@ -190,9 +235,32 @@ class FaultPlan:
                 return o
         return None
 
+    def crash_point(self) -> CrashPoint | None:
+        """The earliest host crash of this plan, if any."""
+        return min(self.crashes, key=lambda c: c.at_shard) if self.crashes else None
+
     @property
     def is_empty(self) -> bool:
-        return not (self.failures or self.stragglers or self.transients or self.overflows)
+        return not (
+            self.failures
+            or self.stragglers
+            or self.transients
+            or self.overflows
+            or self.crashes
+        )
+
+    @property
+    def has_device_faults(self) -> bool:
+        """Whether the plan injects faults the scheduler must *heal* from.
+
+        Host crashes are excluded: a :class:`CrashPoint` kills the whole
+        process (recovery happens via checkpoint resume, not requeue), so
+        a crash-only plan does not imply a :class:`RecoveryPolicy` — the
+        surviving execution stays byte-identical to the fault-free run.
+        """
+        return bool(
+            self.failures or self.stragglers or self.transients or self.overflows
+        )
 
     def describe(self) -> str:
         parts = []
@@ -204,4 +272,174 @@ class FaultPlan:
             parts.append(f"flaky(dev{t.device_id} p={t.probability:g})")
         for o in self.overflows:
             parts.append(f"overflow(dev{o.device_id}x{o.times})")
+        for c in self.crashes:
+            parts.append(f"crash(@shard{c.at_shard})")
+        return " ".join(parts) if parts else "fault-free"
+
+
+# ----------------------------------------------------------------------
+# Service-level fault species: what can go wrong *above* the device seam.
+# Each is keyed by ``at_request`` — the 0-based dispatch ordinal at the
+# JoinService (the n-th request leaving the queue for execution) — so an
+# injection schedule is deterministic for a deterministic request sequence.
+
+
+@dataclass(frozen=True)
+class CancellationStorm:
+    """When dispatch ordinal ``at_request`` fires, ``count`` queued
+    requests (chosen by the plan's seeded RNG from the current backlog)
+    are cancelled at once — the thundering-herd of client timeouts."""
+
+    at_request: int
+    count: int = 1
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ValueError("at_request must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClientDisconnect:
+    """The client of dispatch ordinal ``at_request`` goes away the moment
+    its request starts executing; the service must discard the result and
+    resolve the ticket terminally."""
+
+    at_request: int
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ValueError("at_request must be >= 0")
+
+
+@dataclass(frozen=True)
+class SlowClient:
+    """The client of dispatch ordinal ``at_request`` consumes its result
+    stream with ``delay_seconds`` of real wall-time stall per block — the
+    backpressure case: a slow reader must not stall the service."""
+
+    at_request: int
+    delay_seconds: float = 0.01
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ValueError("at_request must be >= 0")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class PoolCollapse:
+    """Mid-request pool collapse: while dispatch ordinal ``at_request``
+    runs pooled, every device above the first ``keep_devices`` dies at its
+    ``at_shard``-th shard (merged into the request's device fault plan)."""
+
+    at_request: int
+    keep_devices: int = 1
+    at_shard: int = 1
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ValueError("at_request must be >= 0")
+        if self.keep_devices < 1:
+            raise ValueError("keep_devices must be >= 1")
+        if self.at_shard < 0:
+            raise ValueError("at_shard must be >= 0")
+
+
+@dataclass(frozen=True)
+class RunnerCrash:
+    """Crash-at-shard-k through the service: dispatch ordinal
+    ``at_request`` gets a :class:`CrashPoint` at ``at_shard`` merged into
+    its fault plan on its *first* attempt only — retries (which resume
+    from the checkpoint journal when the request checkpoints) run clean."""
+
+    at_request: int
+    at_shard: int = 0
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ValueError("at_request must be >= 0")
+        if self.at_shard < 0:
+            raise ValueError("at_shard must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A seeded, declarative set of *service* faults — the serving mirror
+    of :class:`FaultPlan`, consumed by
+    :class:`~repro.serve.chaos.ChaosController` via
+    ``ServeConfig(chaos=...)``.
+
+    Deterministic per ``seed``: the only random choice (storm victims) is
+    drawn from a ``default_rng(seed)`` stream in injection order, so the
+    same request sequence under the same plan produces the same
+    ``ServiceLog`` signature.
+    """
+
+    seed: int = 0
+    storms: tuple[CancellationStorm, ...] = ()
+    disconnects: tuple[ClientDisconnect, ...] = ()
+    slow_clients: tuple[SlowClient, ...] = ()
+    collapses: tuple[PoolCollapse, ...] = ()
+    crashes: tuple[RunnerCrash, ...] = ()
+
+    def __post_init__(self):
+        for name in ("storms", "disconnects", "slow_clients", "collapses", "crashes"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    # -- per-ordinal views ----------------------------------------------
+    def storm_for(self, ordinal: int) -> CancellationStorm | None:
+        for s in self.storms:
+            if s.at_request == ordinal:
+                return s
+        return None
+
+    def disconnect_for(self, ordinal: int) -> ClientDisconnect | None:
+        for d in self.disconnects:
+            if d.at_request == ordinal:
+                return d
+        return None
+
+    def slow_client_for(self, ordinal: int) -> SlowClient | None:
+        for s in self.slow_clients:
+            if s.at_request == ordinal:
+                return s
+        return None
+
+    def collapse_for(self, ordinal: int) -> PoolCollapse | None:
+        for c in self.collapses:
+            if c.at_request == ordinal:
+                return c
+        return None
+
+    def crash_for(self, ordinal: int) -> RunnerCrash | None:
+        for c in self.crashes:
+            if c.at_request == ordinal:
+                return c
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.storms
+            or self.disconnects
+            or self.slow_clients
+            or self.collapses
+            or self.crashes
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for s in self.storms:
+            parts.append(f"storm(@r{s.at_request} x{s.count})")
+        for d in self.disconnects:
+            parts.append(f"disconnect(@r{d.at_request})")
+        for s in self.slow_clients:
+            parts.append(f"slow_client(@r{s.at_request})")
+        for c in self.collapses:
+            parts.append(f"collapse(@r{c.at_request} keep{c.keep_devices})")
+        for c in self.crashes:
+            parts.append(f"crash(@r{c.at_request}@shard{c.at_shard})")
         return " ".join(parts) if parts else "fault-free"

@@ -22,12 +22,14 @@ variants) are thin compilers over this package.
 
 from repro.runtime.config import (
     REPLAY_MODES,
+    CheckpointConfig,
     OverflowConfig,
     ProfilingOptions,
     RuntimeConfig,
     ShardingConfig,
 )
 from repro.runtime.plan import (
+    CheckpointStage,
     EstimateStage,
     IndexStage,
     JoinPlan,
@@ -35,14 +37,23 @@ from repro.runtime.plan import (
     MergeStage,
     ResilienceStage,
     ShardStage,
+    apply_checkpoint,
     apply_resilience,
     compile_self_join,
     compile_similarity_join,
 )
-from repro.runtime.runner import Runner, execute_shard, executor_from_runtime
+from repro.runtime.runner import (
+    DeadlineExceededError,
+    Runner,
+    execute_shard,
+    executor_from_runtime,
+)
 
 __all__ = [
     "REPLAY_MODES",
+    "CheckpointConfig",
+    "CheckpointStage",
+    "DeadlineExceededError",
     "EstimateStage",
     "IndexStage",
     "JoinPlan",
@@ -55,6 +66,7 @@ __all__ = [
     "RuntimeConfig",
     "ShardStage",
     "ShardingConfig",
+    "apply_checkpoint",
     "apply_resilience",
     "compile_self_join",
     "compile_similarity_join",

@@ -36,6 +36,7 @@ from repro.resilience.policy import RecoveryPolicy
 from repro.simt import ENGINES, CostParams, DeviceSpec
 
 __all__ = [
+    "CheckpointConfig",
     "OverflowConfig",
     "ProfilingOptions",
     "REPLAY_MODES",
@@ -125,6 +126,33 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Durable checkpoint/resume for one run (see
+    :mod:`repro.resilience.checkpoint`).
+
+    ``directory`` roots the :class:`~repro.resilience.checkpoint.CheckpointStore`;
+    each run journals under its own fingerprint subdirectory, so many
+    runs (and many configs) share one directory safely. ``keep=False``
+    (the default) deletes the journal when the run completes —
+    checkpoints exist to survive *interruption*; ``keep=True`` retains
+    the fragments with a ``done`` marker for audit or re-reads.
+
+    Checkpointing never changes what a run computes, so this config is
+    excluded from run identity (``describe()``, golden fingerprints,
+    :func:`~repro.resilience.checkpoint.config_identity`).
+    """
+
+    directory: str
+    keep: bool = False
+
+    def __post_init__(self):
+        directory = str(self.directory)
+        if not directory:
+            raise ValueError("checkpoint directory must be a non-empty path")
+        object.__setattr__(self, "directory", directory)
+
+
+@dataclass(frozen=True)
 class ProfilingOptions:
     """Which execution artifacts the returned result retains.
 
@@ -173,10 +201,15 @@ class RuntimeConfig:
         the self-healing scheduler loop on pooled runs.
     fault_plan:
         Optional seeded :class:`~repro.resilience.faults.FaultPlan` to
-        inject. On pooled runs a plan implies the default
-        ``RecoveryPolicy`` unless one is given explicitly.
+        inject. On pooled runs a plan with *device* faults implies the
+        default ``RecoveryPolicy`` unless one is given explicitly
+        (host :class:`~repro.resilience.faults.CrashPoint`\\ s do not —
+        their recovery story is checkpoint resume, not requeue).
     profiling:
         Artifact-retention switches (see :class:`ProfilingOptions`).
+    checkpoint:
+        Optional :class:`CheckpointConfig`: journal completed shards
+        durably so an interrupted run resumes via ``Runner.resume``.
     """
 
     optimization: OptimizationConfig = field(default_factory=OptimizationConfig)
@@ -192,6 +225,7 @@ class RuntimeConfig:
     recovery: RecoveryPolicy | None = None
     fault_plan: FaultPlan | None = None
     profiling: ProfilingOptions = field(default_factory=ProfilingOptions)
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -205,10 +239,13 @@ class RuntimeConfig:
             )
         if self.estimate_safety_z < 0:
             raise ValueError("estimate_safety_z must be >= 0")
-        # injecting faults into a pool without a recovery story would just
-        # crash the run, so a fault plan implies the default policy there
+        # injecting device faults into a pool without a recovery story would
+        # just crash the run, so such a fault plan implies the default policy
+        # there; crash-only plans don't — a host crash must propagate so the
+        # run can resume from its checkpoint journal
         if (
             self.fault_plan is not None
+            and (self.fault_plan.has_device_faults or not self.fault_plan.crashes)
             and self.recovery is None
             and self.sharding is not None
         ):

@@ -36,6 +36,7 @@ if TYPE_CHECKING:
     from repro.resilience.policy import RecoveryPolicy
 
 __all__ = [
+    "CheckpointStage",
     "EstimateStage",
     "IndexStage",
     "JoinPlan",
@@ -43,6 +44,7 @@ __all__ = [
     "MergeStage",
     "ResilienceStage",
     "ShardStage",
+    "apply_checkpoint",
     "apply_resilience",
     "compile_self_join",
     "compile_similarity_join",
@@ -106,6 +108,21 @@ class ResilienceStage:
 
 
 @dataclass(frozen=True)
+class CheckpointStage:
+    """Durable shard journaling wrapped around execution.
+
+    ``fingerprint`` is the run's content identity
+    (:func:`repro.resilience.checkpoint.run_fingerprint`), computed at
+    compile time so the runner — and anyone inspecting the plan — knows
+    exactly which journal the run writes and resumes from.
+    """
+
+    directory: str
+    keep: bool
+    fingerprint: str
+
+
+@dataclass(frozen=True)
 class MergeStage:
     """How shard/batch results become the final canonical result."""
 
@@ -114,7 +131,13 @@ class MergeStage:
 
 
 Stage = (
-    IndexStage | EstimateStage | ShardStage | LaunchStage | ResilienceStage | MergeStage
+    IndexStage
+    | EstimateStage
+    | ShardStage
+    | LaunchStage
+    | ResilienceStage
+    | CheckpointStage
+    | MergeStage
 )
 
 
@@ -150,6 +173,10 @@ class JoinPlan:
     @property
     def resilience_stage(self) -> ResilienceStage | None:
         return self.stage(ResilienceStage)
+
+    @property
+    def checkpoint_stage(self) -> CheckpointStage | None:
+        return self.stage(CheckpointStage)
 
     @property
     def merge_stage(self) -> MergeStage:
@@ -189,6 +216,11 @@ class JoinPlan:
                 if s.recovery is not None:
                     parts.append("recovery")
                 lines.append(f"  resil    {' '.join(parts) or 'none'}")
+            elif isinstance(s, CheckpointStage):
+                keep = " keep" if s.keep else ""
+                lines.append(
+                    f"  ckpt     dir={s.directory} run={s.fingerprint[:12]}…{keep}"
+                )
             elif isinstance(s, MergeStage):
                 lines.append(f"  merge    dedup={s.dedup}")
         return "\n".join(lines)
@@ -274,7 +306,7 @@ def compile_self_join(
         stages=tuple(stages),
         subset=subset,
     )
-    return apply_resilience(plan)
+    return apply_checkpoint(apply_resilience(plan))
 
 
 def compile_similarity_join(
@@ -332,7 +364,7 @@ def compile_similarity_join(
     plan = JoinPlan(
         op=op, index=index, config=runtime, stages=tuple(stages), subset=subset
     )
-    return apply_resilience(plan)
+    return apply_checkpoint(apply_resilience(plan))
 
 
 def apply_resilience(plan: JoinPlan) -> JoinPlan:
@@ -351,6 +383,30 @@ def apply_resilience(plan: JoinPlan) -> JoinPlan:
     if faults is None and recovery is None:
         return plan
     stage = ResilienceStage(fault_plan=faults, recovery=recovery)
+    stages = list(plan.stages)
+    stages.insert(len(stages) - 1, stage)  # just before MergeStage
+    return replace(plan, stages=tuple(stages))
+
+
+def apply_checkpoint(plan: JoinPlan) -> JoinPlan:
+    """Splice a :class:`CheckpointStage` in front of the merge stage.
+
+    Like :func:`apply_resilience`, a plan transform: the returned plan
+    journals each completed shard durably under the run's content
+    fingerprint and is what ``Runner.resume`` accepts. No-op when the
+    runtime carries no :class:`~repro.runtime.config.CheckpointConfig`
+    or the stage is already present.
+    """
+    rc = plan.config
+    if rc.checkpoint is None or plan.checkpoint_stage is not None:
+        return plan
+    from repro.resilience.checkpoint import run_fingerprint
+
+    stage = CheckpointStage(
+        directory=rc.checkpoint.directory,
+        keep=rc.checkpoint.keep,
+        fingerprint=run_fingerprint(plan),
+    )
     stages = list(plan.stages)
     stages.insert(len(stages) - 1, stage)  # just before MergeStage
     return replace(plan, stages=tuple(stages))

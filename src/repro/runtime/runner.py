@@ -20,6 +20,7 @@ the executor produced (see :meth:`repro.core.result.JoinResult.iter_pairs`).
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
@@ -30,13 +31,40 @@ from repro.core.config import OptimizationConfig
 from repro.core.result import JoinResult
 from repro.grid import GridIndex
 from repro.resilience.executor import FaultyExecutor
+from repro.resilience.faults import SimulatedCrashError
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.plan import JoinPlan
 from repro.simt import AtomicCounter, BufferOverflowError, CostParams, DeviceSpec
 
-__all__ = ["Runner", "execute_shard", "executor_from_runtime"]
+__all__ = [
+    "DeadlineExceededError",
+    "Runner",
+    "execute_shard",
+    "executor_from_runtime",
+]
 
 _MAX_REPLANS = 8
+
+
+class DeadlineExceededError(RuntimeError):
+    """A run's wall-clock deadline expired before it could finish.
+
+    Raised at shard-dispatch boundaries (execution inside a shard is not
+    interrupted), so a checkpointed run's journal stays consistent: every
+    shard completed before the deadline fired is durable and a later
+    ``Runner.resume`` picks up exactly there.
+    """
+
+
+class _Deadline:
+    """Monotonic wall-clock budget checked at dispatch boundaries."""
+
+    def __init__(self, seconds: float | None):
+        self._expires = None if seconds is None else time.monotonic() + float(seconds)
+
+    def check(self, where: str) -> None:
+        if self._expires is not None and time.monotonic() >= self._expires:
+            raise DeadlineExceededError(f"deadline exceeded before {where}")
 
 
 def executor_from_runtime(
@@ -161,20 +189,53 @@ class Runner:
         pooled plans (e.g. heterogeneous); by default a homogeneous pool
         is built from the runtime config. A reused pool's health records
         are re-armed per run, keeping seeded fault runs reproducible.
+
+    After an execution, ``last_checkpoint_stats`` holds the
+    :class:`~repro.resilience.checkpoint.CheckpointStats` of the run's
+    journal (``None`` when the plan does not checkpoint).
     """
 
     def __init__(self, *, executor: BatchExecutor | None = None, pool=None):
         self.executor = executor
         self.pool = pool
+        self.last_checkpoint_stats = None
 
-    def run(self, plan: JoinPlan) -> JoinResult:
-        """Execute the plan; pooled plans return a ``MultiJoinResult``."""
-        if plan.pooled:
-            return self._run_pooled(plan)
-        return self._run_single(plan)
+    def run(self, plan: JoinPlan, *, deadline_seconds: float | None = None):
+        """Execute the plan; pooled plans return a ``MultiJoinResult``.
+
+        ``deadline_seconds`` is a wall-clock budget for this execution,
+        checked at shard-dispatch boundaries —
+        :class:`DeadlineExceededError` is raised when it expires. Plans
+        carrying a :class:`~repro.runtime.plan.CheckpointStage` journal
+        each completed shard durably as they go (a fresh run never
+        *reads* the journal; see :meth:`resume`).
+        """
+        return self._execute(plan, resume=False, deadline_seconds=deadline_seconds)
+
+    def resume(self, plan: JoinPlan, *, deadline_seconds: float | None = None):
+        """Resume an interrupted checkpointed run.
+
+        Replays the same schedule as :meth:`run`, but shards already
+        durable in the plan's journal are answered from disk instead of
+        re-executed — the merged result (pair bytes, trace signature) is
+        bit-identical to an uninterrupted run because shard execution is
+        deterministic and the merge is execution-order independent.
+        Resuming with nothing journaled (or after a completed
+        ``keep=False`` run dropped its journal) is simply a full run.
+        """
+        if plan.checkpoint_stage is None:
+            raise ValueError(
+                "resume() needs a checkpointed plan; compile with "
+                "RuntimeConfig(checkpoint=CheckpointConfig(directory=...))"
+            )
+        return self._execute(plan, resume=True, deadline_seconds=deadline_seconds)
 
     def stream(
-        self, plan: JoinPlan, *, chunk: int | None = None
+        self,
+        plan: JoinPlan,
+        *,
+        chunk: int | None = None,
+        deadline_seconds: float | None = None,
     ) -> Iterator[np.ndarray]:
         """Execute the plan and yield its result pairs in blocks.
 
@@ -183,16 +244,51 @@ class Runner:
         re-sliced to exactly ``chunk`` rows (last one short). The
         concatenation of all yielded blocks equals ``result.pairs``.
         """
-        yield from self.run(plan).iter_pairs(chunk=chunk)
+        result = self.run(plan, deadline_seconds=deadline_seconds)
+        yield from result.iter_pairs(chunk=chunk)
 
     # ------------------------------------------------------------------
-    def _run_single(self, plan: JoinPlan) -> JoinResult:
+    def _execute(self, plan: JoinPlan, *, resume: bool, deadline_seconds):
+        deadline = _Deadline(deadline_seconds)
+        self.last_checkpoint_stats = None
+        if plan.pooled:
+            return self._run_pooled(plan, resume=resume, deadline=deadline)
+        return self._run_single(plan, resume=resume, deadline=deadline)
+
+    def _open_journal(self, plan: JoinPlan, num_shards: int):
+        stage = plan.checkpoint_stage
+        if stage is None:
+            return None
+        from repro.resilience.checkpoint import CheckpointStore
+
+        return CheckpointStore(stage.directory).journal(
+            stage.fingerprint,
+            kind=plan.op.kind,
+            description=plan.merge_stage.description,
+            num_shards=num_shards,
+        )
+
+    def _run_single(self, plan: JoinPlan, *, resume: bool, deadline: _Deadline):
         rc = plan.config
+        journal = self._open_journal(plan, 1)
+        if journal is not None:
+            # live stats: visible even when a crash interrupts the run
+            self.last_checkpoint_stats = journal.stats
+        if journal is not None and resume and 0 in journal.completed_shards():
+            # the run completed its (single) shard before the interruption
+            result = journal.load_shard(0)
+            self.last_checkpoint_stats = journal.stats
+            journal.finalize(keep=plan.checkpoint_stage.keep)
+            return result
+        crash = rc.fault_plan.crash_point() if rc.fault_plan is not None else None
+        if crash is not None and crash.at_shard <= 0:
+            raise SimulatedCrashError(0)
+        deadline.check("launch")
         executor = self.executor if self.executor is not None else executor_from_runtime(rc)
         resil = plan.resilience_stage
         if resil is not None and resil.fault_plan is not None:
             executor = FaultyExecutor(executor, 0, resil.fault_plan)
-        return execute_shard(
+        result = execute_shard(
             plan.op,
             plan.index,
             rc.optimization,
@@ -202,8 +298,13 @@ class Runner:
             description=plan.merge_stage.description,
             keep_fragments=rc.profiling.keep_fragments,
         )
+        if journal is not None:
+            journal.save_shard(0, result)
+            self.last_checkpoint_stats = journal.stats
+            journal.finalize(keep=plan.checkpoint_stage.keep)
+        return result
 
-    def _run_pooled(self, plan: JoinPlan):
+    def _run_pooled(self, plan: JoinPlan, *, resume: bool, deadline: _Deadline):
         # upward imports: multigpu compiles *into* this runtime, so the
         # runner resolves it lazily rather than at module import
         from repro.multigpu.join import MultiJoinResult
@@ -221,9 +322,27 @@ class Runner:
         scheduler = HostScheduler(pool, shard_stage.schedule, recovery=rc.recovery)
         op, index, opt = plan.op, plan.index, rc.optimization
 
+        journal = self._open_journal(plan, len(shard_stage.plan.shards))
+        if journal is not None:
+            # live stats: visible even when a crash interrupts the run
+            self.last_checkpoint_stats = journal.stats
+        completed = journal.load_completed() if (journal is not None and resume) else {}
+        crash = rc.fault_plan.crash_point() if rc.fault_plan is not None else None
+        dispatched = 0
+
         def run_shard(device, shard):
+            nonlocal dispatched
+            deadline.check(f"shard {shard.shard_id} dispatch")
+            if crash is not None and dispatched >= crash.at_shard:
+                raise SimulatedCrashError(crash.at_shard)
+            dispatched += 1
+            cached = completed.get(shard.shard_id)
+            if cached is not None:
+                # resumed: this shard's result is already durable — replay
+                # it into the schedule instead of re-executing
+                return cached
             executor = armed.get(device.device_id, device.executor)
-            return execute_shard(
+            result = execute_shard(
                 op,
                 index,
                 opt,
@@ -232,8 +351,14 @@ class Runner:
                 safety_z=rc.estimate_safety_z,
                 keep_fragments=False,
             )
+            if journal is not None:
+                journal.save_shard(shard.shard_id, result)
+            return result
 
         results, trace = scheduler.run(shard_stage.plan, run_shard)
+        if journal is not None:
+            self.last_checkpoint_stats = journal.stats
+            journal.finalize(keep=plan.checkpoint_stage.keep)
 
         # speculative re-execution is first-result-wins, so results[] holds
         # one copy per shard — but dedup anyway when it fired, making the

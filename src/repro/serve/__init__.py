@@ -37,10 +37,17 @@ Quick start::
 from repro.serve.admission import (
     AdmissionDecision,
     AdmissionPolicy,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    RateLimitPolicy,
+    RetryBudget,
+    RetryPolicy,
+    TokenBucket,
     check_admission,
     estimate_request_cost,
 )
 from repro.serve.cache import CacheStats, SessionCache
+from repro.serve.chaos import ChaosController
 from repro.serve.client import JoinClient
 from repro.serve.events import EVENT_KINDS, ServiceEvent, ServiceLog
 from repro.serve.fairness import FairQueue
@@ -62,6 +69,9 @@ __all__ = [
     "AdmissionError",
     "AdmissionPolicy",
     "CacheStats",
+    "ChaosController",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
     "DatasetHandle",
     "EVENT_KINDS",
     "FairQueue",
@@ -70,14 +80,18 @@ __all__ = [
     "JoinResponse",
     "JoinService",
     "JoinTicket",
+    "RateLimitPolicy",
     "REQUEST_KINDS",
     "REQUEST_STATES",
+    "RetryBudget",
+    "RetryPolicy",
     "ServeConfig",
     "ServeError",
     "ServiceEvent",
     "ServiceLog",
     "SessionCache",
     "TERMINAL_STATES",
+    "TokenBucket",
     "check_admission",
     "estimate_request_cost",
 ]

@@ -27,6 +27,12 @@ from repro.grid.bipartite import bipartite_neighbor_counts
 __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "RateLimitPolicy",
+    "RetryBudget",
+    "RetryPolicy",
+    "TokenBucket",
     "check_admission",
     "estimate_request_cost",
 ]
@@ -93,6 +99,158 @@ def estimate_request_cost(
     sample = queries[::step]
     counts = bipartite_neighbor_counts(index, sample)
     return int(np.ceil(counts.sum() * (nq / len(sample))))
+
+
+# ----------------------------------------------------------------------
+# Per-tenant protective machinery: rate limits, circuit breakers, retry
+# budgets. The policies are frozen configuration; the matching mutable
+# state objects (one per tenant, owned by the service's event loop) carry
+# no locks — the service only touches them from the loop thread.
+
+
+@dataclass(frozen=True)
+class RateLimitPolicy:
+    """Token-bucket rate limiting, applied per tenant at submit time.
+
+    Each tenant owns a bucket of ``burst`` tokens refilled at
+    ``requests_per_second``; a submit spends one token or is rejected
+    terminally (reason ``rate_limited``) — never queued, never hung.
+    ``requests_per_second=0`` is legal and means *no refill*: exactly
+    ``burst`` requests pass, deterministically — what the chaos tests
+    use.
+    """
+
+    requests_per_second: float = 10.0
+    burst: float = 10.0
+
+    def __post_init__(self):
+        if self.requests_per_second < 0:
+            raise ValueError("requests_per_second must be >= 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class TokenBucket:
+    """One tenant's mutable rate-limit state."""
+
+    def __init__(self, policy: RateLimitPolicy):
+        self.policy = policy
+        self.tokens = float(policy.burst)
+        self._last: float | None = None
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token at time ``now``; False when the bucket is dry."""
+        if self._last is None:
+            self._last = now
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(
+            float(self.policy.burst),
+            self.tokens + elapsed * self.policy.requests_per_second,
+        )
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Per-tenant circuit breaking: stop dispatching a tenant whose
+    requests keep *failing* (execution errors — not rejections, timeouts
+    or cancellations).
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, submits are rejected terminally (reason ``circuit_open``).
+    After ``cooldown_seconds`` the breaker goes half-open and admits one
+    probe: success closes it, failure re-opens it for another cooldown.
+    """
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+
+
+class CircuitBreaker:
+    """One tenant's mutable breaker state (closed → open → half-open)."""
+
+    def __init__(self, policy: CircuitBreakerPolicy):
+        self.policy = policy
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+
+    def allow(self, now: float) -> bool:
+        """Whether a new request of this tenant may be admitted at ``now``."""
+        if self.state == "open":
+            if now - self.opened_at >= self.policy.cooldown_seconds:
+                self.state = "half_open"
+                return True
+            return False
+        return True  # closed or half-open (probe in flight)
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = "open"
+            self.opened_at = now
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-execution of failed requests, budgeted per tenant.
+
+    ``max_attempts=1`` (the default) disables retries. A retry spends one
+    token from the tenant's budget (capacity ``budget``); each completed
+    request credits ``refill_per_success`` back — the classic retry
+    budget that stops a failing tenant from amplifying load. Retried
+    checkpointed requests resume from their journal instead of restarting
+    (see :meth:`~repro.runtime.runner.Runner.resume`).
+    """
+
+    max_attempts: int = 1
+    budget: float = 8.0
+    refill_per_success: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0")
+        if self.refill_per_success < 0:
+            raise ValueError("refill_per_success must be >= 0")
+
+
+class RetryBudget:
+    """One tenant's mutable retry-token pool."""
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.tokens = float(policy.budget)
+
+    def try_acquire(self) -> bool:
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def credit(self) -> None:
+        self.tokens = min(
+            float(self.policy.budget), self.tokens + self.policy.refill_per_success
+        )
 
 
 def check_admission(

@@ -1,0 +1,127 @@
+"""Seeded service-fault injection — chaos testing for :class:`JoinService`.
+
+The :class:`ChaosController` consumes a
+:class:`~repro.resilience.faults.ServiceFaultPlan` (``ServeConfig(chaos=...)``)
+and injects its faults at the service's dispatch seam, exactly as
+:class:`~repro.resilience.executor.FaultyExecutor` injects device faults
+at the :class:`~repro.core.executor.BatchExecutor` seam one layer down:
+
+- **cancellation storms** — at a dispatch ordinal, seeded-RNG-chosen
+  victims from the current backlog are cancelled at once;
+- **client disconnects** — the dispatched request's client goes away; the
+  service must discard the result and still resolve the ticket;
+- **slow clients** — the request's result stream stalls per block
+  (:meth:`JoinService.stream` honours the registered delay);
+- **pool collapse** — :class:`~repro.resilience.faults.DeviceFailure`\\ s
+  are merged into the request's runtime fault plan so all but
+  ``keep_devices`` devices die mid-run;
+- **runner crashes** — a :class:`~repro.resilience.faults.CrashPoint` is
+  merged into the request's *first attempt* only, so a retry (which
+  resumes from the checkpoint journal when the request checkpoints)
+  demonstrates the full detect→diagnose→remediate loop.
+
+Everything is deterministic per plan seed: the controller's only random
+draw (storm victims) comes from one ``default_rng(seed)`` stream advanced
+in injection order, so the same submit sequence yields the same
+``ServiceLog`` signature — the chaos suite's acceptance property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.resilience.faults import (
+    CrashPoint,
+    DeviceFailure,
+    FaultPlan,
+    PoolCollapse,
+    RunnerCrash,
+    ServiceFaultPlan,
+    SlowClient,
+)
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Applies one :class:`ServiceFaultPlan` to a service's dispatch flow."""
+
+    def __init__(self, plan: ServiceFaultPlan | None):
+        self.plan = plan
+        self._rng = (
+            np.random.default_rng(plan.seed)
+            if plan is not None and not plan.is_empty
+            else None
+        )
+        self._slow: dict[str, float] = {}
+
+    @property
+    def active(self) -> bool:
+        return self._rng is not None
+
+    # ------------------------------------------------------------ species
+    def storm_victims(self, ordinal: int, backlog: list) -> list:
+        """The queued tickets a storm at this dispatch ordinal cancels."""
+        if not self.active:
+            return []
+        storm = self.plan.storm_for(ordinal)
+        if storm is None or not backlog:
+            return []
+        count = min(storm.count, len(backlog))
+        picks = sorted(self._rng.choice(len(backlog), size=count, replace=False))
+        return [backlog[int(i)] for i in picks]
+
+    def disconnects(self, ordinal: int) -> bool:
+        return self.active and self.plan.disconnect_for(ordinal) is not None
+
+    def slow_client_for(self, ordinal: int) -> SlowClient | None:
+        return self.plan.slow_client_for(ordinal) if self.active else None
+
+    def register_slow(self, request_id: str, delay_seconds: float) -> None:
+        self._slow[request_id] = float(delay_seconds)
+
+    def stream_delay(self, request_id: str) -> float:
+        """Per-block stall of this request's stream (0.0 = full speed)."""
+        return self._slow.get(request_id, 0.0)
+
+    def collapse_for(self, ordinal: int) -> PoolCollapse | None:
+        return self.plan.collapse_for(ordinal) if self.active else None
+
+    def crash_for(self, ordinal: int) -> RunnerCrash | None:
+        return self.plan.crash_for(ordinal) if self.active else None
+
+    # ------------------------------------------------------------ runtime
+    def infect_runtime(
+        self,
+        runtime,
+        *,
+        collapse: PoolCollapse | None,
+        crash: RunnerCrash | None,
+        num_devices: int,
+    ):
+        """Merge this request's injected faults into its runtime config.
+
+        Applied to the first attempt only — the caller holds the
+        injections back on retries, so remediation runs clean.
+        """
+        if collapse is None and crash is None:
+            return runtime
+        fp = runtime.fault_plan
+        if fp is None:
+            fp = FaultPlan(seed=self.plan.seed if self.plan is not None else 0)
+        if collapse is not None and num_devices > collapse.keep_devices:
+            fp = replace(
+                fp,
+                failures=fp.failures
+                + tuple(
+                    DeviceFailure(device_id=d, at_shard=collapse.at_shard)
+                    for d in range(collapse.keep_devices, num_devices)
+                ),
+            )
+        if crash is not None:
+            fp = replace(
+                fp, crashes=fp.crashes + (CrashPoint(at_shard=crash.at_shard),)
+            )
+        return runtime.with_(fault_plan=fp)

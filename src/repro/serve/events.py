@@ -18,23 +18,32 @@ from dataclasses import dataclass
 __all__ = ["EVENT_KINDS", "ServiceEvent", "ServiceLog"]
 
 #: What one service event can record. ``register`` a dataset arriving,
-#: ``submit``/``reject`` admission decisions, ``dispatch`` a request
+#: ``submit``/``reject`` admission decisions (``rate_limited`` and
+#: ``circuit_open`` the protective rejections), ``dispatch`` a request
 #: leaving the queue for a device, ``cache_hit``/``cache_miss``/``evict``
-#: session-cache traffic, ``degraded`` a pooled run that lost devices but
-#: was healed by recovery, and the terminal request outcomes.
+#: session-cache traffic, ``fault`` an injected service fault
+#: (:class:`~repro.resilience.faults.ServiceFaultPlan`), ``retry`` a
+#: budgeted re-execution, ``degraded`` a pooled run that lost devices but
+#: was healed by recovery, ``drain`` the start of a graceful shutdown,
+#: and the terminal request outcomes.
 EVENT_KINDS = (
     "register",
     "submit",
     "reject",
+    "rate_limited",
+    "circuit_open",
     "dispatch",
     "cache_hit",
     "cache_miss",
     "evict",
+    "fault",
+    "retry",
     "complete",
     "failed",
     "cancelled",
     "timeout",
     "degraded",
+    "drain",
     "shutdown",
 )
 

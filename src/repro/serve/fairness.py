@@ -66,6 +66,21 @@ class FairQueue:
         q = self._queues.get(tenant)
         return len(q) if q else 0
 
+    def items(self) -> list:
+        """The queued items in deterministic (ring, then FIFO) order.
+
+        A read-only view for introspection — the chaos controller picks
+        cancellation-storm victims from it — dispatch order is still DRR.
+        """
+        out = []
+        seen = set()
+        for tenant in self._ring:
+            if tenant in seen:
+                continue
+            seen.add(tenant)
+            out.extend(item for item, _cost in self._queues.get(tenant, ()))
+        return out
+
     # ------------------------------------------------------------------
     def push(self, tenant: str, item, cost: float) -> None:
         """Queue one item for ``tenant`` with the given dispatch cost."""

@@ -99,6 +99,14 @@ class JoinRequest:
         Queue deadline: a request still queued this long after submit
         times out instead of starting. ``None`` falls back to the
         service default.
+    deadline_seconds:
+        End-to-end wall-clock deadline, counted from submit and
+        propagated *into* execution: the
+        :class:`~repro.runtime.runner.Runner` checks the remaining
+        budget at every shard-dispatch boundary and aborts with a
+        terminal ``timeout`` response when it expires (checkpointed
+        shards completed before the abort stay durable). ``None`` means
+        no execution deadline.
     tag:
         Free-form client annotation, echoed in events and responses.
     """
@@ -110,6 +118,7 @@ class JoinRequest:
     tenant: str = "default"
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     timeout_seconds: float | None = None
+    deadline_seconds: float | None = None
     tag: str = ""
 
     def __post_init__(self):
@@ -125,6 +134,8 @@ class JoinRequest:
             raise ValueError("self-join requests must not set query_dataset")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
         if not self.tenant:
             raise ValueError("tenant must be a non-empty string")
 

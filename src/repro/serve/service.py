@@ -11,7 +11,11 @@ concerns around that seam:
   the cache identity;
 - **admission** — each request's result size is estimated up front
   (:mod:`repro.serve.admission`) and the request is queued or rejected
-  against the backlog bound and per-request budget;
+  against the backlog bound and per-request budget; per-tenant
+  :class:`~repro.serve.admission.TokenBucket` rate limits and
+  :class:`~repro.serve.admission.CircuitBreaker`\\ s reject *before* the
+  estimate costs anything — every rejection is a terminal response,
+  never a hung caller;
 - **fairness** — queued requests drain by weighted deficit round-robin
   (:mod:`repro.serve.fairness`), so tenants share estimated result rows
   proportionally to their weights;
@@ -25,15 +29,32 @@ concerns around that seam:
   :class:`~repro.multigpu.pool.DevicePool` (serialized on it), and the
   service keeps serving when recovery degrades that pool — device health
   is re-armed per run by :func:`repro.resilience.executor.arm_pool`;
+- **resilience** — a request whose config checkpoints
+  (``RuntimeConfig(checkpoint=...)``) journals shard fragments durably;
+  a budgeted retry (:class:`~repro.serve.admission.RetryPolicy`) re-runs
+  a failed request — resuming from its journal instead of restarting —
+  and ``deadline_seconds`` propagates from the request into the Runner's
+  shard-dispatch deadline checks. The seeded
+  :class:`~repro.resilience.faults.ServiceFaultPlan`
+  (``ServeConfig(chaos=...)``) injects service-level faults at the
+  dispatch seam for the chaos suite;
 - **observability** — every decision lands in the
   :class:`~repro.serve.events.ServiceLog`, and
   :meth:`JoinService.report` renders the
-  :class:`~repro.profiling.ServiceReport`.
+  :class:`~repro.profiling.ServiceReport` (chaos runs additionally get
+  the :class:`~repro.profiling.ChaosReport`).
 
 Execution is per-request deterministic: results depend only on the
 request (data, config, seed), never on interleaving — the concurrency
 equivalence suite pins service responses bit-identical to serial
-:class:`Runner` runs.
+:class:`Runner` runs, and the chaos suite pins the timestamp-free
+``ServiceLog`` signature per fault-plan seed.
+
+Shutdown is graceful by default: :meth:`stop` first logs ``drain`` and
+stops admissions (new submits resolve terminally ``rejected``), lets the
+backlog and in-flight work finish (bounded by ``timeout``), then resolves
+*every* still-pending ticket terminally ``cancelled`` — no caller awaits
+forever, whichever path their request died on.
 """
 
 from __future__ import annotations
@@ -47,15 +68,23 @@ from typing import AsyncIterator
 import numpy as np
 
 from repro.grid import GridIndex, dataset_fingerprint
+from repro.resilience.faults import ServiceFaultPlan
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.plan import compile_self_join, compile_similarity_join
-from repro.runtime.runner import Runner
+from repro.runtime.runner import DeadlineExceededError, Runner
 from repro.serve.admission import (
     AdmissionPolicy,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    RateLimitPolicy,
+    RetryBudget,
+    RetryPolicy,
+    TokenBucket,
     check_admission,
     estimate_request_cost,
 )
 from repro.serve.cache import SessionCache
+from repro.serve.chaos import ChaosController
 from repro.serve.events import ServiceLog
 from repro.serve.fairness import FairQueue
 from repro.serve.model import (
@@ -81,6 +110,14 @@ class ServeConfig:
     device pool for pooled requests (their sharding config is adapted to
     it). ``default_timeout_seconds`` is the queue deadline applied when a
     request does not bring its own.
+
+    The protective knobs are all per tenant and all optional:
+    ``rate_limit`` (token bucket at submit), ``circuit_breaker`` (stop
+    admitting a tenant whose requests keep failing), ``retry`` (budgeted
+    re-execution of failures — checkpointed requests resume from their
+    journal). ``chaos`` arms the seeded service-fault injector
+    (:class:`~repro.resilience.faults.ServiceFaultPlan`) — test/benchmark
+    use only.
     """
 
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
@@ -89,6 +126,10 @@ class ServeConfig:
     tenant_weights: dict = field(default_factory=dict)
     default_timeout_seconds: float | None = None
     pool_devices: int = 2
+    rate_limit: RateLimitPolicy | None = None
+    circuit_breaker: CircuitBreakerPolicy | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    chaos: ServiceFaultPlan | None = None
 
     def __post_init__(self):
         if self.cache_entries < 1:
@@ -128,6 +169,17 @@ class JoinService:
         self._seq = 0
         self._t0 = time.monotonic()
         self._running = False
+        self._draining = False
+        self._dispatch_gate = asyncio.Event()
+        self._dispatch_gate.set()
+        self._dispatch_seq = 0
+        self._chaos = ChaosController(self.config.chaos)
+        # per-tenant protective state (event-loop-only, no locks)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._retry_budgets: dict[str, RetryBudget] = {}
+        # per-request chaos injections, keyed by request id (attempt 0 only)
+        self._injections: dict[str, tuple] = {}
         # accounting read by repro.profiling.service_report
         self._counts = {
             k: 0
@@ -138,6 +190,9 @@ class JoinService:
                 "rejected",
                 "cancelled",
                 "timeout",
+                "rate_limited",
+                "circuit_open",
+                "retried",
             )
         }
         self._queue_latencies: list[float] = []
@@ -146,25 +201,54 @@ class JoinService:
         self._pool_busy_seconds = 0.0
         self._pool_allocated_seconds = 0.0
         self._pooled_runs = 0
+        self._ckpt_lock = threading.Lock()
+        self._ckpt = {
+            "writes": 0,
+            "loads": 0,
+            "bytes_written": 0,
+            "write_seconds": 0.0,
+        }
 
     # ------------------------------------------------------- lifecycle
     async def start(self) -> "JoinService":
         if self._running:
             return self
         self._running = True
+        self._draining = False
         self._t0 = time.monotonic()
         self._dispatcher = asyncio.create_task(
             self._dispatch_loop(), name="repro-serve-dispatcher"
         )
         return self
 
-    async def stop(self, *, drain: bool = True) -> None:
-        """Stop serving. ``drain=True`` finishes the backlog first;
-        ``drain=False`` cancels everything still queued."""
+    async def stop(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop serving, gracefully by default.
+
+        Draining first stops admissions (``drain`` event; new submits are
+        terminally rejected), then waits for the backlog and in-flight
+        requests to finish — bounded by ``timeout`` seconds when given.
+        ``drain=False`` (or an expired timeout) cancels everything still
+        queued. Either way every non-terminal ticket — queued, running, or
+        never dispatched — is resolved terminally before ``shutdown`` is
+        logged, so no ``result()`` caller can be left hanging.
+        """
         if not self._running:
             return
+        self._draining = True
+        self.log.append(
+            "drain",
+            at_seconds=self._now(),
+            detail="admissions stopped; "
+            + ("finishing backlog" if drain else "cancelling backlog"),
+        )
         if drain:
+            self.resume_dispatch()  # a paused service must not wedge the drain
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
             while len(self._queue) or self._workers:
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
                 await asyncio.sleep(0.005)
         self._running = False
         if self._dispatcher is not None:
@@ -174,14 +258,35 @@ class JoinService:
             except asyncio.CancelledError:
                 pass
             self._dispatcher = None
-        if not drain:
-            # flush the backlog as cancelled tickets
-            while len(self._queue):
-                _, ticket, _ = self._queue._pop_now()
-                self._counts["cancelled"] += 1
-                self._finalize(ticket, state="cancelled", error="service stopped")
+        # flush whatever is still queued as cancelled tickets
+        while len(self._queue):
+            _, ticket, _ = self._queue._pop_now()
+            if ticket.done:
+                continue
+            self._counts["cancelled"] += 1
+            self.log.append(
+                "cancelled",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail="cancelled at shutdown (never dispatched)",
+            )
+            self._finalize(ticket, state="cancelled", error="service stopped")
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
+        # safety net: no ticket may survive shutdown unresolved
+        for ticket in self._tickets.values():
+            if ticket.done:
+                continue
+            self._counts["cancelled"] += 1
+            self.log.append(
+                "cancelled",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail="resolved terminally at shutdown",
+            )
+            self._finalize(ticket, state="cancelled", error="service stopped")
         self.log.append("shutdown", at_seconds=self._now())
 
     async def __aenter__(self) -> "JoinService":
@@ -192,6 +297,18 @@ class JoinService:
 
     def _now(self) -> float:
         return time.monotonic() - self._t0
+
+    def pause_dispatch(self) -> None:
+        """Hold dispatch: queued requests stay queued until resumed.
+
+        Submits still admit and queue. The chaos tests use this to land a
+        whole submit sequence before the first dispatch, making the
+        injection ordinals — and so the log signature — deterministic.
+        """
+        self._dispatch_gate.clear()
+
+    def resume_dispatch(self) -> None:
+        self._dispatch_gate.set()
 
     # ------------------------------------------------------- datasets
     def register_dataset(self, name: str, points) -> DatasetHandle:
@@ -231,8 +348,10 @@ class JoinService:
 
         Always returns a ticket; a rejected request's ticket is already
         terminal (``state="rejected"``) and its response carries the
-        reason. The index needed for the cost estimate is resolved
-        through the session cache — admission warms it for execution.
+        reason. Protective rejections — draining, rate limit, open
+        circuit — happen first and cost nothing; only then is the index
+        resolved through the session cache (warming it for execution) and
+        the result size estimated for the admission policy.
         """
         if not self._running:
             raise ServeError("service is not running; use 'async with JoinService()'")
@@ -261,6 +380,36 @@ class JoinService:
             + (f" [{request.tag}]" if request.tag else ""),
         )
 
+        if self._draining:
+            return self._reject(
+                ticket, kind="reject", reason="draining (service is shutting down)"
+            )
+        if self.config.rate_limit is not None:
+            bucket = self._buckets.get(request.tenant)
+            if bucket is None:
+                bucket = self._buckets[request.tenant] = TokenBucket(
+                    self.config.rate_limit
+                )
+            if not bucket.try_take(self._now()):
+                self._counts["rate_limited"] += 1
+                self._tenant(request.tenant)["rate_limited"] += 1
+                return self._reject(
+                    ticket,
+                    kind="rate_limited",
+                    reason=f"rate_limited (tenant {request.tenant!r} bucket empty)",
+                )
+        breaker = self._breaker(request.tenant)
+        if breaker is not None and not breaker.allow(self._now()):
+            self._counts["circuit_open"] += 1
+            return self._reject(
+                ticket,
+                kind="circuit_open",
+                reason=(
+                    f"circuit_open (tenant {request.tenant!r}: "
+                    f"{breaker.consecutive_failures} consecutive failures)"
+                ),
+            )
+
         index, cache_hit = await self._index_for(handle, request.epsilon, ticket)
         cost = await asyncio.to_thread(
             estimate_request_cost,
@@ -279,20 +428,40 @@ class JoinService:
             estimated_pairs=cost,
         )
         if not decision.admitted:
-            self._counts["rejected"] += 1
-            self._tenant(request.tenant)["rejected"] += 1
-            self.log.append(
-                "reject",
-                request_id=ticket.request_id,
-                tenant=request.tenant,
-                at_seconds=self._now(),
-                detail=decision.reason,
-            )
-            self._finalize(ticket, state="rejected", error=decision.reason)
-            return ticket
+            return self._reject(ticket, kind="reject", reason=decision.reason)
 
         self._queue.push(request.tenant, ticket, float(cost))
         return ticket
+
+    def _reject(self, ticket: JoinTicket, *, kind: str, reason: str) -> JoinTicket:
+        """Resolve a never-queued ticket terminally ``rejected``."""
+        self._counts["rejected"] += 1
+        self._tenant(ticket.tenant)["rejected"] += 1
+        self.log.append(
+            kind,
+            request_id=ticket.request_id,
+            tenant=ticket.tenant,
+            at_seconds=self._now(),
+            detail=reason,
+        )
+        self._finalize(ticket, state="rejected", error=reason)
+        return ticket
+
+    def _breaker(self, tenant: str) -> CircuitBreaker | None:
+        if self.config.circuit_breaker is None:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = self._breakers[tenant] = CircuitBreaker(
+                self.config.circuit_breaker
+            )
+        return breaker
+
+    def _retry_budget(self, tenant: str) -> RetryBudget:
+        budget = self._retry_budgets.get(tenant)
+        if budget is None:
+            budget = self._retry_budgets[tenant] = RetryBudget(self.config.retry)
+        return budget
 
     async def _index_for(
         self, handle: DatasetHandle, epsilon: float, ticket: JoinTicket
@@ -330,6 +499,7 @@ class JoinService:
     async def _dispatch_loop(self) -> None:
         while True:
             tenant, ticket, _cost = await self._queue.pop()
+            await self._dispatch_gate.wait()
             if ticket.cancel_requested:
                 self._counts["cancelled"] += 1
                 self.log.append(
@@ -371,6 +541,8 @@ class JoinService:
                 self._counts["cancelled"] += 1
                 self._finalize(ticket, state="cancelled", error="service stopped")
                 raise
+            ordinal = self._dispatch_seq
+            self._dispatch_seq += 1
             self._dispatch_order.append(tenant)
             self.log.append(
                 "dispatch",
@@ -379,37 +551,158 @@ class JoinService:
                 at_seconds=self._now(),
                 detail=f"est={ticket.estimated_pairs}",
             )
+            self._inject_chaos(ordinal, ticket)
             worker = asyncio.create_task(self._run_ticket(ticket, queue_seconds=waited))
             self._workers.add(worker)
             worker.add_done_callback(self._workers.discard)
+
+    def _inject_chaos(self, ordinal: int, ticket: JoinTicket) -> None:
+        """Apply the armed :class:`ServiceFaultPlan` at one dispatch ordinal."""
+        if not self._chaos.active:
+            return
+        for victim in self._chaos.storm_victims(ordinal, self._queue.items()):
+            victim.cancel()
+            self.log.append(
+                "fault",
+                request_id=victim.request_id,
+                tenant=victim.tenant,
+                at_seconds=self._now(),
+                detail=f"cancellation_storm victim (dispatch #{ordinal})",
+            )
+        if self._chaos.disconnects(ordinal):
+            ticket.cancel()
+            self.log.append(
+                "fault",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail=f"client_disconnect (dispatch #{ordinal})",
+            )
+        slow = self._chaos.slow_client_for(ordinal)
+        if slow is not None:
+            self._chaos.register_slow(ticket.request_id, slow.delay_seconds)
+            self.log.append(
+                "fault",
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                at_seconds=self._now(),
+                detail=f"slow_client delay={slow.delay_seconds:g}s",
+            )
+        collapse = self._chaos.collapse_for(ordinal)
+        if collapse is not None and not ticket.request.runtime.pooled:
+            collapse = None  # pool collapse is meaningless off the pool
+        crash = self._chaos.crash_for(ordinal)
+        if collapse is not None or crash is not None:
+            self._injections[ticket.request_id] = (collapse, crash)
+            if collapse is not None:
+                self.log.append(
+                    "fault",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail=(
+                        f"pool_collapse keep={collapse.keep_devices} "
+                        f"at_shard={collapse.at_shard}"
+                    ),
+                )
+            if crash is not None:
+                self.log.append(
+                    "fault",
+                    request_id=ticket.request_id,
+                    tenant=ticket.tenant,
+                    at_seconds=self._now(),
+                    detail=f"runner_crash at_shard={crash.at_shard}",
+                )
 
     async def _run_ticket(self, ticket: JoinTicket, *, queue_seconds: float) -> None:
         try:
             ticket.state = "running"
             self._queue_latencies.append(queue_seconds)
             started = self._now()
-            try:
-                result = await asyncio.to_thread(self._execute_sync, ticket)
-            except Exception as exc:  # the service outlives any one request
-                self._counts["failed"] += 1
-                self._tenant(ticket.tenant)["failed"] += 1
-                self.log.append(
-                    "failed",
-                    request_id=ticket.request_id,
-                    tenant=ticket.tenant,
-                    at_seconds=self._now(),
-                    detail=f"{type(exc).__name__}: {exc}",
-                )
-                self._finalize(
-                    ticket,
-                    state="failed",
-                    error=f"{type(exc).__name__}: {exc}",
-                    queue_seconds=queue_seconds,
-                    execute_seconds=self._now() - started,
-                )
-                return
+            breaker = self._breaker(ticket.tenant)
+            attempt = 0
+            while True:
+                try:
+                    result = await asyncio.to_thread(
+                        self._execute_sync, ticket, attempt
+                    )
+                except DeadlineExceededError as exc:
+                    # a missed deadline is the client's budget running out,
+                    # not a service fault — no breaker, no retry
+                    self._counts["timeout"] += 1
+                    self.log.append(
+                        "timeout",
+                        request_id=ticket.request_id,
+                        tenant=ticket.tenant,
+                        at_seconds=self._now(),
+                        detail=f"execution deadline: {exc}",
+                    )
+                    self._finalize(
+                        ticket,
+                        state="timeout",
+                        error=str(exc),
+                        queue_seconds=queue_seconds,
+                        execute_seconds=self._now() - started,
+                    )
+                    return
+                except Exception as exc:  # the service outlives any one request
+                    if (
+                        not ticket.cancel_requested
+                        and attempt + 1 < self.config.retry.max_attempts
+                        and self._retry_budget(ticket.tenant).try_acquire()
+                    ):
+                        attempt += 1
+                        self._counts["retried"] += 1
+                        self.log.append(
+                            "retry",
+                            request_id=ticket.request_id,
+                            tenant=ticket.tenant,
+                            at_seconds=self._now(),
+                            detail=(
+                                f"attempt {attempt + 1}/"
+                                f"{self.config.retry.max_attempts} after "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
+                        )
+                        continue
+                    if breaker is not None:
+                        breaker.record_failure(self._now())
+                    self._counts["failed"] += 1
+                    self._tenant(ticket.tenant)["failed"] += 1
+                    self.log.append(
+                        "failed",
+                        request_id=ticket.request_id,
+                        tenant=ticket.tenant,
+                        at_seconds=self._now(),
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                    self._finalize(
+                        ticket,
+                        state="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        queue_seconds=queue_seconds,
+                        execute_seconds=self._now() - started,
+                    )
+                    return
+                break
             wall = self._now() - started
+            recovery = getattr(result, "recovery_log", None)
             if ticket.cancel_requested:
+                # the result is discarded, but its recovery trail is not:
+                # a pooled run that lost devices and healed still surfaces
+                # the degradation so the incident record stays consistent
+                if recovery is not None and recovery.num_devices_lost > 0:
+                    self.log.append(
+                        "degraded",
+                        request_id=ticket.request_id,
+                        tenant=ticket.tenant,
+                        at_seconds=self._now(),
+                        detail=(
+                            f"lost {recovery.num_devices_lost} device(s); healed "
+                            f"by recovery ({recovery.num_requeues} requeues); "
+                            "result discarded"
+                        ),
+                    )
                 self._counts["cancelled"] += 1
                 self.log.append(
                     "cancelled",
@@ -426,7 +719,6 @@ class JoinService:
                     execute_seconds=wall,
                 )
                 return
-            recovery = getattr(result, "recovery_log", None)
             if recovery is not None and recovery.num_devices_lost > 0:
                 self.log.append(
                     "degraded",
@@ -445,6 +737,9 @@ class JoinService:
                 self._pool_allocated_seconds += (
                     getattr(result, "num_devices", 1) * result.makespan_seconds
                 )
+            if breaker is not None:
+                breaker.record_success()
+            self._retry_budget(ticket.tenant).credit()
             self._counts["completed"] += 1
             trow = self._tenant(ticket.tenant)
             trow["completed"] += 1
@@ -459,7 +754,8 @@ class JoinService:
                 tenant=ticket.tenant,
                 at_seconds=self._now(),
                 detail=f"pairs={result.num_pairs}"
-                + (" cache_hit" if ticket.cache_hit else ""),
+                + (" cache_hit" if ticket.cache_hit else "")
+                + (f" attempts={attempt + 1}" if attempt else ""),
             )
             self._finalize(
                 ticket,
@@ -471,9 +767,24 @@ class JoinService:
         finally:
             self._slots.release()
 
-    def _execute_sync(self, ticket: JoinTicket):
-        """Compile and run one request (worker thread; deterministic)."""
+    def _execute_sync(self, ticket: JoinTicket, attempt: int = 0):
+        """Compile and run one request (worker thread; deterministic).
+
+        Attempt 0 carries any chaos-injected faults; retries run clean and
+        — when the request checkpoints — resume from the journal the
+        crashed attempt left behind instead of restarting.
+        """
         req = ticket.request
+        deadline_remaining = None
+        if req.deadline_seconds is not None:
+            deadline_remaining = req.deadline_seconds - (
+                self._now() - ticket.submitted_at
+            )
+            if deadline_remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline exhausted before execution "
+                    f"(budget {req.deadline_seconds:g}s)"
+                )
         handle = self._datasets[req.dataset]
         index = self.cache.get(handle.fingerprint, req.epsilon)
         if index is None:  # evicted between admission and dispatch: rebuild
@@ -483,6 +794,15 @@ class JoinService:
         rc = req.runtime
         if rc.pooled:
             rc = self._adapt_to_pool(rc)
+        injection = self._injections.get(ticket.request_id)
+        if injection is not None and attempt == 0:
+            collapse, crash = injection
+            rc = self._chaos.infect_runtime(
+                rc,
+                collapse=collapse,
+                crash=crash,
+                num_devices=rc.sharding.num_devices if rc.pooled else 1,
+            )
         if req.kind == "self":
             plan = compile_self_join(index, rc, index_reused=ticket.cache_hit)
         else:
@@ -490,13 +810,37 @@ class JoinService:
             plan = compile_similarity_join(
                 index, queries, rc, index_reused=ticket.cache_hit
             )
-        if rc.pooled:
-            # one shared pool: pooled plans serialize on it, and arm_pool
-            # re-arms device health per run, so a pool degraded by one
-            # request's faults serves the next request whole again
-            with self._pool_mutex:
-                return Runner(pool=self._pool).run(plan)
-        return Runner().run(plan)
+        resume = attempt > 0 and plan.checkpoint_stage is not None
+        try:
+            if rc.pooled:
+                # one shared pool: pooled plans serialize on it, and
+                # arm_pool re-arms device health per run, so a pool
+                # degraded by one request's faults serves the next
+                # request whole again
+                with self._pool_mutex:
+                    runner = Runner(pool=self._pool)
+                    result = (
+                        runner.resume(plan, deadline_seconds=deadline_remaining)
+                        if resume
+                        else runner.run(plan, deadline_seconds=deadline_remaining)
+                    )
+            else:
+                runner = Runner()
+                result = (
+                    runner.resume(plan, deadline_seconds=deadline_remaining)
+                    if resume
+                    else runner.run(plan, deadline_seconds=deadline_remaining)
+                )
+        finally:
+            # the crashed attempt's durable writes count as overhead too
+            stats = runner.last_checkpoint_stats
+            if stats is not None:
+                with self._ckpt_lock:
+                    self._ckpt["writes"] += stats.writes
+                    self._ckpt["loads"] += stats.loads
+                    self._ckpt["bytes_written"] += stats.bytes_written
+                    self._ckpt["write_seconds"] += stats.write_seconds
+        return result
 
     def _adapt_to_pool(self, rc: RuntimeConfig) -> RuntimeConfig:
         """Fit a pooled request onto the service's shared device pool."""
@@ -534,7 +878,9 @@ class JoinService:
         between blocks so large result sets flow incrementally alongside
         other requests. Raises :class:`ServeError` if the request did not
         complete. Stopping early (``break`` / ``aclose()``) is the
-        streaming cancellation path.
+        streaming cancellation path. A chaos-registered slow client
+        stalls between blocks — the stall must never block the loop for
+        other requests.
         """
         response = await self.result(ticket)
         if not response.ok:
@@ -542,9 +888,10 @@ class JoinService:
                 f"request {ticket.request_id} ended {response.state}: "
                 f"{response.error or 'no result to stream'}"
             )
+        delay = self._chaos.stream_delay(ticket.request_id)
         for block in response.result.iter_pairs(chunk=chunk):
             yield block
-            await asyncio.sleep(0)
+            await asyncio.sleep(delay)
 
     def cancel(self, ticket: JoinTicket) -> bool:
         """Cooperatively cancel a request (see :meth:`JoinTicket.cancel`)."""
@@ -588,6 +935,7 @@ class JoinService:
                     "completed",
                     "failed",
                     "rejected",
+                    "rate_limited",
                     "cache_hits",
                     "pairs",
                     "estimated_pairs",
@@ -600,6 +948,8 @@ class JoinService:
     def snapshot(self) -> dict:
         """Accounting snapshot the :class:`~repro.profiling.ServiceReport`
         is built from (plain data; see ``repro.profiling.service_report``)."""
+        with self._ckpt_lock:
+            checkpoint = dict(self._ckpt)
         return {
             "counts": dict(self._counts),
             "queue_latencies": list(self._queue_latencies),
@@ -615,6 +965,11 @@ class JoinService:
             "pooled_runs": self._pooled_runs,
             "pool_busy_seconds": self._pool_busy_seconds,
             "pool_allocated_seconds": self._pool_allocated_seconds,
+            "checkpoint": checkpoint,
+            "chaos": (
+                self.config.chaos.describe() if self.config.chaos is not None else ""
+            ),
+            "breakers": {t: b.state for t, b in sorted(self._breakers.items())},
             "uptime_seconds": self._now(),
         }
 
@@ -623,3 +978,9 @@ class JoinService:
         from repro.profiling import service_report
 
         return service_report(self)
+
+    def chaos_report(self):
+        """The :class:`~repro.profiling.ChaosReport` for this service."""
+        from repro.profiling import chaos_report
+
+        return chaos_report(self)

@@ -78,3 +78,84 @@ def test_policy_validation():
         AdmissionPolicy(max_queue_depth=0)
     with pytest.raises(ValueError):
         AdmissionPolicy(max_estimated_pairs=0)
+
+
+# ---------------------------------------------------------------------
+# per-tenant protective machinery: rate limits, breakers, retry budgets
+
+
+def test_token_bucket_burst_then_dry():
+    from repro.serve import RateLimitPolicy, TokenBucket
+
+    bucket = TokenBucket(RateLimitPolicy(requests_per_second=0.0, burst=3))
+    assert [bucket.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+    # zero refill rate: deterministic no matter how much time passes
+    assert not bucket.try_take(1000.0)
+
+
+def test_token_bucket_refills_over_time():
+    from repro.serve import RateLimitPolicy, TokenBucket
+
+    bucket = TokenBucket(RateLimitPolicy(requests_per_second=2.0, burst=2))
+    assert bucket.try_take(0.0) and bucket.try_take(0.0)
+    assert not bucket.try_take(0.0)
+    assert bucket.try_take(0.5)  # 0.5s * 2/s = 1 token back
+    assert not bucket.try_take(0.5)
+    # refill caps at the burst
+    assert bucket.try_take(100.0) and bucket.try_take(100.0)
+    assert not bucket.try_take(100.0)
+
+
+def test_rate_limit_policy_validation():
+    from repro.serve import RateLimitPolicy
+
+    with pytest.raises(ValueError):
+        RateLimitPolicy(requests_per_second=-1.0)
+    with pytest.raises(ValueError):
+        RateLimitPolicy(burst=0)
+
+
+def test_circuit_breaker_opens_cools_probes_and_closes():
+    from repro.serve import CircuitBreaker, CircuitBreakerPolicy
+
+    b = CircuitBreaker(CircuitBreakerPolicy(failure_threshold=2, cooldown_seconds=10.0))
+    assert b.state == "closed" and b.allow(0.0)
+    b.record_failure(0.0)
+    assert b.state == "closed" and b.allow(0.0)
+    b.record_failure(1.0)
+    assert b.state == "open"
+    assert not b.allow(5.0)  # still cooling
+    assert b.allow(11.0)  # half-open probe admitted
+    assert b.state == "half_open"
+    b.record_failure(11.5)  # probe failed: straight back to open
+    assert b.state == "open"
+    assert b.allow(22.0)
+    b.record_success()
+    assert b.state == "closed" and b.consecutive_failures == 0
+
+
+def test_retry_budget_spends_and_credits():
+    from repro.serve import RetryBudget, RetryPolicy
+
+    budget = RetryBudget(RetryPolicy(max_attempts=3, budget=2.0, refill_per_success=0.5))
+    assert budget.try_acquire() and budget.try_acquire()
+    assert not budget.try_acquire()
+    for _ in range(2):
+        budget.credit()
+    assert budget.try_acquire()
+    assert not budget.try_acquire()
+    # credits cap at the configured budget
+    for _ in range(100):
+        budget.credit()
+    assert budget.tokens <= 2.0
+
+
+def test_retry_policy_validation():
+    from repro.serve import RetryPolicy
+
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(budget=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(refill_per_success=-0.1)

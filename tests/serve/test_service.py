@@ -343,3 +343,178 @@ def test_stop_without_drain_cancels_backlog(points):
         assert svc.log.count("shutdown") == 1
 
     asyncio.run(main())
+
+
+# ------------------------------------------------------------ protection
+def test_rate_limited_submit_rejects_terminally(points):
+    from repro.serve import RateLimitPolicy
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        tickets = [
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+            for _ in range(4)
+        ]
+        responses = [await svc.result(t) for t in tickets]
+        limited = [r for r in responses if r.state == "rejected"]
+        assert len(limited) == 2
+        assert all("rate_limited" in r.error for r in limited)
+        assert svc.log.count("rate_limited") == 2
+        snap = svc.snapshot()
+        assert snap["counts"]["rate_limited"] == 2
+        assert snap["tenants"]["default"]["rate_limited"] == 2
+        # the report surfaces the protection counters
+        assert "rate-limited" in svc.report().render()
+
+    serve(
+        body,
+        ServeConfig(rate_limit=RateLimitPolicy(requests_per_second=0.0, burst=2)),
+    )
+
+
+def test_rate_limit_is_per_tenant(points):
+    from repro.serve import RateLimitPolicy
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        a = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS, tenant="a"))
+        b = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS, tenant="b"))
+        ra, rb = await svc.result(a), await svc.result(b)
+        assert ra.state == "done" and rb.state == "done"
+
+    serve(
+        body,
+        ServeConfig(rate_limit=RateLimitPolicy(requests_per_second=0.0, burst=1)),
+    )
+
+
+def test_circuit_breaker_opens_after_failures(points):
+    from repro.serve import CircuitBreakerPolicy
+
+    async def body(svc):
+        svc.register_dataset("u", points)
+        bad = RuntimeConfig(
+            sharding=ShardingConfig(num_devices=2),
+            fault_plan=FaultPlan(
+                failures=tuple(DeviceFailure(device_id=d) for d in range(2))
+            ),
+        )
+        for _ in range(2):
+            r = await svc.run(JoinRequest(dataset="u", epsilon=_EPS, runtime=bad))
+            assert r.state == "failed"
+        tripped = await svc.run(JoinRequest(dataset="u", epsilon=_EPS))
+        assert tripped.state == "rejected"
+        assert "circuit_open" in tripped.error
+        assert svc.log.count("circuit_open") == 1
+        assert svc.snapshot()["breakers"]["default"] == "open"
+        # other tenants are unaffected
+        other = await svc.run(
+            JoinRequest(dataset="u", epsilon=_EPS, tenant="other")
+        )
+        assert other.state == "done"
+
+    serve(
+        body,
+        ServeConfig(
+            circuit_breaker=CircuitBreakerPolicy(
+                failure_threshold=2, cooldown_seconds=1000.0
+            )
+        ),
+    )
+
+
+# ------------------------------------------------------------ deadlines
+def test_execution_deadline_times_out_terminally(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        r = await svc.run(
+            JoinRequest(dataset="u", epsilon=_EPS, deadline_seconds=1e-9)
+        )
+        assert r.state == "timeout"
+        assert "deadline" in r.error
+        assert svc.snapshot()["counts"]["timeout"] == 1
+        # the service keeps serving afterwards
+        ok = await svc.run(JoinRequest(dataset="u", epsilon=_EPS))
+        assert ok.state == "done"
+
+    serve(body)
+
+
+def test_generous_deadline_completes_normally(points, expected_pairs):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        r = await svc.run(
+            JoinRequest(dataset="u", epsilon=_EPS, deadline_seconds=3600.0)
+        )
+        assert r.state == "done"
+        np.testing.assert_array_equal(r.result.sorted_pairs(), expected_pairs)
+
+    serve(body)
+
+
+# ------------------------------------------------------------ shutdown
+def test_drain_stops_admissions_but_finishes_backlog(points):
+    async def main():
+        svc = JoinService(ServeConfig(admission=AdmissionPolicy(max_concurrency=1)))
+        await svc.start()
+        svc.register_dataset("u", points)
+        tickets = [
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+            for _ in range(3)
+        ]
+        stopper = asyncio.create_task(svc.stop(drain=True))
+        await asyncio.sleep(0.01)
+        # mid-drain: new work is rejected terminally, never queued
+        late = await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+        late_response = await svc.result(late)
+        assert late_response.state == "rejected"
+        assert "draining" in late_response.error
+        await stopper
+        states = [(await svc.result(t)).state for t in tickets]
+        assert states == ["done", "done", "done"]
+        kinds = [e.kind for e in svc.log.events]
+        assert "drain" in kinds and kinds.index("drain") < kinds.index("shutdown")
+
+    asyncio.run(main())
+
+
+def test_stop_timeout_cancels_what_drain_could_not_finish(points):
+    async def main():
+        svc = JoinService(ServeConfig(admission=AdmissionPolicy(max_concurrency=1)))
+        await svc.start()
+        svc.register_dataset("u", points)
+        svc.pause_dispatch()  # wedge dispatch so the backlog cannot drain...
+        tickets = [
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+            for _ in range(3)
+        ]
+        svc.pause_dispatch()
+        # ...except stop() re-opens the gate; the tiny timeout still cuts
+        # the drain short, and every ticket must resolve terminally
+        await svc.stop(drain=True, timeout=0.0)
+        states = [(await svc.result(t)).state for t in tickets]
+        assert all(s in ("done", "cancelled") for s in states)
+        assert svc.log.count("shutdown") == 1
+
+    asyncio.run(main())
+
+
+def test_shutdown_resolves_every_pending_ticket(points):
+    async def main():
+        svc = JoinService(ServeConfig(admission=AdmissionPolicy(max_concurrency=1)))
+        await svc.start()
+        svc.register_dataset("u", points)
+        svc.pause_dispatch()  # nothing ever dispatches
+        tickets = [
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS))
+            for _ in range(4)
+        ]
+        await svc.stop(drain=False)
+        responses = await asyncio.wait_for(
+            asyncio.gather(*(svc.result(t) for t in tickets)), timeout=5.0
+        )
+        assert all(r.state == "cancelled" for r in responses)
+        assert all(t.done for t in tickets)
+        assert svc.log.count("shutdown") == 1
+
+    asyncio.run(main())
