@@ -1,51 +1,24 @@
-"""Ablation — result buffer capacity bs.
+#!/usr/bin/env python
+"""Result-buffer capacity ablation.
 
-The paper fixes bs = 1e8 pairs. Sweeping the (bench-scaled) capacity shows
-the trade-off the batching scheme navigates: small buffers → many batches
-→ launch/pipeline overhead; huge buffers → no transfer overlap (and, on a
-real device, memory pressure).
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_buffer``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run ablations --size small --filter abl_buffer
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
+from pathlib import Path
 
-from repro.core import PRESETS
-from repro.util import Table, format_seconds
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-DS, EPS = "Expo2D2M", 0.01
-CAPACITIES = (200_000, 500_000, 2_000_000, 20_000_000)
+from repro.bench.cli import standalone_main
 
-
-@pytest.mark.parametrize("capacity", CAPACITIES)
-def test_buffer_capacity(benchmark, ctx, capacity):
-    profile = ctx.profile(DS, EPS)
-    cfg = PRESETS["workqueue"].with_(batch_result_capacity=capacity)
-    run = benchmark.pedantic(
-        ctx.model.estimate, args=(profile, cfg), rounds=3, iterations=1
-    )
-    benchmark.extra_info.update(
-        capacity=capacity,
-        batches=run.num_batches,
-        simulated_seconds=run.total_seconds,
-    )
-    assert run.num_batches >= 1
-
-
-def test_report_buffer(ctx, capsys):
-    profile = ctx.profile(DS, EPS)
-    t = Table(
-        ["capacity (pairs)", "batches", "simulated time"],
-        title=f"Buffer-capacity ablation — {DS} eps={EPS}, WORKQUEUE",
-    )
-    runs = []
-    for cap in CAPACITIES:
-        cfg = PRESETS["workqueue"].with_(batch_result_capacity=cap)
-        run = ctx.model.estimate(profile, cfg)
-        runs.append(run)
-        t.add_row([cap, run.num_batches, format_seconds(run.total_seconds)])
-    with capsys.disabled():
-        print("\n" + t.render())
-    # more capacity -> no more batches
-    batch_counts = [r.num_batches for r in runs]
-    assert batch_counts == sorted(batch_counts, reverse=True)
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_buffer"))

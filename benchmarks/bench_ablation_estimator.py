@@ -1,55 +1,24 @@
-"""Ablation — result-size estimator sampling rate.
+#!/usr/bin/env python
+"""Selectivity-estimator ablation.
 
-The paper fixes 1 % sampling. This bench sweeps the rate and reports
-estimate error and the resulting batch counts for both estimator variants
-(strided vs head-of-D'), confirming the head estimator's deliberate
-overestimation at every rate.
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_estimator``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run ablations --size small --filter abl_estimator
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
+from pathlib import Path
 
-from repro.util import Table
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-DS, EPS = "Expo2D2M", 0.01
-RATES = (0.001, 0.01, 0.05, 0.2)
+from repro.bench.cli import standalone_main
 
-
-@pytest.mark.parametrize("rate", RATES)
-def test_strided_estimator(benchmark, ctx, rate):
-    profile = ctx.profile(DS, EPS)
-    est = benchmark.pedantic(
-        profile.estimate_strided, args=(rate,), rounds=3, iterations=1
-    )
-    true = profile.total_result_size()
-    benchmark.extra_info.update(
-        rate=rate, estimate=est, true=true, rel_error=round(est / true - 1, 4)
-    )
-    assert 0.3 * true <= est <= 3.0 * true
-
-
-@pytest.mark.parametrize("rate", RATES)
-def test_head_estimator_overestimates(benchmark, ctx, rate):
-    profile = ctx.profile(DS, EPS)
-    est = benchmark.pedantic(
-        profile.estimate_head, args=(rate, "full"), rounds=3, iterations=1
-    )
-    true = profile.total_result_size()
-    benchmark.extra_info.update(rate=rate, estimate=est, true=true)
-    assert est >= true, "head-of-D' sampling must overestimate (safety property)"
-
-
-def test_report_estimator(ctx, capsys):
-    profile = ctx.profile(DS, EPS)
-    true = profile.total_result_size()
-    t = Table(
-        ["rate", "strided est", "strided err", "head est", "head over-factor"],
-        title=f"Estimator ablation — {DS} eps={EPS} (true |R|={true})",
-    )
-    for rate in RATES:
-        s = profile.estimate_strided(rate)
-        h = profile.estimate_head(rate, "full")
-        t.add_row([rate, s, f"{s / true - 1:+.2%}", h, f"{h / true:.2f}x"])
-    with capsys.disabled():
-        print("\n" + t.render())
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_estimator"))

@@ -1,71 +1,24 @@
-"""Ablation — warp replay fidelity: aggregate vs lockstep.
+#!/usr/bin/env python
+"""Replay-fidelity (aggregate vs lockstep) ablation.
 
-The analytic model (and the VM's default replay) assume threads
-reconverge at control-flow region boundaries; the `lockstep` replay
-serializes event by event, an upper bound on real divergence cost. This
-bench quantifies the gap on a skewed workload and — the important part —
-verifies the paper's conclusions are fidelity-invariant: the work-queue
-beats the baseline under *both* replay semantics.
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_fidelity``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run ablations --size small --filter abl_fidelity
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
+import sys
+from pathlib import Path
 
-from repro.bench.experiments import bench_device
-from repro.core import PRESETS, SelfJoin
-from repro.util import Table
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from conftest import BenchContext  # noqa: F401  (shared session fixture module)
+from repro.bench.cli import standalone_main
 
-N = 3000
-
-
-@pytest.fixture(scope="module")
-def skewed_points():
-    rng = np.random.default_rng(12)
-    return np.concatenate(
-        [rng.normal(1.2, 0.15, (N // 2, 2)), rng.uniform(0, 6, (N // 2, 2))]
-    )
-
-
-@pytest.mark.parametrize("mode", ["aggregate", "lockstep"])
-@pytest.mark.parametrize("preset", ["gpucalcglobal", "workqueue"])
-def test_replay_mode(benchmark, skewed_points, mode, preset):
-    join = SelfJoin(PRESETS[preset], device=bench_device(), seed=3, replay_mode=mode)
-    res = benchmark.pedantic(join.execute, args=(skewed_points, 0.3), rounds=1, iterations=1)
-    benchmark.extra_info.update(
-        mode=mode,
-        preset=preset,
-        kernel_seconds=res.kernel_seconds,
-        wee_percent=round(100 * res.warp_execution_efficiency, 2),
-    )
-
-
-def test_report_fidelity(skewed_points, capsys):
-    t = Table(
-        ["preset", "aggregate kernel", "lockstep kernel", "gap"],
-        title="Replay-fidelity ablation (skewed 2-D)",
-    )
-    times = {}
-    for preset in ("gpucalcglobal", "workqueue"):
-        row = [preset]
-        for mode in ("aggregate", "lockstep"):
-            res = SelfJoin(
-                PRESETS[preset], device=bench_device(), seed=3, replay_mode=mode
-            ).execute(skewed_points, 0.3)
-            times[(preset, mode)] = res.kernel_seconds
-            row.append(f"{res.kernel_seconds:.3e}s")
-        row.append(
-            f"{times[(preset, 'lockstep')] / times[(preset, 'aggregate')]:.2f}x"
-        )
-        t.add_row(row)
-    with capsys.disabled():
-        print("\n" + t.render())
-
-    for preset in ("gpucalcglobal", "workqueue"):
-        assert times[(preset, "lockstep")] >= times[(preset, "aggregate")]
-    # fidelity-invariance of the paper's conclusion
-    for mode in ("aggregate", "lockstep"):
-        assert times[("workqueue", mode)] < times[("gpucalcglobal", mode)]
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_fidelity"))

@@ -1,86 +1,24 @@
-"""Ablation — warp issue order in isolation.
+#!/usr/bin/env python
+"""Warp-scheduler issue-order ablation.
 
-DESIGN.md calls out that WORKQUEUE = SORTBYWL's warp *composition* plus a
-forced most-work-first *issue order*. This bench isolates the second
-factor: identical warp durations (from the workload-sorted batch) are
-scheduled under FIFO, random, and LPT (most-work-first) orders.
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_scheduler``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run ablations --size small --filter abl_scheduler
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import run_gpu_cell
+import sys
+from pathlib import Path
 
-import numpy as np
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.core import PRESETS
-from repro.perfmodel.warps import model_batch_warps
-from repro.bench.experiments import bench_device
-from repro.simt import CostParams, makespan
+from repro.bench.cli import standalone_main
 
-DS, EPS = "Expo2D2M", 0.01
-
-
-@pytest.mark.parametrize("order", ["fifo", "random", "workload_desc"])
-def test_issue_order_makespan(benchmark, ctx, order):
-    profile = ctx.profile(DS, EPS)
-    costs = CostParams()
-    m = model_batch_warps(
-        profile,
-        profile.sorted_order("full"),
-        k=1,
-        pattern="full",
-        costs=costs,
-        work_queue=False,
-    )
-    durations = m.durations_with_launch(costs)
-    slots = bench_device().warp_slots
-    result = benchmark.pedantic(
-        makespan, args=(durations, slots), kwargs=dict(order=order, seed=1),
-        rounds=3, iterations=1,
-    )
-    benchmark.extra_info.update(
-        order=order, makespan_cycles=result.makespan_cycles,
-        slot_imbalance=round(result.slot_imbalance, 4),
-    )
-
-
-def test_lpt_beats_random_on_sorted_warps(ctx, capsys):
-    profile = ctx.profile(DS, EPS)
-    costs = CostParams()
-    m = model_batch_warps(
-        profile, profile.sorted_order("full"), k=1, pattern="full",
-        costs=costs, work_queue=False,
-    )
-    durations = m.durations_with_launch(costs)
-    slots = bench_device().warp_slots
-    spans = {
-        order: makespan(durations, slots, order=order, seed=1).makespan_cycles
-        for order in ("fifo", "random", "workload_desc")
-    }
-    with capsys.disabled():
-        print("\nIssue-order ablation (cycles):", {k: f"{v:.3g}" for k, v in spans.items()})
-    assert spans["workload_desc"] <= spans["random"]
-    # sorted data + FIFO ≈ LPT: the queue's trick. Not exactly equal —
-    # warp durations also carry emission/cell-traversal costs that are not
-    # perfectly monotone in the candidate workload the sort used.
-    assert np.isclose(spans["workload_desc"], spans["fifo"], rtol=0.02)
-    assert spans["fifo"] <= spans["random"]
-
-
-def test_config_level_effect(benchmark, ctx):
-    """End-to-end: workqueue (composition + order) vs sortbywl (composition
-    only, random order)."""
-    sort_run = ctx.model.estimate(
-        ctx.profile(DS, EPS), PRESETS["sortbywl"].with_(batch_result_capacity=2_000_000)
-    )
-    queue_run = benchmark.pedantic(
-        ctx.model.estimate,
-        args=(ctx.profile(DS, EPS), PRESETS["workqueue"].with_(batch_result_capacity=2_000_000)),
-        rounds=3, iterations=1,
-    )
-    benchmark.extra_info.update(
-        sortbywl_seconds=sort_run.total_seconds,
-        workqueue_seconds=queue_run.total_seconds,
-    )
-    assert queue_run.total_seconds <= sort_run.total_seconds * 1.02
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_scheduler"))

@@ -1,56 +1,24 @@
-"""Ablation — robustness of the headline orderings to cost constants.
+#!/usr/bin/env python
+"""Cost-constant sensitivity ablation.
 
-EXPERIMENTS.md documents two calibrated throughput constants. This bench
-perturbs *every* cost constant ×0.5 / ×2 and asserts the paper's two core
-orderings never flip on the skewed workload:
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_sensitivity``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-- WORKQUEUE faster than GPUCALCGLOBAL,
-- LID-UNICOMP faster than GPUCALCGLOBAL.
+    python -m repro.bench suite run ablations --size small --filter abl_sensitivity
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
+from pathlib import Path
 
-from repro.core import PRESETS
-from repro.perfmodel.sensitivity import sweep_cost_sensitivity
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-DS, EPS = "Expo2D2M", 0.01
+from repro.bench.cli import standalone_main
 
-PAIRS = {
-    "queue-vs-baseline": ("workqueue", "gpucalcglobal"),
-    "lid-vs-baseline": ("lidunicomp", "gpucalcglobal"),
-}
-
-
-@pytest.mark.parametrize("pair", sorted(PAIRS))
-def test_ordering_robust(benchmark, ctx, pair):
-    fast, slow = PAIRS[pair]
-    profile = ctx.profile(DS, EPS)
-    report = benchmark.pedantic(
-        sweep_cost_sensitivity,
-        args=(profile, {fast: PRESETS[fast], slow: PRESETS[slow]}),
-        kwargs=dict(device=ctx.model.device),
-        rounds=1,
-        iterations=1,
-    )
-    benchmark.extra_info.update(
-        pair=pair,
-        baseline_order=report.baseline_order,
-        flips=len(report.flips),
-        cells=report.cells_checked,
-    )
-    assert report.baseline_order[0] == fast
-    assert report.is_robust, report.render()
-
-
-def test_report_sensitivity(ctx, capsys):
-    profile = ctx.profile(DS, EPS)
-    report = sweep_cost_sensitivity(
-        profile,
-        {name: PRESETS[name] for name in ("gpucalcglobal", "lidunicomp", "workqueue")},
-        device=ctx.model.device,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-    assert report.baseline_order[-1] == "gpucalcglobal"
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_sensitivity"))

@@ -1,76 +1,24 @@
-"""Ablation — warp size sensitivity.
+#!/usr/bin/env python
+"""Warp-width ablation.
 
-The paper's optimizations exist because 32 threads execute in lock-step.
-Sweeping the simulated warp size quantifies that premise: with 1-thread
-"warps" there is no intra-warp imbalance and the baseline catches up with
-the work-queue; wider warps amplify the gap.
+Thin shim over the unified harness: runs suite ``ablations`` filtered to ``abl_warpsize``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run ablations --size small --filter abl_warpsize
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
+from pathlib import Path
 
-from repro.core import PRESETS
-from repro.perfmodel import PerformanceModel
-from repro.simt import DeviceSpec
-from repro.util import Table, format_seconds
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-DS, EPS = "Expo2D2M", 0.01
-WARP_SIZES = (1, 8, 32, 64)
+from repro.bench.cli import standalone_main
 
-
-def device_with_warp(ws: int) -> DeviceSpec:
-    # hold lane count (ws * slots) constant so throughput is comparable;
-    # bench-scaled SM count (see repro.bench.experiments.bench_device)
-    return DeviceSpec(
-        name=f"sim-warp{ws}", warp_size=ws, num_sms=14, warps_per_sm_slot=max(1, 64 // ws)
-    )
-
-
-@pytest.mark.parametrize("warp_size", WARP_SIZES)
-@pytest.mark.parametrize("config", ["gpucalcglobal", "workqueue"])
-def test_warp_size(benchmark, ctx, warp_size, config):
-    model = PerformanceModel(device=device_with_warp(warp_size), seed=0)
-    profile = ctx.profile(DS, EPS)
-    cfg = PRESETS[config].with_(batch_result_capacity=2_000_000)
-    run = benchmark.pedantic(
-        model.estimate, args=(profile, cfg), rounds=3, iterations=1
-    )
-    benchmark.extra_info.update(
-        warp_size=warp_size,
-        config=config,
-        simulated_seconds=run.total_seconds,
-        wee_percent=round(100 * run.warp_execution_efficiency, 2),
-    )
-
-
-def test_report_warpsize(ctx, capsys):
-    profile = ctx.profile(DS, EPS)
-    t = Table(
-        ["warp size", "baseline time", "baseline WEE", "queue time", "queue WEE"],
-        title=f"Warp-size ablation — {DS} eps={EPS}",
-    )
-    gaps = {}
-    for ws in WARP_SIZES:
-        model = PerformanceModel(device=device_with_warp(ws), seed=0)
-        base = model.estimate(
-            profile, PRESETS["gpucalcglobal"].with_(batch_result_capacity=2_000_000)
-        )
-        queue = model.estimate(
-            profile, PRESETS["workqueue"].with_(batch_result_capacity=2_000_000)
-        )
-        gaps[ws] = base.kernel_seconds / queue.kernel_seconds
-        t.add_row(
-            [
-                ws,
-                format_seconds(base.total_seconds),
-                f"{100 * base.warp_execution_efficiency:.1f}%",
-                format_seconds(queue.total_seconds),
-                f"{100 * queue.warp_execution_efficiency:.1f}%",
-            ]
-        )
-    with capsys.disabled():
-        print("\n" + t.render())
-    # lock-step is the whole story: wide warps must show a larger
-    # baseline-vs-queue gap than 1-thread warps
-    assert gaps[32] > gaps[1]
+if __name__ == "__main__":
+    sys.exit(standalone_main("ablations", pattern="abl_warpsize"))

@@ -1,212 +1,24 @@
-"""Checkpoint overhead + crash/resume equivalence drill.
+#!/usr/bin/env python
+"""Checkpoint journaling overhead + crash/resume bit-identity.
 
-Measures what durable checkpointing costs on top of a plain pooled join —
-wall-clock overhead and bytes journaled per run — and proves the two
-acceptance properties of the checkpoint subsystem:
+Thin shim over the unified harness: runs suite ``checkpoint``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-1. **resume identity** — a run killed at shard *k* (host-process crash,
-   :class:`~repro.resilience.faults.CrashPoint`) and resumed from its
-   journal produces pairs and a ``ScheduleTrace`` signature bit-identical
-   to the uninterrupted golden run, for every ``k`` and for both self and
-   bipartite joins;
-2. **bounded overhead** — checkpointing never changes the answer, and the
-   journal is cleaned up after a completed run.
+    python -m repro.bench suite run checkpoint --size small
 
-Everything lands in a JSON file; exits nonzero if any property fails —
-this is the CI chaos-job smoke.
-
-Standalone (not a pytest-benchmark file)::
-
-    PYTHONPATH=src python benchmarks/bench_checkpoint_overhead.py --quick
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import tempfile
-import time
 from pathlib import Path
 
-from repro.data.synthetic import exponential, uniform
-from repro.grid import GridIndex
-from repro.resilience import (
-    CheckpointStore,
-    CrashPoint,
-    FaultPlan,
-    SimulatedCrashError,
-)
-from repro.runtime import (
-    CheckpointConfig,
-    Runner,
-    RuntimeConfig,
-    ShardingConfig,
-    compile_self_join,
-    compile_similarity_join,
-)
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-NUM_DEVICES = 3
-
-
-def make_datasets(quick: bool, seed: int):
-    n = 400 if quick else 1500
-    nq = 150 if quick else 500
-    return {
-        "points": exponential(n, 2, seed=seed, lam=2.0),
-        "queries": uniform(nq, 2, seed=seed + 1, low=0.0, high=1.0),
-        "epsilon": 0.08,
-    }
-
-
-def _pooled(**kw) -> RuntimeConfig:
-    return RuntimeConfig(sharding=ShardingConfig(num_devices=NUM_DEVICES), **kw)
-
-
-def _timed(fn, repeats: int):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return result, best
-
-
-def run_drill(data, seed: int, repeats: int):
-    rows = []
-    errors = []
-    index = GridIndex(data["points"], data["epsilon"])
-    plans = {
-        "self": lambda rc: compile_self_join(index, rc),
-        "bipartite": lambda rc: compile_similarity_join(index, data["queries"], rc),
-    }
-    for kind, compile_kind in plans.items():
-        golden_plan = compile_kind(_pooled())
-        golden, golden_wall = _timed(lambda: Runner().run(golden_plan), repeats)
-        num_shards = len(golden_plan.shard_stage.plan.shards)
-
-        with tempfile.TemporaryDirectory(prefix="ckpt-bench-") as tmp:
-            ck = CheckpointConfig(directory=tmp)
-
-            # overhead: the same run, journaling every shard fragment
-            def checkpointed():
-                runner = Runner()
-                out = runner.run(compile_kind(_pooled(checkpoint=ck)))
-                return out, runner.last_checkpoint_stats
-
-            (ck_result, stats), ck_wall = _timed(checkpointed, repeats)
-            if ck_result.pairs.tobytes() != golden.pairs.tobytes():
-                errors.append(f"{kind}: checkpointing changed the answer")
-            if CheckpointStore(tmp).runs():
-                errors.append(f"{kind}: journal not cleaned up after completion")
-
-            # crash at every k, resume, demand bit-identity
-            kills = []
-            for k in range(num_shards):
-                try:
-                    Runner().run(
-                        compile_kind(
-                            _pooled(
-                                fault_plan=FaultPlan(
-                                    seed=seed, crashes=(CrashPoint(at_shard=k),)
-                                ),
-                                checkpoint=ck,
-                            )
-                        )
-                    )
-                    errors.append(f"{kind}: crash at shard {k} did not fire")
-                    continue
-                except SimulatedCrashError:
-                    pass
-                resumed = Runner().resume(compile_kind(_pooled(checkpoint=ck)))
-                pairs_ok = resumed.pairs.tobytes() == golden.pairs.tobytes()
-                trace_ok = resumed.trace.signature() == golden.trace.signature()
-                if not pairs_ok:
-                    errors.append(f"{kind}: resume after kill@{k} changed pairs")
-                if not trace_ok:
-                    errors.append(f"{kind}: resume after kill@{k} changed trace")
-                kills.append({"k": k, "pairs_ok": pairs_ok, "trace_ok": trace_ok})
-
-        overhead = ck_wall - golden_wall
-        rows.append(
-            {
-                "kind": kind,
-                "num_shards": num_shards,
-                "num_pairs": int(golden.num_pairs),
-                "golden_wall_seconds": golden_wall,
-                "checkpointed_wall_seconds": ck_wall,
-                "overhead_seconds": overhead,
-                "overhead_percent": (
-                    100.0 * overhead / golden_wall if golden_wall > 0 else 0.0
-                ),
-                "bytes_written": stats.bytes_written,
-                "fragments_written": stats.writes,
-                "write_seconds": stats.write_seconds,
-                "kills": kills,
-            }
-        )
-        print(
-            f"{kind:>9}: {num_shards} shards, {golden.num_pairs} pairs | "
-            f"golden {golden_wall * 1e3:.1f}ms, checkpointed {ck_wall * 1e3:.1f}ms "
-            f"(+{rows[-1]['overhead_percent']:.1f}%), "
-            f"{stats.bytes_written} B journaled | "
-            f"{len(kills)}/{num_shards} kill points resumed bit-identical"
-        )
-    return rows, errors
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="CI smoke: smaller datasets"
-    )
-    parser.add_argument(
-        "--seed", type=int, default=7, help="dataset seed (default: %(default)s)"
-    )
-    parser.add_argument(
-        "--repeats",
-        type=int,
-        default=3,
-        help="timing repeats, best-of (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--out",
-        default="results/checkpoint_overhead.json",
-        help="JSON output path (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
-
-    data = make_datasets(args.quick, args.seed)
-    rows, errors = run_drill(data, args.seed, args.repeats)
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(
-            {
-                "quick": args.quick,
-                "seed": args.seed,
-                "num_devices": NUM_DEVICES,
-                "runs": rows,
-            },
-            indent=2,
-        )
-    )
-    print(f"\nwrote {out}")
-
-    if errors:
-        print("\nFAILED properties:", file=sys.stderr)
-        for e in errors:
-            print(f"  - {e}", file=sys.stderr)
-        return 1
-    total_kills = sum(len(r["kills"]) for r in rows)
-    print(
-        f"\nall properties passed: {total_kills} kill-and-resume runs "
-        "bit-identical to golden, journals cleaned up, answers unchanged"
-    )
-    return 0
-
+from repro.bench.cli import standalone_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(standalone_main("checkpoint"))

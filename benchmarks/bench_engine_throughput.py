@@ -1,201 +1,24 @@
-"""Engine throughput: the bulk-lane vectorized engine vs the interpreter.
+#!/usr/bin/env python
+"""Vectorized vs interpreted VM engine equivalence + throughput.
 
-Runs identical self-joins through both execution engines of the SIMT VM —
-``engine="interpreted"`` (the thread-at-a-time reference) and
-``engine="vectorized"`` (the bulk-lane fast path, :mod:`repro.simt.vectorized`)
-— at ``bench_fig9_cell_patterns.py`` scale, across the representative
-optimization presets (static, SORTBYWL, WORKQUEUE, k > 1, combined).
+Thin shim over the unified harness: runs suite ``core``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-Every row is an equivalence check, not just a stopwatch: the two engines
-must agree on the pairs *in buffer order*, on every batch's simulated
-cycles, seconds and warp execution efficiency, and on the end-to-end
-pipeline time. The script exits nonzero if any row diverges, or if the
-vectorized engine fails to be faster in aggregate — the acceptance
-property of the engine.
+    python -m repro.bench suite run core --size small
 
-Standalone (not a pytest-benchmark file)::
-
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import argparse
-import hashlib
-import json
 import sys
-import time
 from pathlib import Path
 
-import numpy as np
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.experiments import load_bench_dataset
-from repro.core import SelfJoin
-from repro.core.config import PRESETS
-from repro.grid import GridIndex
-from repro.runtime import RuntimeConfig
-
-#: presets spanning the optimization space: baseline, half-pattern,
-#: sorted + k-striding, WORKQUEUE with coop fetch, and everything at once
-CONFIG_NAMES = (
-    "gpucalcglobal",
-    "lidunicomp",
-    "sortbywl",
-    "workqueue_k8",
-    "combined",
-)
-
-#: fig9 datasets at mid-sweep ε — a populated grid with tens-to-hundreds
-#: of candidates per query, the regime the paper's figures sweep across
-DATASETS = (
-    ("Expo2D2M", 0.01),
-    ("Unif2D2M", 0.4),
-)
-
-
-def run_row(index: GridIndex, config_name: str, seed: int, reps: int) -> dict:
-    cfg = PRESETS[config_name]
-    timings: dict[str, float] = {}
-    results = {}
-    for engine in ("interpreted", "vectorized"):
-        join = SelfJoin(
-            runtime=RuntimeConfig(optimization=cfg, seed=seed, engine=engine)
-        )
-        best = float("inf")
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            results[engine] = join.execute_on_index(index)
-            best = min(best, time.perf_counter() - t0)
-        timings[engine] = best
-    return {
-        "config": config_name,
-        "results": results,
-        "interpreted_seconds": timings["interpreted"],
-        "vectorized_seconds": timings["vectorized"],
-        "speedup": timings["interpreted"] / max(timings["vectorized"], 1e-9),
-    }
-
-
-def check_row(row: dict) -> list[str]:
-    """Exact-equivalence gate: any mismatch is a correctness failure."""
-    a = row["results"]["interpreted"]
-    b = row["results"]["vectorized"]
-    where = f"{row['dataset']} {row['config']}"
-    errors = []
-    if not np.array_equal(a.pairs, b.pairs):
-        errors.append(f"pair mismatch (buffer order): {where}")
-    if len(a.batch_stats) != len(b.batch_stats):
-        errors.append(f"batch count mismatch: {where}")
-    else:
-        for i, (sa, sb) in enumerate(zip(a.batch_stats, b.batch_stats)):
-            if (sa.cycles, sa.seconds, sa.warp_execution_efficiency) != (
-                sb.cycles,
-                sb.seconds,
-                sb.warp_execution_efficiency,
-            ):
-                errors.append(f"batch {i} metric mismatch: {where}")
-                break
-    if a.total_seconds != b.total_seconds:
-        errors.append(f"pipeline time mismatch: {where}")
-    return errors
-
-
-def checksum(result) -> str:
-    """Order-sensitive digest of the result pairs — the equivalence witness."""
-    h = hashlib.sha256()
-    h.update(np.ascontiguousarray(result.pairs, dtype=np.int64).tobytes())
-    return h.hexdigest()[:16]
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="CI smoke: smaller datasets"
-    )
-    parser.add_argument(
-        "--out",
-        default="results/engine_throughput.json",
-        help="JSON output path (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="seed for datasets and issue-order shuffles (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--reps",
-        type=int,
-        default=None,
-        help="timing repetitions per engine, best-of (default: 1 quick, 2 full)",
-    )
-    args = parser.parse_args(argv)
-
-    reps = args.reps if args.reps is not None else (1 if args.quick else 2)
-    size = 1500 if args.quick else None  # None = full bench_fig9 scale
-    rows = []
-    errors: list[str] = []
-    header = (
-        f"{'dataset':>10} {'config':>14} {'pairs':>9} "
-        f"{'interp (s)':>11} {'vector (s)':>11} {'speedup':>8}"
-    )
-    print(header)
-    print("-" * len(header))
-    for dataset, eps in DATASETS:
-        points = load_bench_dataset(dataset, size=size, seed=args.seed)
-        index = GridIndex(points, eps)
-        for config_name in CONFIG_NAMES:
-            row = run_row(index, config_name, args.seed, reps)
-            row["dataset"] = dataset
-            row["epsilon"] = eps
-            row["num_points"] = len(points)
-            errors += check_row(row)
-            result = row.pop("results")["vectorized"]
-            row["num_pairs"] = int(len(result.pairs))
-            row["num_batches"] = len(result.batch_stats)
-            row["checksum"] = checksum(result)
-            rows.append(row)
-            print(
-                f"{dataset:>10} {config_name:>14} {row['num_pairs']:>9} "
-                f"{row['interpreted_seconds']:>11.3f} "
-                f"{row['vectorized_seconds']:>11.3f} "
-                f"{row['speedup']:>7.1f}x"
-            )
-
-    speedups = np.array([r["speedup"] for r in rows])
-    geomean = float(np.exp(np.log(speedups).mean()))
-    print(f"\ngeomean speedup: {geomean:.1f}x  (min {speedups.min():.1f}x, "
-          f"max {speedups.max():.1f}x)")
-    if geomean <= 1.0:
-        errors.append(f"vectorized engine not faster: geomean {geomean:.2f}x")
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(
-            {
-                "quick": args.quick,
-                "seed": args.seed,
-                "configs": list(CONFIG_NAMES),
-                "geomean_speedup": geomean,
-                "min_speedup": float(speedups.min()),
-                "max_speedup": float(speedups.max()),
-                "rows": rows,
-            },
-            indent=2,
-        )
-    )
-    print(f"wrote {out}")
-
-    if errors:
-        print("\nFAILED properties:", file=sys.stderr)
-        for e in errors:
-            print(f"  - {e}", file=sys.stderr)
-        return 1
-    print("\nall cross-checks passed: both engines bit-identical on pairs, "
-          "cycles and pipeline times; vectorized faster in aggregate")
-    return 0
-
+from repro.bench.cli import standalone_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(standalone_main("core"))

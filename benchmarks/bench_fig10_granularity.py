@@ -1,41 +1,24 @@
-"""Figure 10 — response time vs ε: k = 1 vs k = 8 (GPUCALCGLOBAL kernel).
+#!/usr/bin/env python
+"""Work granularity sweep (paper Fig. 10).
 
-Expected shape (paper Section IV-C): k = 8 pays off on heavy skewed
-workloads (Expo2D at large ε), is roughly neutral at small ε, and *hurts*
-on Unif6D where every thread re-pays the ≤3**6-cell traversal for tiny
-per-cell candidate counts.
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``fig10``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter fig10
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell, times_by_config
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.experiments import EXPERIMENTS
+from repro.bench.cli import standalone_main
 
-
-@pytest.mark.parametrize("dataset,eps,config", cells_of("fig10", selected_only=False))
-def test_fig10_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert run.total_seconds > 0
-
-
-def test_report_fig10(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "fig10"), kwargs=dict(selected_only=False),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    spec = EXPERIMENTS["fig10"]
-    # heavy exponential 2-D: k=8 must win at the top of the sweep
-    heavy_eps = spec.eps["Expo2D2M"][-1]
-    t = times_by_config(report, "Expo2D2M", heavy_eps)
-    assert t["k8"] < t["gpucalcglobal"]
-    # Unif6D: the cell-traversal duplication makes k=8 slower (paper's
-    # noted anomaly, reproduced)
-    for eps in spec.eps["Unif6D2M"]:
-        t = times_by_config(report, "Unif6D2M", eps)
-        assert t["k8"] > t["gpucalcglobal"], f"Unif6D eps={eps}"
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="fig10"))

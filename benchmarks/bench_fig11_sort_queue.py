@@ -1,43 +1,24 @@
-"""Figure 11 — response time vs ε: SORTBYWL and WORKQUEUE vs GPUCALCGLOBAL.
+#!/usr/bin/env python
+"""Sort-by-workload vs work queue (paper Fig. 11).
 
-Expected shape (paper Section IV-C): clear gains on the exponentially
-distributed datasets — growing with ε as workload variance grows — and no
-significant effect on the uniform datasets, where every point already has
-a similar workload. WORKQUEUE ≥ SORTBYWL (it adds the forced most-work-
-first execution order on top of the same warp packing).
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``fig11``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter fig11
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell, times_by_config
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.experiments import EXPERIMENTS
+from repro.bench.cli import standalone_main
 
-
-@pytest.mark.parametrize("dataset,eps,config", cells_of("fig11", selected_only=False))
-def test_fig11_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert run.total_seconds > 0
-
-
-def test_report_fig11(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "fig11"), kwargs=dict(selected_only=False),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    spec = EXPERIMENTS["fig11"]
-    # exponential data, heaviest ε: the queue must beat the baseline
-    for ds in ("Expo2D2M", "Expo6D2M"):
-        eps = spec.eps[ds][-1]
-        t = times_by_config(report, ds, eps)
-        assert t["workqueue"] < t["gpucalcglobal"], ds
-    # uniform data: no large effect either way (within 25%)
-    for ds in ("Unif2D2M",):
-        for eps in spec.eps[ds]:
-            t = times_by_config(report, ds, eps)
-            assert t["workqueue"] <= t["gpucalcglobal"] * 1.25, (ds, eps)
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="fig11"))

@@ -1,45 +1,24 @@
-"""Figure 12 — real-world datasets: work-queue combinations vs baselines.
+#!/usr/bin/env python
+"""Real-world dataset sweep (paper Fig. 12).
 
-Regenerates the paper's five subfigures (SW2DA/B, SW3DA/B, Gaia): response
-time vs ε for GPUCALCGLOBAL, SUPER-EGO and the WORKQUEUE combinations
-(plain, +LID-UNICOMP, +k8, and all combined).
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``fig12``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-Expected shape: the combined optimizations beat GPUCALCGLOBAL across
-nearly all scenarios, most at the largest workloads (big datasets / big
-ε); SUPER-EGO is competitive at light workloads.
+    python -m repro.bench suite run paper --size small --filter fig12
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_cpu_cell, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("fig12", selected_only=False))
-def test_fig12_cell(benchmark, ctx, dataset, eps, config):
-    if config == "superego":
-        row = run_cpu_cell(benchmark, ctx, dataset, eps)
-        assert row.seconds > 0
-    else:
-        run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-        assert run.total_seconds > 0
-
-
-def test_report_fig12(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "fig12"), kwargs=dict(selected_only=True),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    by_cell = {}
-    for r in report.rows:
-        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
-    wins = 0
-    for rows in by_cell.values():
-        if rows["combined"].seconds < rows["gpucalcglobal"].seconds:
-            wins += 1
-    # "outperforms GPUCALCGLOBAL across nearly all experimental scenarios"
-    assert wins >= 0.8 * len(by_cell), f"combined won only {wins}/{len(by_cell)}"
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="fig12"))

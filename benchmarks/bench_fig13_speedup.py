@@ -1,52 +1,24 @@
-"""Figure 13 — speedup summary of the combined optimizations.
+#!/usr/bin/env python
+"""End-to-end speedup summary (paper Fig. 13).
 
-Regenerates the paper's headline figure: speedup of WORKQUEUE +
-LID-UNICOMP + k8 over (a) SUPER-EGO and (b) GPUCALCGLOBAL across all
-datasets. The paper reports up to 10.7x / avg 2.5x vs SUPER-EGO and up to
-9.7x / avg 1.6x vs GPUCALCGLOBAL; at bench scale the *averages* land in
-the same bands (the extremes compress because the bench datasets carry
-milder skew than 2M+-point originals).
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``fig13``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter fig13
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_cpu_cell, run_gpu_cell
+import sys
+from pathlib import Path
 
-import numpy as np
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("fig13", selected_only=False))
-def test_fig13_cell(benchmark, ctx, dataset, eps, config):
-    if config == "superego":
-        row = run_cpu_cell(benchmark, ctx, dataset, eps)
-        assert row.seconds > 0
-    else:
-        run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-        assert run.total_seconds > 0
-
-
-def test_report_fig13(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "fig13"), kwargs=dict(selected_only=False),
-        rounds=1, iterations=1,
-    )
-    lines = [report.render(), "", "Speedups of `combined`:"]
-    stats = {}
-    for base in ("superego", "gpucalcglobal"):
-        sp = report.speedups(base)
-        vals = np.array([v["combined"] for v in sp.values() if "combined" in v])
-        stats[base] = vals
-        lines.append(
-            f"  vs {base}: avg {vals.mean():.2f}x, max {vals.max():.2f}x, "
-            f"min {vals.min():.2f}x  (paper: avg "
-            f"{'2.5x, max 10.7x' if base == 'superego' else '1.6x, max 9.7x'})"
-        )
-    with capsys.disabled():
-        print("\n" + "\n".join(lines))
-
-    # the headline claims, at bench scale: average speedup > 1 on both
-    # baselines, with meaningful peaks
-    assert stats["superego"].mean() > 1.3
-    assert stats["gpucalcglobal"].mean() > 1.2
-    assert stats["gpucalcglobal"].max() > 2.0
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="fig13"))

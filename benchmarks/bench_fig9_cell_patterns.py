@@ -1,48 +1,24 @@
-"""Figure 9 — response time vs ε for the three cell access patterns.
+#!/usr/bin/env python
+"""Cell-access patterns sweep (paper Fig. 9).
 
-Regenerates the paper's four subfigures (Expo2D, Expo6D, Unif2D, Unif6D)
-as response-time series over the ε sweep for GPUCALCGLOBAL, UNICOMP and
-LID-UNICOMP (k = 1).
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``fig9``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-Expected shape (paper Section IV-C): the half-patterns roughly halve the
-distance computations; LID-UNICOMP is the fastest in most scenarios, with
-UNICOMP occasionally regressing to GPUCALCGLOBAL on heavy exponential
-workloads.
+    python -m repro.bench suite run paper --size small --filter fig9
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("fig9", selected_only=False))
-def test_fig9_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert run.total_seconds > 0
-
-
-def test_report_fig9(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "fig9"), kwargs=dict(selected_only=False),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-    # shape assertion: LID-UNICOMP never slower than GPUCALCGLOBAL by more
-    # than a whisker, and strictly faster on the heavy exponential sweeps
-    from conftest import times_by_config
-
-    from repro.bench.experiments import EXPERIMENTS
-
-    spec = EXPERIMENTS["fig9"]
-    lid_wins = 0
-    cells = 0
-    for ds in spec.datasets:
-        for eps in spec.eps[ds]:
-            t = times_by_config(report, ds, eps)
-            cells += 1
-            if t["lidunicomp"] <= t["gpucalcglobal"] * 1.02:
-                lid_wins += 1
-    assert lid_wins >= cells * 0.75, "LID-UNICOMP should win in most scenarios"
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="fig9"))

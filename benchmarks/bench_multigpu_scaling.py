@@ -1,183 +1,24 @@
-"""Multi-device scaling: makespan, speedup and device execution efficiency.
+#!/usr/bin/env python
+"""Multi-device scaling, shard planning and DEE invariants.
 
-Runs the sharded self-join over pools of N ∈ {1, 2, 4, 8} simulated
-devices, for every shard planner × schedule mode, on two datasets:
+Thin shim over the unified harness: runs suite ``multigpu``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-- ``expo`` — the paper's exponentially distributed workload (Section
-  IV-A), heavy-tailed per-point work but *id-uncorrelated*: round-robin
-  point-striding is statistically balanced here;
-- ``stride_aliased`` — the adversarial case for striding: the heavy
-  points sit at ids ≡ 0 (mod period), as they would after interleaved or
-  ordered data arrival, so point-striding aliases them onto few shards
-  while the LPT planner stays level.
+    python -m repro.bench suite run multigpu --size small
 
-Every run is cross-checked pair-for-pair against the single-device
-SelfJoin. The script exits nonzero if results diverge, or if the balanced
-(LPT) planner fails to beat point-striding on device execution efficiency
-for the adversarial dataset — the acceptance property of the subsystem.
-
-Devices are deliberately small (8 warp slots): shard workloads then
-dominate busy time, so device-level imbalance is visible rather than
-hidden behind idle warp slots.
-
-Standalone (not a pytest-benchmark file)::
-
-    PYTHONPATH=src python benchmarks/bench_multigpu_scaling.py --quick
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
-import numpy as np
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.core import OptimizationConfig, SelfJoin
-from repro.data.adversarial import stride_aliased_hotspots
-from repro.data.synthetic import exponential
-from repro.multigpu import SCHEDULE_MODES, SHARD_PLANNERS, DevicePool, MultiGpuSelfJoin
-from repro.profiling import DeviceReport
-from repro.simt import DeviceSpec
-
-SMALL_DEVICE = DeviceSpec(name="sim-small", num_sms=4, warps_per_sm_slot=2)
-SHARDS_PER_DEVICE = 2
-
-
-def make_datasets(quick: bool, seed: int = 0) -> dict[str, tuple[np.ndarray, float]]:
-    n = 600 if quick else 2000
-    return {
-        "expo": (exponential(n, 2, seed=seed + 1), 0.02),
-        "stride_aliased": (
-            stride_aliased_hotspots(n, 2, period=8, seed=seed + 3),
-            2.0,
-        ),
-    }
-
-
-def run_grid(datasets, pool_sizes, config, seed=0) -> tuple[DeviceReport, list[str]]:
-    report = DeviceReport(title="multi-device scaling")
-    errors: list[str] = []
-    for name, (points, eps) in datasets.items():
-        reference = SelfJoin(config, device=SMALL_DEVICE, seed=seed).execute(
-            points, eps
-        )
-        for num_devices in pool_sizes:
-            pool = DevicePool(num_devices, spec=SMALL_DEVICE, seed=seed)
-            for planner in SHARD_PLANNERS:
-                for schedule in SCHEDULE_MODES:
-                    run = MultiGpuSelfJoin(
-                        config,
-                        pool=pool,
-                        planner=planner,
-                        schedule=schedule,
-                        shards_per_device=SHARDS_PER_DEVICE,
-                        seed=seed,
-                    ).execute(points, eps)
-                    report.add_run(run, dataset=name, epsilon=eps)
-                    if not np.array_equal(
-                        run.sorted_pairs(), reference.sorted_pairs()
-                    ):
-                        errors.append(
-                            f"result mismatch: {name} N={num_devices} "
-                            f"{planner}/{schedule}"
-                        )
-    return report, errors
-
-
-def check_balanced_beats_strided(report: DeviceReport, dataset: str) -> list[str]:
-    """The acceptance property: on id-correlated skew, the LPT planner must
-    deliver strictly higher device execution efficiency than striding."""
-    errors = []
-    dee = {
-        (r.num_devices, r.planner, r.schedule): r.dee_percent
-        for r in report.rows
-        if r.dataset == dataset
-    }
-    for (n, planner, schedule), value in sorted(dee.items()):
-        if n == 1 or planner != "strided":
-            continue
-        balanced = dee[(n, "balanced", schedule)]
-        if not balanced > value:
-            errors.append(
-                f"balanced DEE {balanced:.1f}% not above strided {value:.1f}% "
-                f"({dataset}, N={n}, {schedule})"
-            )
-    return errors
-
-
-def print_scaling(report: DeviceReport, datasets, pool_sizes) -> None:
-    print("\nScaling (dynamic schedule, makespan vs N=1 of the same planner):")
-    for name, (_, eps) in datasets.items():
-        for planner in SHARD_PLANNERS:
-            curve = report.scaling(name, eps, planner, "dynamic")
-            if 1 not in curve:
-                continue
-            base = curve[1]
-            cells = [
-                f"N={n}: {base / curve[n]:.2f}x ({100 * base / (curve[n] * n):.0f}% eff)"
-                for n in pool_sizes
-                if n in curve and curve[n] > 0
-            ]
-            print(f"  {name:>15} {planner:>11}  " + "  ".join(cells))
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="CI smoke: smaller data, N ≤ 4"
-    )
-    parser.add_argument(
-        "--out",
-        default="results/multigpu_scaling.json",
-        help="JSON output path (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="base seed for datasets, device executors and issue-order "
-        "shuffles (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
-
-    pool_sizes = (1, 2, 4) if args.quick else (1, 2, 4, 8)
-    datasets = make_datasets(args.quick, seed=args.seed)
-    config = OptimizationConfig(pattern="lidunicomp", work_queue=True, k=2)
-
-    report, errors = run_grid(datasets, pool_sizes, config, seed=args.seed)
-    print(report.render())
-    print_scaling(report, datasets, pool_sizes)
-    errors += check_balanced_beats_strided(report, "stride_aliased")
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(
-            {
-                "quick": args.quick,
-                "seed": args.seed,
-                "pool_sizes": list(pool_sizes),
-                "shards_per_device": SHARDS_PER_DEVICE,
-                "device": SMALL_DEVICE.name,
-                "config": config.describe(),
-                "rows": report.to_records(),
-            },
-            indent=2,
-        )
-    )
-    print(f"\nwrote {out}")
-
-    if errors:
-        print("\nFAILED properties:", file=sys.stderr)
-        for e in errors:
-            print(f"  - {e}", file=sys.stderr)
-        return 1
-    print("\nall cross-checks passed: merged results identical to single-device, "
-          "balanced planner above strided DEE on the adversarial dataset")
-    return 0
-
+from repro.bench.cli import standalone_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(standalone_main("multigpu"))

@@ -1,101 +1,24 @@
-"""Side-by-side with the paper's published numbers (Table V + Figure 13).
+#!/usr/bin/env python
+"""Measured speedups vs the paper's published directions.
 
-The single place where "paper said / we measured" is printed together and
-the headline bands are asserted. Ratios and orderings are compared —
-absolute seconds belong to different machines (see EXPERIMENTS.md).
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table5,fig13``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter table5,fig13
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, run_gpu_cell
+import sys
+from pathlib import Path
 
-import numpy as np
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.experiments import EXPERIMENTS
-from repro.bench.paper_reference import (
-    PAPER_HEADLINE_SPEEDUPS,
-    PAPER_TABLE5,
-    headline_bands,
-)
-from repro.core import PRESETS
-from repro.util import Table
+from repro.bench.cli import standalone_main
 
-# paper dataset -> (bench selected eps) mapping from the registry
-_SELECTED = EXPERIMENTS["table5"].selected_eps
-
-
-@pytest.mark.parametrize("cell", PAPER_TABLE5, ids=lambda c: c.dataset)
-def test_table5_cell_directions(benchmark, ctx, cell):
-    """Per-cell comparison with the paper's Table V: WEE direction and
-    speedup direction must match (gain where the paper gained, parity
-    where the paper saw parity)."""
-    eps = _SELECTED[cell.dataset]
-    base = run_gpu_cell(benchmark, ctx, cell.dataset, eps, "gpucalcglobal")
-    queue = ctx.model.estimate(
-        ctx.profile(cell.dataset, eps),
-        PRESETS["workqueue_k8"].with_(batch_result_capacity=10_000_000),
-    )
-    measured_speedup = base.total_seconds / queue.total_seconds
-    benchmark.extra_info.update(
-        dataset=cell.dataset,
-        paper_speedup=round(cell.speedup, 2),
-        measured_speedup=round(measured_speedup, 2),
-    )
-    if cell.speedup > 1.1:  # the paper gained clearly -> we must gain
-        assert measured_speedup > 1.0, cell.dataset
-    else:  # paper parity (Unif6D) -> we must not gain dramatically
-        assert measured_speedup < 2.0, cell.dataset
-
-
-def test_report_paper_comparison(ctx, capsys):
-    t = Table(
-        [
-            "dataset",
-            "paper WEE (base->queue)",
-            "measured WEE",
-            "paper speedup",
-            "measured speedup",
-        ],
-        title="Table V: paper vs measured (WORKQUEUE k=8 over GPUCALCGLOBAL)",
-    )
-    for cell in PAPER_TABLE5:
-        eps = _SELECTED[cell.dataset]
-        profile = ctx.profile(cell.dataset, eps)
-        base = ctx.model.estimate(
-            profile, PRESETS["gpucalcglobal"].with_(batch_result_capacity=10_000_000)
-        )
-        queue = ctx.model.estimate(
-            profile, PRESETS["workqueue_k8"].with_(batch_result_capacity=10_000_000)
-        )
-        t.add_row(
-            [
-                cell.dataset,
-                f"{cell.baseline_wee:.1f}% -> {cell.optimized_wee:.1f}%",
-                f"{100 * base.warp_execution_efficiency:.1f}% -> "
-                f"{100 * queue.warp_execution_efficiency:.1f}%",
-                f"{cell.speedup:.2f}x",
-                f"{base.total_seconds / queue.total_seconds:.2f}x",
-            ]
-        )
-    with capsys.disabled():
-        print("\n" + t.render())
-
-
-def test_headline_bands(ctx, capsys):
-    """Figure 13's averages must land within the documented bands of the
-    paper's 2.5x / 1.6x averages."""
-    report = build_report(ctx, "fig13", selected_only=False)
-    lines = []
-    for baseline in ("superego", "gpucalcglobal"):
-        sp = report.speedups(baseline)
-        vals = np.array([v["combined"] for v in sp.values() if "combined" in v])
-        lo, hi = headline_bands(baseline)
-        lines.append(
-            f"vs {baseline}: paper avg "
-            f"{PAPER_HEADLINE_SPEEDUPS[baseline]['avg']}x, measured avg "
-            f"{vals.mean():.2f}x (band [{lo:.2f}, {hi:.2f}])"
-        )
-        assert lo <= vals.mean() <= hi, lines[-1]
-    with capsys.disabled():
-        print("\n" + "\n".join(lines))
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table5,fig13"))

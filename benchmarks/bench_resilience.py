@@ -1,219 +1,24 @@
-"""Fault-injection drill: kill devices mid-run and prove the answer holds.
+#!/usr/bin/env python
+"""Fault-injection scenarios: merged pairs and traces must hold.
 
-Runs the sharded self-join over a 4-device pool under a battery of seeded
-fault scenarios — a device killed at its second shard, a 6× straggler, a
-flaky device with transient kernel errors, forced result-buffer
-overflows, and all of them at once — and checks the two acceptance
-properties of the resilience subsystem:
+Thin shim over the unified harness: runs suite ``resilience``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-1. **pair identity** — under every scenario, the merged result is
-   pair-for-pair identical to the fault-free single-device join;
-2. **replay determinism** — re-running a scenario with the same seed
-   reproduces the identical ``ScheduleTrace`` (same events, same kinds,
-   same times).
+    python -m repro.bench suite run resilience --size small
 
-Each scenario also prints its :class:`~repro.profiling.ResilienceReport`
-(retries, requeues, speculative wins, wasted device-seconds, degraded
-makespan) and everything lands in a JSON file. Exits nonzero if any
-property fails — this is the CI fault-injection smoke.
-
-Standalone (not a pytest-benchmark file)::
-
-    PYTHONPATH=src python benchmarks/bench_resilience.py --quick
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
-import numpy as np
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.core import OptimizationConfig, SelfJoin
-from repro.data.adversarial import dense_core_sparse_halo
-from repro.data.synthetic import exponential
-from repro.multigpu import MultiGpuSelfJoin
-from repro.profiling import resilience_report
-from repro.resilience import (
-    DeviceFailure,
-    FaultPlan,
-    ForcedOverflow,
-    RecoveryPolicy,
-    Straggler,
-    TransientFaults,
-)
-from repro.runtime import RuntimeConfig, ShardingConfig
-from repro.simt import DeviceSpec
-
-SMALL_DEVICE = DeviceSpec(name="sim-small", num_sms=4, warps_per_sm_slot=2)
-NUM_DEVICES = 4
-
-
-def make_scenarios(seed: int) -> dict[str, FaultPlan]:
-    return {
-        "fault_free": FaultPlan(seed=seed),
-        "kill_one_mid_run": FaultPlan(
-            seed=seed, failures=[DeviceFailure(device_id=1, at_shard=1)]
-        ),
-        "kill_two": FaultPlan(
-            seed=seed,
-            failures=[
-                DeviceFailure(device_id=0, at_shard=1),
-                DeviceFailure(device_id=2, at_shard=0),
-            ],
-        ),
-        "straggler_6x": FaultPlan(
-            seed=seed, stragglers=[Straggler(device_id=3, slowdown=6.0)]
-        ),
-        "flaky_device": FaultPlan(
-            seed=seed,
-            transients=[
-                TransientFaults(device_id=2, probability=0.7, max_failures=3)
-            ],
-        ),
-        "forced_overflow": FaultPlan(
-            seed=seed,
-            overflows=[ForcedOverflow(device_id=0, times=2, clamp_capacity=32)],
-        ),
-        "everything_at_once": FaultPlan(
-            seed=seed,
-            failures=[DeviceFailure(device_id=3, at_shard=1)],
-            stragglers=[Straggler(device_id=2, slowdown=4.0)],
-            transients=[
-                TransientFaults(device_id=1, probability=0.5, max_failures=2)
-            ],
-            overflows=[ForcedOverflow(device_id=0, times=1, clamp_capacity=64)],
-        ),
-    }
-
-
-def make_datasets(quick: bool, seed: int) -> dict[str, tuple[np.ndarray, float]]:
-    n = 400 if quick else 1500
-    return {
-        "expo": (exponential(n, 2, seed=seed + 1), 0.02),
-        "dense_core": (dense_core_sparse_halo(n, 2, seed=seed + 2), 0.9),
-    }
-
-
-def run_scenarios(datasets, scenarios, config, seed: int):
-    rows: list[dict] = []
-    errors: list[str] = []
-    for ds_name, (points, eps) in datasets.items():
-        reference = SelfJoin(config, device=SMALL_DEVICE, seed=seed).execute(
-            points, eps
-        )
-        ref_pairs = reference.sorted_pairs()
-        for sc_name, plan in scenarios.items():
-            def run_once():
-                return MultiGpuSelfJoin(
-                    runtime=RuntimeConfig(
-                        optimization=config,
-                        sharding=ShardingConfig(num_devices=NUM_DEVICES),
-                        device=SMALL_DEVICE,
-                        seed=seed,
-                        fault_plan=plan,
-                        recovery=RecoveryPolicy(),
-                    )
-                ).execute(points, eps)
-
-            result = run_once()
-            replay = run_once()
-
-            pair_ok = np.array_equal(result.sorted_pairs(), ref_pairs)
-            trace_ok = result.trace.signature() == replay.trace.signature()
-            if not pair_ok:
-                errors.append(f"pair mismatch: {ds_name} / {sc_name}")
-            if not trace_ok:
-                errors.append(f"non-deterministic trace: {ds_name} / {sc_name}")
-
-            rep = resilience_report(result)
-            print(f"\n=== {ds_name} / {sc_name}  [{plan.describe()}] ===")
-            print(rep.render())
-            status = "ok" if pair_ok and trace_ok else "FAILED"
-            print(f"pairs identical: {pair_ok}  |  trace replays: {trace_ok}"
-                  f"  ->  {status}")
-            rows.append(
-                {
-                    "dataset": ds_name,
-                    "scenario": sc_name,
-                    "faults": plan.describe(),
-                    "pair_identical": pair_ok,
-                    "trace_deterministic": trace_ok,
-                    "makespan_seconds": result.makespan_seconds,
-                    "fault_free_makespan_hint": None,
-                    **rep.to_record(),
-                }
-            )
-    # annotate degraded-mode slowdown relative to the fault-free pool run
-    by_ds: dict[str, float] = {
-        r["dataset"]: r["makespan_seconds"]
-        for r in rows
-        if r["scenario"] == "fault_free"
-    }
-    for r in rows:
-        base = by_ds.get(r["dataset"])
-        r["fault_free_makespan_hint"] = base
-        r["slowdown_vs_fault_free"] = (
-            r["makespan_seconds"] / base if base else None
-        )
-    return rows, errors
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="CI smoke: smaller datasets"
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=7,
-        help="seed for datasets, executors and the fault plans' transient "
-        "draws (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--out",
-        default="results/resilience.json",
-        help="JSON output path (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
-
-    datasets = make_datasets(args.quick, args.seed)
-    scenarios = make_scenarios(args.seed)
-    config = OptimizationConfig(pattern="lidunicomp", work_queue=True, k=2)
-
-    rows, errors = run_scenarios(datasets, scenarios, config, args.seed)
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(
-            {
-                "quick": args.quick,
-                "seed": args.seed,
-                "num_devices": NUM_DEVICES,
-                "device": SMALL_DEVICE.name,
-                "config": config.describe(),
-                "scenarios": rows,
-            },
-            indent=2,
-        )
-    )
-    print(f"\nwrote {out}")
-
-    if errors:
-        print("\nFAILED properties:", file=sys.stderr)
-        for e in errors:
-            print(f"  - {e}", file=sys.stderr)
-        return 1
-    print(
-        f"\nall {len(rows)} scenario runs passed: merged pairs identical to "
-        "the fault-free single-device join, traces replay exactly per seed"
-    )
-    return 0
-
+from repro.bench.cli import standalone_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(standalone_main("resilience"))

@@ -1,205 +1,24 @@
-"""Serving throughput: concurrent multi-tenant joins vs the direct Runner.
+#!/usr/bin/env python
+"""Multi-tenant serving throughput cross-checked against the Runner.
 
-Drives ``repro.serve.JoinService`` with T ∈ {1, 4, 16} tenants, each
-submitting the same mixed self/similarity workload over shared datasets,
-and reports wall-clock throughput, session-cache hit rate, queue latency
-percentiles and the per-tenant fairness spread from the ``ServiceReport``.
+Thin shim over the unified harness: runs suite ``serve``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-Every response is cross-checked pair-for-pair against a serial reference
-computed through the same compile → ``Runner`` pipeline the service uses
-internally, so a nonzero exit means the serving layer changed an answer.
-The script also fails if the session cache earns no hits (every workload
-repeats datasets, so reuse must kick in) or if the fairness spread across
-identically-loaded tenants leaves the unit band.
+    python -m repro.bench suite run serve --size small
 
-Standalone (not a pytest-benchmark file)::
-
-    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import argparse
-import asyncio
-import json
 import sys
-import time
 from pathlib import Path
 
-import numpy as np
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.data import exponential, uniform
-from repro.grid import GridIndex
-from repro.runtime import Runner, RuntimeConfig, compile_self_join, compile_similarity_join
-from repro.serve import AdmissionPolicy, JoinRequest, JoinService, ServeConfig
-
-TENANT_COUNTS = (1, 4, 16)
-EPS_SELF = 0.05
-EPS_SIM = 0.06
-
-
-def make_datasets(quick: bool, seed: int) -> dict[str, np.ndarray]:
-    n = 400 if quick else 1200
-    return {
-        "expo": exponential(n, 2, seed=seed + 1),
-        "unif": uniform(n, 2, seed=seed + 2, low=0.0, high=1.0),
-        "queries": uniform(n // 3, 2, seed=seed + 3, low=0.0, high=1.0),
-    }
-
-
-def workload(tenant: str, rounds: int) -> list[JoinRequest]:
-    """Identical per tenant: repeated datasets exercise the cache, the
-    self/similarity mix exercises both compile paths."""
-    out = []
-    for _ in range(rounds):
-        out.append(
-            JoinRequest(dataset="expo", epsilon=EPS_SELF, tenant=tenant, tag="self")
-        )
-        out.append(
-            JoinRequest(
-                dataset="unif",
-                epsilon=EPS_SIM,
-                kind="similarity",
-                query_dataset="queries",
-                tenant=tenant,
-                tag="sim",
-            )
-        )
-    return out
-
-
-def serial_reference(datasets: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-    runner = Runner()
-    self_plan = compile_self_join(
-        GridIndex(datasets["expo"], EPS_SELF), RuntimeConfig()
-    )
-    sim_plan = compile_similarity_join(
-        GridIndex(datasets["unif"], EPS_SIM), datasets["queries"], RuntimeConfig()
-    )
-    return {
-        "self": runner.run(self_plan).sorted_pairs(),
-        "sim": runner.run(sim_plan).sorted_pairs(),
-    }
-
-
-async def drive(
-    datasets: dict[str, np.ndarray], num_tenants: int, rounds: int
-) -> tuple[dict, list]:
-    config = ServeConfig(
-        admission=AdmissionPolicy(max_concurrency=4, max_queue_depth=4096),
-        cache_entries=8,
-    )
-    async with JoinService(config) as svc:
-        for name, pts in datasets.items():
-            svc.register_dataset(name, pts)
-        started = time.perf_counter()
-        tickets = []
-        for tenant in (f"t{i}" for i in range(num_tenants)):
-            for request in workload(tenant, rounds):
-                tickets.append(await svc.submit(request))
-        responses = await asyncio.gather(*(svc.result(t) for t in tickets))
-        wall = time.perf_counter() - started
-        report = svc.report()
-    row = {
-        "tenants": num_tenants,
-        "requests": len(tickets),
-        "wall_seconds": round(wall, 4),
-        "requests_per_second": round(len(tickets) / wall, 2),
-        "cache_hit_rate": round(report.cache_hit_rate, 4),
-        "queue_p50_seconds": round(report.queue_latency(50), 4),
-        "queue_p95_seconds": round(report.queue_latency(95), 4),
-        "fairness_spread": round(report.fairness_spread(), 4),
-        "completed": report.requests_completed,
-    }
-    return row, responses
-
-
-def check(row: dict, responses: list, reference: dict[str, np.ndarray]) -> list[str]:
-    errors = []
-    for response in responses:
-        if not response.ok:
-            errors.append(
-                f"T={row['tenants']}: request {response.request_id} "
-                f"ended {response.state}: {response.error}"
-            )
-            continue
-        expected = reference[response.tag]
-        if not np.array_equal(response.result.sorted_pairs(), expected):
-            errors.append(
-                f"T={row['tenants']}: {response.tag} pairs diverge from the "
-                f"direct Runner ({response.num_pairs} vs {len(expected)})"
-            )
-    if row["completed"] != row["requests"]:
-        errors.append(
-            f"T={row['tenants']}: {row['completed']}/{row['requests']} completed"
-        )
-    if row["cache_hit_rate"] <= 0:
-        errors.append(f"T={row['tenants']}: session cache earned no hits")
-    if not (0.99 <= row["fairness_spread"] <= 1.01):
-        errors.append(
-            f"T={row['tenants']}: fairness spread {row['fairness_spread']} "
-            "outside the unit band for identical workloads"
-        )
-    return errors
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="CI smoke: smaller data, fewer rounds"
-    )
-    parser.add_argument(
-        "--out",
-        default="results/serve_throughput.json",
-        help="JSON output path (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="dataset seed (default: %(default)s)"
-    )
-    args = parser.parse_args(argv)
-
-    rounds = 2 if args.quick else 4
-    datasets = make_datasets(args.quick, args.seed)
-    reference = serial_reference(datasets)
-
-    rows, errors = [], []
-    print(f"{'tenants':>8} {'reqs':>6} {'wall s':>8} {'req/s':>8} "
-          f"{'hit rate':>9} {'q p95 s':>8} {'spread':>7}")
-    for num_tenants in TENANT_COUNTS:
-        row, responses = asyncio.run(drive(datasets, num_tenants, rounds))
-        errors += check(row, responses, reference)
-        rows.append(row)
-        print(
-            f"{row['tenants']:>8} {row['requests']:>6} {row['wall_seconds']:>8.3f} "
-            f"{row['requests_per_second']:>8.1f} {row['cache_hit_rate']:>9.2%} "
-            f"{row['queue_p95_seconds']:>8.3f} {row['fairness_spread']:>7.3f}"
-        )
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(
-            {
-                "quick": args.quick,
-                "seed": args.seed,
-                "rounds_per_tenant": rounds,
-                "num_points": {k: len(v) for k, v in datasets.items()},
-                "rows": rows,
-            },
-            indent=2,
-        )
-    )
-    print(f"\nwrote {out}")
-
-    if errors:
-        print("\nFAILED properties:", file=sys.stderr)
-        for e in errors:
-            print(f"  - {e}", file=sys.stderr)
-        return 1
-    print("\nall cross-checks passed: every served response pair-identical to "
-          "the direct Runner, cache hits earned, fairness spread in band")
-    return 0
-
+from repro.bench.cli import standalone_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(standalone_main("serve"))

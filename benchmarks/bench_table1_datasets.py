@@ -1,37 +1,24 @@
-"""Table I — dataset inventory: generation benchmarks + the summary table.
+#!/usr/bin/env python
+"""Dataset inventory (paper Table 1).
 
-The paper's Table I lists each dataset's size and dimensionality; this
-bench regenerates the (bench-scaled) inventory and times the generators.
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table1``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter table1
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
+from pathlib import Path
 
-from repro.bench.experiments import DEFAULT_SIZES, bench_size, load_bench_dataset
-from repro.data import CATALOG
-from repro.util import Table
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("name", sorted(DEFAULT_SIZES))
-def test_generate_dataset(benchmark, name):
-    pts = benchmark.pedantic(
-        load_bench_dataset, args=(name,), kwargs=dict(seed=0), rounds=3, iterations=1
-    )
-    entry = CATALOG[name]
-    assert pts.shape == (bench_size(name), entry.ndim)
-    benchmark.extra_info.update(
-        dataset=name, paper_size=entry.paper_size, ndim=entry.ndim
-    )
-
-
-def test_render_table1(capsys):
-    t = Table(
-        ["dataset", "n", "paper |D|", "bench |D|", "distribution"],
-        title="Table I — dataset summary (bench scale)",
-    )
-    for name in sorted(DEFAULT_SIZES):
-        e = CATALOG[name]
-        t.add_row([name, e.ndim, e.paper_size, bench_size(name), e.distribution])
-    with capsys.disabled():
-        print("\n" + t.render())
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table1"))

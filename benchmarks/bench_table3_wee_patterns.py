@@ -1,39 +1,24 @@
-"""Table III — warp execution efficiency and time of the access patterns.
+#!/usr/bin/env python
+"""WEE by cell-access pattern (paper Table 3).
 
-Paper's observations to reproduce:
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table3``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
 
-- GPUCALCGLOBAL can show a *higher* WEE than the half-patterns while being
-  slower (it computes ~2x the distances);
-- LID-UNICOMP's WEE exceeds UNICOMP's (its per-cell comparison count is
-  constant over inner cells; UNICOMP's parity pattern varies 0..3**n - 1).
+    python -m repro.bench suite run paper --size small --filter table3
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("table3", selected_only=True))
-def test_table3_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert 0 < run.warp_execution_efficiency <= 1
-
-
-def test_report_table3(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "table3"), kwargs=dict(selected_only=True),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    by_cell = {}
-    for r in report.rows:
-        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
-    for cell, rows in by_cell.items():
-        # LID-UNICOMP balances the per-cell comparisons UNICOMP skews
-        assert rows["lidunicomp"].wee_percent > rows["unicomp"].wee_percent, cell
-        # and is never materially slower
-        assert rows["lidunicomp"].seconds <= rows["gpucalcglobal"].seconds * 1.05, cell
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table3"))

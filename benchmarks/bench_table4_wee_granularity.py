@@ -1,33 +1,24 @@
-"""Table IV — WEE and time: k = 1 vs k = 8 at the selected ε.
+#!/usr/bin/env python
+"""WEE by work granularity (paper Table 4).
 
-Paper observation: k = 8 always raises warp execution efficiency (the k
-threads of a query share its workload, shrinking intra-warp variance),
-even in the Unif6D case where its response time is worse.
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table4``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter table4
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("table4", selected_only=True))
-def test_table4_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert 0 < run.warp_execution_efficiency <= 1
-
-
-def test_report_table4(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "table4"), kwargs=dict(selected_only=True),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    by_cell = {}
-    for r in report.rows:
-        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
-    for cell, rows in by_cell.items():
-        assert rows["k8"].wee_percent > rows["gpucalcglobal"].wee_percent, cell
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table4"))

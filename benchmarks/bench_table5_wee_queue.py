@@ -1,38 +1,24 @@
-"""Table V — WEE and time: GPUCALCGLOBAL vs WORKQUEUE with k = 8.
+#!/usr/bin/env python
+"""WEE for queue configurations (paper Table 5).
 
-Paper observation: the work-queue configuration shows by far the highest
-warp execution efficiency — packing warps with equal workloads and issuing
-them most-work-first nearly eliminates intra-warp idling on skewed data.
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table5``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter table5
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("table5", selected_only=True))
-def test_table5_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert 0 < run.warp_execution_efficiency <= 1
-
-
-def test_report_table5(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "table5"), kwargs=dict(selected_only=True),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    by_cell = {}
-    for r in report.rows:
-        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
-    for (ds, eps), rows in by_cell.items():
-        assert (
-            rows["workqueue_k8"].wee_percent > rows["gpucalcglobal"].wee_percent
-        ), (ds, eps)
-        # on the skewed datasets the queue must also win on time
-        if ds.startswith("Expo"):
-            assert rows["workqueue_k8"].seconds < rows["gpucalcglobal"].seconds, ds
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table5"))

@@ -1,35 +1,24 @@
-"""Table VI — WEE and time on the real-world datasets.
+#!/usr/bin/env python
+"""WEE on real-world datasets (paper Table 6).
 
-Paper observation: every work-queue configuration shows a better WEE and
-response time than GPUCALCGLOBAL, confirming WEE as a proxy for load
-imbalance on real data.
+Thin shim over the unified harness: runs suite ``paper`` filtered to ``table6``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run paper --size small --filter table6
+
+Exits nonzero if any correctness cross-check fails.
 """
 
 from __future__ import annotations
 
-from conftest import build_report, cells_of, run_gpu_cell
+import sys
+from pathlib import Path
 
-import pytest
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench.cli import standalone_main
 
-@pytest.mark.parametrize("dataset,eps,config", cells_of("table6", selected_only=True))
-def test_table6_cell(benchmark, ctx, dataset, eps, config):
-    run = run_gpu_cell(benchmark, ctx, dataset, eps, config)
-    assert 0 < run.warp_execution_efficiency <= 1
-
-
-def test_report_table6(benchmark, ctx, capsys):
-    report = benchmark.pedantic(
-        build_report, args=(ctx, "table6"), kwargs=dict(selected_only=True),
-        rounds=1, iterations=1,
-    )
-    with capsys.disabled():
-        print("\n" + report.render())
-
-    by_cell = {}
-    for r in report.rows:
-        by_cell.setdefault((r.dataset, r.epsilon), {})[r.config] = r
-    for cell, rows in by_cell.items():
-        base = rows["gpucalcglobal"]
-        assert rows["workqueue"].wee_percent > base.wee_percent, cell
-        assert rows["workqueue"].seconds <= base.seconds * 1.05, cell
+if __name__ == "__main__":
+    sys.exit(standalone_main("paper", pattern="table6"))

@@ -19,6 +19,7 @@ import sys
 #: The packages whose ``__all__`` constitutes the supported surface.
 PUBLIC_MODULES = (
     "repro",
+    "repro.bench",
     "repro.core",
     "repro.grid",
     "repro.multigpu",
