@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Native array engine vs the vectorized VM, plus the mmap/process-pool
+scale drill.
+
+Thin shim over the unified harness: runs suite ``native``
+through :mod:`repro.bench.executors` with the shared CLI
+(``--size/--seed/--trials/--filter/--json``; ``--quick`` = tiny).
+Equivalent to::
+
+    python -m repro.bench suite run native --size small
+
+The ``mmap_process_scale`` experiment (5M points, ``mmap=True`` dataset,
+``workers="process"`` shards) only engages at ``--size full``; below that
+it reports itself as skipped. Exits nonzero if any correctness
+cross-check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.cli import standalone_main
+
+if __name__ == "__main__":
+    sys.exit(standalone_main("native"))

@@ -691,7 +691,188 @@ def _agg_vectorized_not_slower(results: list[ExperimentResult]) -> CheckResult:
     )
 
 
-AGGREGATE_CHECKS = {"vectorized_not_slower": _agg_vectorized_not_slower}
+def _agg_native_not_slower(results: list[ExperimentResult]) -> CheckResult:
+    speedups = []
+    for r in results:
+        head = r.headline
+        if head.startswith("geomean speedup"):
+            speedups.append(float(head.split()[2].rstrip("x")))
+    geomean = float(np.exp(np.log(np.maximum(speedups, 1e-12)).mean())) if speedups else 0.0
+    return CheckResult(
+        "native_not_slower",
+        geomean > 1.0,
+        f"suite geomean {geomean:.2f}x over {len(speedups)} experiments",
+    )
+
+
+AGGREGATE_CHECKS = {
+    "vectorized_not_slower": _agg_vectorized_not_slower,
+    "native_not_slower": _agg_native_not_slower,
+}
+
+
+# ---------------------------------------------------------------------------
+# native engine experiments (fidelity-free array backend vs vectorized VM)
+
+
+def run_native(suite: BenchSuite, exp: BenchExperiment, ctx: RunContext) -> ExperimentResult:
+    from repro.core import SelfJoin
+    from repro.core.config import PRESETS
+    from repro.grid import GridIndex
+    from repro.runtime import RuntimeConfig
+
+    points = exp.workload.build(ctx.size, ctx.seed)
+    index = GridIndex(points, exp.workload.epsilon)
+    reps = ctx.effective_trials()
+
+    checks: list[CheckResult] = []
+    metrics: dict = {"num_points": len(points), "presets": {}}
+    speedups = []
+    total_pairs = 0
+    native_seconds = 0.0
+    wall_t0 = time.perf_counter()
+    for variant in exp.variants:
+        cfg = PRESETS[variant.preset]
+        timings: dict[str, float] = {}
+        results = {}
+        for engine in ("vectorized", "native"):
+            join = SelfJoin(
+                runtime=RuntimeConfig(optimization=cfg, seed=ctx.seed, engine=engine)
+            )
+            results[engine], timings[engine] = _timed(
+                lambda j=join: j.execute_on_index(index), reps
+            )
+        vec, nat = results["vectorized"], results["native"]
+        problems = []
+        if not np.array_equal(nat.canonical_pairs(), vec.canonical_pairs()):
+            problems.append("canonical pair sets diverge")
+        if nat.fidelity != "none":
+            problems.append(f"native fidelity {nat.fidelity!r} != 'none'")
+        if vec.fidelity != "simulated":
+            problems.append(f"vectorized fidelity {vec.fidelity!r} != 'simulated'")
+        checks.append(
+            CheckResult(
+                f"pair_set_identical[{variant.preset}]", not problems, "; ".join(problems)
+            )
+        )
+        speedup = timings["vectorized"] / max(timings["native"], 1e-9)
+        speedups.append(speedup)
+        total_pairs += len(nat.pairs)
+        native_seconds += timings["native"]
+        metrics["presets"][variant.preset] = {
+            "num_pairs": int(len(nat.pairs)),
+            "checksum": _pairs_checksum(nat.canonical_pairs()),
+        }
+        ctx.note(
+            f"{exp.exp_id}: {variant.preset} {len(nat.pairs)} pairs, "
+            f"native speedup {speedup:.1f}x"
+        )
+    wall = time.perf_counter() - wall_t0
+
+    geomean = float(np.exp(np.log(np.maximum(speedups, 1e-12)).mean()))
+    # timing-based, so only gated where the workload is big enough for the
+    # array passes to dominate the fixed per-call overhead
+    if size_at_least(ctx.size, "small"):
+        checks.append(
+            CheckResult(
+                "native_geomean_3x",
+                geomean >= 3.0,
+                f"geomean {geomean:.2f}x over vectorized (need >= 3x)",
+            )
+        )
+    else:
+        checks.append(_skipped("native_geomean_3x", "small"))
+    return ExperimentResult(
+        suite_id=suite.suite_id,
+        exp_id=exp.exp_id,
+        title=exp.title,
+        wall_seconds=wall,
+        throughput=total_pairs / native_seconds if native_seconds > 0 else None,
+        metrics=metrics,
+        checks=checks,
+        budget=exp.budget,
+        headline=f"geomean speedup {geomean:.1f}x",
+    )
+
+
+def run_native_scale(suite: BenchSuite, exp: BenchExperiment, ctx: RunContext) -> ExperimentResult:
+    """End-to-end out-of-core drill: an ``.npy``-backed mmap dataset joined
+    with ``engine="native"`` over process-pool shards. Only meaningful at
+    bench scale, so it self-reports as skipped below ``full``."""
+    if not size_at_least(ctx.size, "full"):
+        return ExperimentResult(
+            suite_id=suite.suite_id,
+            exp_id=exp.exp_id,
+            title=exp.title,
+            wall_seconds=0.0,
+            throughput=None,
+            metrics={"skipped": True},
+            checks=[_skipped("mmap_process_scale", "full")],
+            budget=exp.budget,
+            headline="skipped (full only)",
+        )
+
+    from repro.core.config import PRESETS
+    from repro.data.synthetic import uniform
+    from repro.grid import GridIndex
+    from repro.io import load_dataset, save_dataset
+    from repro.runtime import Runner, RuntimeConfig, ShardingConfig, compile_self_join
+
+    n = int(exp.params["num_points"])
+    eps = float(exp.params["epsilon"])
+    extent = float(exp.params["extent"])
+    num_devices = int(exp.params["num_devices"])
+
+    wall_t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="native-scale-") as tmp:
+        path = f"{tmp}/points.npy"
+        save_dataset(path, uniform(n, 2, seed=ctx.seed, low=0.0, high=extent))
+        points = load_dataset(path, mmap=True)
+        index = GridIndex(points, eps)
+        ctx.note(f"{exp.exp_id}: grid built over {n} mmap-backed points")
+        runtime = RuntimeConfig(
+            optimization=PRESETS["sortbywl"],
+            engine="native",
+            sharding=ShardingConfig(num_devices=num_devices, workers="process"),
+            seed=ctx.seed,
+        )
+        result = Runner().run(compile_self_join(index, runtime))
+        # the grid must keep addressing the map, not a resident copy
+        base = index.points
+        while base is not None and not isinstance(base, np.memmap):
+            base = getattr(base, "base", None)
+        mapped = isinstance(base, np.memmap)
+    wall = time.perf_counter() - wall_t0
+
+    checks = [
+        CheckResult(
+            "mmap_process_scale",
+            result.num_pairs > 0 and result.fidelity == "none",
+            f"{n} points -> {result.num_pairs} pairs "
+            f"across {num_devices} process shards",
+        ),
+        CheckResult(
+            "points_stay_mapped",
+            mapped,
+            "" if mapped else "grid points lost their mmap backing",
+        ),
+    ]
+    ctx.note(f"{exp.exp_id}: {result.num_pairs} pairs in {wall:.1f}s")
+    return ExperimentResult(
+        suite_id=suite.suite_id,
+        exp_id=exp.exp_id,
+        title=exp.title,
+        wall_seconds=wall,
+        throughput=result.num_pairs / wall if wall > 0 else None,
+        metrics={
+            "num_points": n,
+            "num_devices": num_devices,
+            "num_pairs": int(result.num_pairs),
+        },
+        checks=checks,
+        budget=exp.budget,
+        headline=f"{n / 1e6:.0f}M points, {result.num_pairs} pairs",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -1139,6 +1320,8 @@ EXECUTORS: dict[str, Callable] = {
     "model": run_model,
     "ablation": run_ablation,
     "engine": run_engine,
+    "native": run_native,
+    "native_scale": run_native_scale,
     "multigpu": run_multigpu,
     "resilience": run_resilience,
     "serve": run_serve,

@@ -364,6 +364,65 @@ register_suite(
 
 register_suite(
     BenchSuite(
+        suite_id="native",
+        title="Native array engine vs vectorized VM",
+        description=(
+            "The fidelity-free array-native backend against the vectorized "
+            "VM across the representative presets: canonical pair sets must "
+            "be identical on every experiment, and (small and up) the "
+            "native engine must hold a geomean >= 3x speedup. At full size "
+            "a 5M-point mmap-backed dataset additionally runs end-to-end "
+            "through the process-pool shard backend without a resident copy."
+        ),
+        experiments=(
+            *(
+                BenchExperiment(
+                    exp_id=f"native_{name}",
+                    title=f"Native vs vectorized on {dataset}",
+                    kind="native",
+                    workload=Workload(
+                        dataset=dataset,
+                        epsilon=eps,
+                        points={"tiny": 600, "small": 1500, "full": None},
+                    ),
+                    variants=tuple(
+                        Variant(name=p, preset=p, engine="native")
+                        for p in _ENGINE_PRESETS
+                    ),
+                    budget=Budget(
+                        wall_seconds={"tiny": 30.0, "small": 120.0, "full": 1800.0},
+                        min_throughput={"tiny": 50_000.0, "small": 100_000.0},
+                        tolerance=0.5,
+                    ),
+                )
+                for name, dataset, eps in (
+                    ("expo", "Expo2D2M", 0.01),
+                    ("unif", "Unif2D2M", 0.4),
+                )
+            ),
+            BenchExperiment(
+                exp_id="mmap_process_scale",
+                title="5M-point mmap dataset through the process shard pool",
+                kind="native_scale",
+                budget=Budget(
+                    wall_seconds={"tiny": 30.0, "small": 30.0, "full": 1800.0},
+                    tolerance=0.5,
+                ),
+                params={
+                    "num_points": 5_000_000,
+                    "epsilon": 0.01,
+                    "extent": 100.0,
+                    "num_devices": 4,
+                },
+            ),
+        ),
+        aggregate_checks=("native_not_slower",),
+    )
+)
+
+
+register_suite(
+    BenchSuite(
         suite_id="multigpu",
         title="Multi-device scaling and shard planning",
         description=(

@@ -37,6 +37,12 @@ class JoinResult:
     #: when retention was turned off or the pairs were re-ordered by a
     #: multi-device merge.
     fragments: tuple[np.ndarray, ...] | None = field(default=None, repr=False)
+    #: simulation fidelity of the execution statistics: ``"simulated"``
+    #: when the pairs came through the SIMT machine (cycle-accurate
+    #: ``batch_stats``, WEE, warp replay), ``"none"`` for the native array
+    #: engine — the pair *set* is exact either way, but a ``"none"`` result
+    #: carries no warp/cycle accounting and its times are host wall-clock.
+    fidelity: str = "simulated"
 
     @property
     def num_pairs(self) -> int:
@@ -132,3 +138,13 @@ class JoinResult:
             return self.pairs
         order = np.lexsort((self.pairs[:, 1], self.pairs[:, 0]))
         return self.pairs[order]
+
+    def canonical_pairs(self) -> np.ndarray:
+        """The result set in a stable lexicographic order.
+
+        Engines and shard layouts emit pairs in different buffer orders;
+        two results answer the same join iff their canonical forms are
+        array-equal. This is the comparison form used by the cross-engine
+        equivalence tests and the ``native`` bench suite.
+        """
+        return self.sorted_pairs()

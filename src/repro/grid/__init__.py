@@ -17,7 +17,7 @@ Public surface:
 """
 
 from repro.grid.cells import GridSpec
-from repro.grid.index import GridIndex, dataset_fingerprint
+from repro.grid.index import BUILD_METHODS, GridIndex, dataset_fingerprint
 from repro.grid.neighbors import (
     neighbor_offsets,
     neighbor_ranks_for_offset,
@@ -25,6 +25,7 @@ from repro.grid.neighbors import (
 )
 
 __all__ = [
+    "BUILD_METHODS",
     "GridIndex",
     "GridSpec",
     "dataset_fingerprint",

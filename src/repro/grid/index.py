@@ -24,7 +24,14 @@ import numpy as np
 from repro.grid.cells import GridSpec
 from repro.util import as_points_array
 
-__all__ = ["GridIndex", "dataset_fingerprint"]
+__all__ = ["BUILD_METHODS", "GridIndex", "dataset_fingerprint"]
+
+#: grid build strategies: ``"sorted"`` is the vectorized bulk build
+#: (sort by cell rank + run-length encode via boundary scan, after
+#: "Building An Efficient Grid On GPU"); ``"unique"`` is the original
+#: ``np.unique``-based build, kept as a cross-check oracle. Both produce
+#: byte-identical index arrays.
+BUILD_METHODS = ("sorted", "unique")
 
 
 def dataset_fingerprint(points) -> str:
@@ -56,9 +63,25 @@ class GridIndex:
     spec:
         Optional pre-built :class:`GridSpec`; by default the spec is derived
         from the dataset's bounding box.
+    method:
+        Build strategy, one of :data:`BUILD_METHODS`. ``"sorted"``
+        (default) run-length encodes the cell-sorted ids with a boundary
+        scan — a single pass with no re-sorting, the fastest path on
+        large datasets. ``"unique"`` is the original ``np.unique`` build;
+        the two produce identical arrays and ``"unique"`` survives as the
+        oracle the equivalence tests compare against.
     """
 
-    def __init__(self, points, epsilon: float, *, spec: GridSpec | None = None):
+    def __init__(
+        self,
+        points,
+        epsilon: float,
+        *,
+        spec: GridSpec | None = None,
+        method: str = "sorted",
+    ):
+        if method not in BUILD_METHODS:
+            raise ValueError(f"unknown build method {method!r}; expected one of {BUILD_METHODS}")
         self.points = as_points_array(points)
         self.spec = spec if spec is not None else GridSpec.from_points(self.points, epsilon)
         if spec is not None and float(spec.epsilon) != float(epsilon):
@@ -70,24 +93,61 @@ class GridIndex:
         # Group points by cell: one stable sort, then run-length encode.
         order = np.argsort(linear, kind="stable")
         sorted_ids = linear[order]
-        cell_ids, starts, inverse, counts = np.unique(
-            sorted_ids, return_index=True, return_inverse=True, return_counts=True
-        )
+        if method == "sorted":
+            # Bulk build: cell boundaries fall wherever the sorted ids
+            # change, so starts/counts/ranks all come from one boundary
+            # scan — no second sort, no hash table. Handles the degenerate
+            # all-points-in-one-cell case (no boundaries → a single run).
+            n = len(sorted_ids)
+            if n == 0:
+                starts = np.empty(0, dtype=np.int64)
+                cell_ids = np.empty(0, dtype=np.int64)
+                counts = np.empty(0, dtype=np.int64)
+                ranks_sorted = np.empty(0, dtype=np.int64)
+            else:
+                boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+                starts = np.concatenate(([0], boundaries)).astype(np.int64)
+                cell_ids = sorted_ids[starts]
+                counts = np.diff(np.append(starts, n)).astype(np.int64)
+                ranks_sorted = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+            inverse = ranks_sorted
+        else:
+            cell_ids, starts, inverse, counts = np.unique(
+                sorted_ids, return_index=True, return_inverse=True, return_counts=True
+            )
 
         self.point_order: np.ndarray = order
-        self.cell_ids: np.ndarray = cell_ids
-        self.cell_starts: np.ndarray = starts.astype(np.int64)
-        self.cell_counts: np.ndarray = counts.astype(np.int64)
-        # dense point → cell-rank array, built from the unique() inverse so
-        # the hot-path cell_of_point lookup never binary-searches
+        self.cell_ids: np.ndarray = np.asarray(cell_ids, dtype=np.int64)
+        self.cell_starts: np.ndarray = np.asarray(starts, dtype=np.int64)
+        self.cell_counts: np.ndarray = np.asarray(counts, dtype=np.int64)
+        # dense point → cell-rank array, scattered from the per-sorted-slot
+        # ranks so the hot-path cell_of_point lookup never binary-searches
         rank_of_point = np.empty(len(order), dtype=np.int64)
-        rank_of_point[order] = inverse.astype(np.int64, copy=False)
+        rank_of_point[order] = np.asarray(inverse, dtype=np.int64).reshape(-1)
         self.point_cell_rank: np.ndarray = rank_of_point
         self.cell_coords_arr: np.ndarray = self.spec.delinearize(cell_ids)
         # memoized per-pattern geometry (see repro.core.patterns.PatternPlan);
         # a plain dict so plans live exactly as long as the index they describe
         self.plan_cache: dict = {}
         self._fingerprint: str | None = None
+
+    @classmethod
+    def build(
+        cls,
+        points,
+        epsilon: float,
+        *,
+        spec: GridSpec | None = None,
+        method: str = "sorted",
+    ) -> "GridIndex":
+        """Construct an index explicitly naming the build strategy.
+
+        Equivalent to ``GridIndex(points, epsilon, spec=spec,
+        method=method)``; exists so call sites that care about the build
+        path (benchmarks, the native engine's worker processes) read
+        explicitly.
+        """
+        return cls(points, epsilon, spec=spec, method=method)
 
     # ------------------------------------------------------------------
     @property

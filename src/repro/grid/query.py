@@ -101,7 +101,11 @@ def grid_neighbor_counts(
         queries = np.arange(index.num_points, dtype=np.int64)
     else:
         queries = np.asarray(point_ids, dtype=np.int64)
-    counts = np.zeros(index.num_points, dtype=np.int64)
+    # Accumulate over the sample only, not all N points: the estimator
+    # calls this on a ~1% sample, and an O(N) scratch array would force a
+    # full-resident allocation even for memory-mapped datasets.
+    unique_queries, inverse = np.unique(queries, return_inverse=True)
+    counts_unique = np.zeros(len(unique_queries), dtype=np.int64)
     eps2 = index.epsilon * index.epsilon
     pts = index.points
     for qi, cj in iter_candidate_blocks(index, queries, chunk_pairs=chunk_pairs):
@@ -109,8 +113,9 @@ def grid_neighbor_counts(
         hit = d2 <= eps2
         if not include_self:
             hit &= qi != cj
-        np.add.at(counts, qi[hit], 1)
-    return counts[queries]
+        slots = np.searchsorted(unique_queries, qi[hit])
+        np.add.at(counts_unique, slots, 1)
+    return counts_unique[inverse]
 
 
 def grid_selfjoin_pairs(

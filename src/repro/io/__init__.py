@@ -10,13 +10,15 @@ shard so interrupted runs resume bit-identically.
 """
 
 from repro.io.checkpoints import load_shard_fragment, save_shard_fragment
-from repro.io.datasets import load_points, save_points
+from repro.io.datasets import load_dataset, load_points, save_dataset, save_points
 from repro.io.results import load_result_bundle, save_result_bundle, write_pairs_csv
 
 __all__ = [
+    "load_dataset",
     "load_points",
     "load_result_bundle",
     "load_shard_fragment",
+    "save_dataset",
     "save_points",
     "save_result_bundle",
     "save_shard_fragment",

@@ -50,6 +50,7 @@ def save_shard_fragment(
         "total_seconds": result.total_seconds,
         "overflow_retries": result.overflow_retries,
         "overflow_wasted_seconds": result.overflow_wasted_seconds,
+        "fidelity": result.fidelity,
     }
     payload = pickle.dumps(
         (result.batch_stats, result.pipeline, result.fragments),
@@ -98,5 +99,6 @@ def load_shard_fragment(path) -> tuple[JoinResult, dict]:
         overflow_retries=int(meta.get("overflow_retries", 0)),
         overflow_wasted_seconds=float(meta.get("overflow_wasted_seconds", 0.0)),
         fragments=fragments,
+        fidelity=meta.get("fidelity", "simulated"),
     )
     return result, meta

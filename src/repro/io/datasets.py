@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.util import as_points_array
 
-__all__ = ["load_points", "save_points"]
+__all__ = ["load_dataset", "load_points", "save_dataset", "save_points"]
 
 
 def load_points(path) -> np.ndarray:
@@ -35,6 +35,50 @@ def load_points(path) -> np.ndarray:
             data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
         return as_points_array(data)
     raise ValueError(f"unsupported dataset format {suffix!r} (csv/npy/npz)")
+
+
+def load_dataset(path, *, mmap: bool = False) -> np.ndarray:
+    """Load a point dataset, optionally as a read-only memory map.
+
+    With ``mmap=False`` this is :func:`load_points`. With ``mmap=True``
+    the file must be a ``.npy`` in the canonical on-disk layout
+    (2-D C-contiguous float64, as :func:`save_dataset` writes): the
+    returned :class:`numpy.memmap` pages rows in from disk on demand, so
+    multi-million-point joins never hold a full resident copy — the grid
+    build, the sampled result-size estimator and the native engine's
+    block-wise distance passes all touch only the slices they need.
+    """
+    if not mmap:
+        return load_points(path)
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    if path.suffix.lower() != ".npy":
+        raise ValueError(
+            f"mmap=True needs an .npy file, got {path.suffix!r}: csv/npz "
+            "formats must decompress/parse — there is nothing to map"
+        )
+    arr = np.load(path, mmap_mode="r")
+    if arr.ndim != 2 or arr.shape[1] < 1:
+        raise ValueError(
+            f"{path}: expected a 2-D (N, n) point array, got shape {arr.shape}"
+        )
+    if arr.dtype != np.float64:
+        raise ValueError(
+            f"{path}: mmap loading needs float64 data (got {arr.dtype}); "
+            "converting would materialize the full array — re-save with "
+            "save_dataset() first"
+        )
+    return arr
+
+
+def save_dataset(path, points) -> None:
+    """Save a dataset in the format implied by the file suffix.
+
+    Alias of :func:`save_points`; ``.npy`` output is the canonical
+    mmap-able layout :func:`load_dataset` expects.
+    """
+    save_points(path, points)
 
 
 def save_points(path, points) -> None:

@@ -79,6 +79,11 @@ def merge_shard_results(
     present = [r for r in shard_results if r is not None]
     pairs = merge_pairs([r.pairs for r in present], dedup=dedup)
     batch_stats = [s for r in present for s in r.batch_stats]
+    # a merged result is only as faithful as its least faithful shard:
+    # any native ("none") shard means the pool-level cycle statistics
+    # cannot be trusted as simulated
+    fidelities = {getattr(r, "fidelity", "simulated") for r in present}
+    fidelity = "none" if "none" in fidelities else "simulated"
     return JoinResult(
         pairs=pairs,
         epsilon=float(epsilon),
@@ -90,4 +95,5 @@ def merge_shard_results(
         overflow_wasted_seconds=float(
             sum(getattr(r, "overflow_wasted_seconds", 0.0) for r in present)
         ),
+        fidelity=fidelity,
     )

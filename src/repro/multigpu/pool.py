@@ -55,11 +55,16 @@ class DeviceHealth:
 
 @dataclass(frozen=True)
 class PoolDevice:
-    """One device of the pool: its spec, its private executor, its health."""
+    """One device of the pool: its spec, its private executor, its health.
+
+    ``executor`` is ``None`` on native-engine pools: the fidelity-free
+    array engine has no simulated machine to own, so a native device is
+    a scheduling slot (health + dispatch accounting) rather than a VM.
+    """
 
     device_id: int
     spec: DeviceSpec
-    executor: DeviceExecutor
+    executor: DeviceExecutor | None
     health: DeviceHealth = field(default_factory=DeviceHealth)
 
 
@@ -84,12 +89,20 @@ class DevicePool:
         Warp replay fidelity forwarded to every executor.
     engine:
         Kernel execution engine forwarded to every executor
-        (``"interpreted"`` or ``"vectorized"``).
+        (``"interpreted"`` or ``"vectorized"``), or ``"native"`` — the
+        array engine builds no executors at all (``PoolDevice.executor``
+        is ``None``; shards run as NumPy passes, see
+        :mod:`repro.runtime.native`).
     overflow_policy:
         Forwarded to every executor: ``"raise"`` (default — overflow
         propagates and the join re-plans) or ``"retry"`` (batch-level
         recovery with a geometrically grown buffer; see
         :class:`~repro.core.executor.DeviceExecutor`).
+    workers:
+        Shard dispatch backend: ``"inline"`` (default) or ``"process"``
+        (native engine only — each device becomes a real worker process;
+        see :mod:`repro.runtime.native`). Recorded for the runner; the
+        pool itself stays a passive device list either way.
     """
 
     def __init__(
@@ -103,6 +116,7 @@ class DevicePool:
         replay_mode: str = "aggregate",
         engine: str = "interpreted",
         overflow_policy: str = "raise",
+        workers: str = "inline",
     ):
         if specs is None:
             if num_devices < 1:
@@ -111,12 +125,19 @@ class DevicePool:
             specs = [base] * num_devices
         elif not specs:
             raise ValueError("specs must name at least one device")
+        if workers not in ("inline", "process"):
+            raise ValueError(f"unknown worker backend {workers!r}")
+        if workers == "process" and engine != "native":
+            raise ValueError("workers='process' requires engine='native'")
         costs = costs if costs is not None else CostParams()
+        self.workers = workers
         self.devices: list[PoolDevice] = [
             PoolDevice(
                 device_id=d,
                 spec=s,
-                executor=DeviceExecutor(
+                executor=None
+                if engine == "native"
+                else DeviceExecutor(
                     s,
                     costs,
                     seed=seed + d,
@@ -150,11 +171,14 @@ class DevicePool:
             raise ValueError("specs must name at least one device")
         costs = runtime.costs if runtime.costs is not None else CostParams()
         pool = cls.__new__(cls)
+        pool.workers = runtime.sharding.workers
         pool.devices = [
             PoolDevice(
                 device_id=d,
                 spec=s,
-                executor=DeviceExecutor(
+                executor=None
+                if runtime.engine == "native"
+                else DeviceExecutor(
                     s,
                     costs,
                     seed=runtime.seed + d,

@@ -21,13 +21,17 @@ variants) are thin compilers over this package.
 """
 
 from repro.runtime.config import (
+    NATIVE_ENGINE,
     REPLAY_MODES,
+    RUNTIME_ENGINES,
+    WORKER_BACKENDS,
     CheckpointConfig,
     OverflowConfig,
     ProfilingOptions,
     RuntimeConfig,
     ShardingConfig,
 )
+from repro.runtime.native import execute_shard_native, native_query_order
 from repro.runtime.plan import (
     CheckpointStage,
     EstimateStage,
@@ -35,6 +39,7 @@ from repro.runtime.plan import (
     JoinPlan,
     LaunchStage,
     MergeStage,
+    NativeLaunchStage,
     ResilienceStage,
     ShardStage,
     apply_checkpoint,
@@ -50,7 +55,10 @@ from repro.runtime.runner import (
 )
 
 __all__ = [
+    "NATIVE_ENGINE",
     "REPLAY_MODES",
+    "RUNTIME_ENGINES",
+    "WORKER_BACKENDS",
     "CheckpointConfig",
     "CheckpointStage",
     "DeadlineExceededError",
@@ -59,6 +67,7 @@ __all__ = [
     "JoinPlan",
     "LaunchStage",
     "MergeStage",
+    "NativeLaunchStage",
     "OverflowConfig",
     "ProfilingOptions",
     "ResilienceStage",
@@ -71,5 +80,7 @@ __all__ = [
     "compile_self_join",
     "compile_similarity_join",
     "execute_shard",
+    "execute_shard_native",
     "executor_from_runtime",
+    "native_query_order",
 ]

@@ -37,14 +37,31 @@ from repro.simt import ENGINES, CostParams, DeviceSpec
 
 __all__ = [
     "CheckpointConfig",
+    "NATIVE_ENGINE",
     "OverflowConfig",
     "ProfilingOptions",
     "REPLAY_MODES",
+    "RUNTIME_ENGINES",
     "RuntimeConfig",
     "ShardingConfig",
+    "WORKER_BACKENDS",
 ]
 
 REPLAY_MODES = ("aggregate", "lockstep")
+
+#: the fidelity-free array engine: exact pair sets via pure NumPy passes,
+#: no SIMT machine, no warp/cycle accounting (``JoinResult.fidelity="none"``)
+NATIVE_ENGINE = "native"
+
+#: engines a RuntimeConfig accepts: the two simulated SIMT engines
+#: (``repro.simt.ENGINES``) plus the native array engine
+RUNTIME_ENGINES = (*ENGINES, NATIVE_ENGINE)
+
+#: pooled shard dispatch backends: ``"inline"`` runs shards in-process on
+#: the simulated scheduler clock; ``"process"`` (native engine only) fans
+#: shards out over a process pool sharing the dataset via
+#: ``multiprocessing.shared_memory`` / re-opened memory maps
+WORKER_BACKENDS = ("inline", "process")
 
 
 @dataclass(frozen=True)
@@ -93,12 +110,18 @@ class ShardingConfig:
     balanced LPT) and ``schedule`` drives dispatch (static pre-assignment
     vs the dynamic most-work-first device queue). ``shards_per_device``
     is the queue depth — the dynamic scheduler's stealing granularity.
+    ``workers`` picks the dispatch backend: ``"inline"`` (default) runs
+    shards in-process; ``"process"`` — native engine only — runs each
+    device as a real worker process so shards occupy separate CPU cores.
+    The backend never changes the merged result, so it is excluded from
+    run identity.
     """
 
     num_devices: int = 2
     planner: str = "balanced"
     schedule: str = "dynamic"
     shards_per_device: int = 2
+    workers: str = "inline"
 
     def __post_init__(self):
         # multigpu modules sit above this one in the import graph; pull the
@@ -119,6 +142,11 @@ class ShardingConfig:
             )
         if self.shards_per_device < 1:
             raise ValueError("shards_per_device must be >= 1")
+        if self.workers not in WORKER_BACKENDS:
+            raise ValueError(
+                f"unknown worker backend {self.workers!r}; "
+                f"expected one of {WORKER_BACKENDS}"
+            )
 
     @property
     def num_shards(self) -> int:
@@ -178,7 +206,10 @@ class RuntimeConfig:
         WORKQUEUE, batching) — the *algorithm* half of the recipe.
     engine:
         Kernel execution engine: ``"interpreted"`` or ``"vectorized"``
-        (bit-identical results; see :mod:`repro.simt.vectorized`).
+        (bit-identical simulated results; see :mod:`repro.simt.vectorized`),
+        or ``"native"`` — exact pair sets through pure NumPy array passes
+        with no SIMT simulation (see :mod:`repro.runtime.native`; results
+        carry ``fidelity="none"``).
     replay_mode:
         Warp replay fidelity: ``"aggregate"`` or ``"lockstep"``.
     seed:
@@ -228,9 +259,9 @@ class RuntimeConfig:
     checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self):
-        if self.engine not in ENGINES:
+        if self.engine not in RUNTIME_ENGINES:
             raise ValueError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+                f"unknown engine {self.engine!r}; expected one of {RUNTIME_ENGINES}"
             )
         if self.replay_mode not in REPLAY_MODES:
             raise ValueError(
@@ -239,12 +270,42 @@ class RuntimeConfig:
             )
         if self.estimate_safety_z < 0:
             raise ValueError("estimate_safety_z must be >= 0")
+        if self.engine == NATIVE_ENGINE:
+            # the native engine has no simulated device seam: device-level
+            # fault injection and the self-healing scheduler loop both live
+            # inside the SIMT executor it bypasses. Host crash points (and
+            # checkpoint resume) stay available — they are engine-independent.
+            if self.recovery is not None:
+                raise ValueError(
+                    "engine='native' does not support recovery policies: "
+                    "device-level healing runs inside the simulated executor "
+                    "the native engine bypasses"
+                )
+            fp = self.fault_plan
+            if fp is not None and (
+                fp.failures or fp.stragglers or fp.transients or fp.overflows
+            ):
+                raise ValueError(
+                    "engine='native' only supports host CrashPoint faults; "
+                    "device failures/stragglers/transients/overflows inject "
+                    "at the simulated executor seam"
+                )
+        if (
+            self.sharding is not None
+            and self.sharding.workers == "process"
+            and self.engine != NATIVE_ENGINE
+        ):
+            raise ValueError(
+                "workers='process' requires engine='native': simulated "
+                "engines run on a deterministic in-process scheduler clock"
+            )
         # injecting device faults into a pool without a recovery story would
         # just crash the run, so such a fault plan implies the default policy
         # there; crash-only plans don't — a host crash must propagate so the
         # run can resume from its checkpoint journal
         if (
-            self.fault_plan is not None
+            self.engine != NATIVE_ENGINE
+            and self.fault_plan is not None
             and (self.fault_plan.has_device_faults or not self.fault_plan.crashes)
             and self.recovery is None
             and self.sharding is not None

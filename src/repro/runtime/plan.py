@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.grid import GridIndex
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import NATIVE_ENGINE, RuntimeConfig
 from repro.runtime.ops import BipartiteOp, SelfJoinOp
 
 if TYPE_CHECKING:
@@ -42,6 +42,7 @@ __all__ = [
     "JoinPlan",
     "LaunchStage",
     "MergeStage",
+    "NativeLaunchStage",
     "ResilienceStage",
     "ShardStage",
     "apply_checkpoint",
@@ -100,6 +101,25 @@ class LaunchStage:
 
 
 @dataclass(frozen=True)
+class NativeLaunchStage:
+    """The fidelity-free array-engine launch (``engine="native"``).
+
+    No batches, no streams, no warp accounting: the runner hands the op
+    to :mod:`repro.runtime.native`, which walks ``chunk_pairs``-bounded
+    cell-pair blocks over the grid's neighbor topology in ``order``
+    (``"sortbywl"`` = the paper's heaviest-cells-first work ordering,
+    ``"natural"`` = dataset order) and refines them with vectorized
+    distance passes. ``workers`` records the pooled dispatch backend.
+    """
+
+    kernel: str
+    engine: str  # always "native"
+    order: str  # "sortbywl" or "natural"
+    chunk_pairs: int
+    workers: str  # "inline" or "process"
+
+
+@dataclass(frozen=True)
 class ResilienceStage:
     """Fault injection and/or self-healing wrapped around execution."""
 
@@ -135,6 +155,7 @@ Stage = (
     | EstimateStage
     | ShardStage
     | LaunchStage
+    | NativeLaunchStage
     | ResilienceStage
     | CheckpointStage
     | MergeStage
@@ -167,8 +188,9 @@ class JoinPlan:
         return self.stage(ShardStage)
 
     @property
-    def launch_stage(self) -> LaunchStage:
-        return self.stage(LaunchStage)
+    def launch_stage(self) -> LaunchStage | NativeLaunchStage:
+        stage = self.stage(LaunchStage)
+        return stage if stage is not None else self.stage(NativeLaunchStage)
 
     @property
     def resilience_stage(self) -> ResilienceStage | None:
@@ -209,6 +231,12 @@ class JoinPlan:
                     f"issue={s.issue_order}{coop} streams={s.num_streams} "
                     f"capacity={s.result_capacity}"
                 )
+            elif isinstance(s, NativeLaunchStage):
+                workers = f" workers={s.workers}" if s.workers != "inline" else ""
+                lines.append(
+                    f"  launch   {s.kernel} engine=native order={s.order} "
+                    f"chunk={s.chunk_pairs}{workers}"
+                )
             elif isinstance(s, ResilienceStage):
                 parts = []
                 if s.fault_plan is not None and not s.fault_plan.is_empty:
@@ -237,8 +265,20 @@ def _index_stage(index: GridIndex, *, reused: bool = False) -> IndexStage:
     )
 
 
-def _launch_stage(kernel_name: str, runtime: RuntimeConfig) -> LaunchStage:
+def _launch_stage(
+    kernel_name: str, runtime: RuntimeConfig
+) -> LaunchStage | NativeLaunchStage:
     opt = runtime.optimization
+    if runtime.engine == NATIVE_ENGINE:
+        from repro.runtime.native import NATIVE_CHUNK_PAIRS
+
+        return NativeLaunchStage(
+            kernel=kernel_name,
+            engine=NATIVE_ENGINE,
+            order="sortbywl" if opt.uses_sorted_points else "natural",
+            chunk_pairs=NATIVE_CHUNK_PAIRS,
+            workers=runtime.sharding.workers if runtime.pooled else "inline",
+        )
     return LaunchStage(
         kernel=kernel_name,
         engine=runtime.engine,

@@ -32,8 +32,9 @@ from repro.core.result import JoinResult
 from repro.grid import GridIndex
 from repro.resilience.executor import FaultyExecutor
 from repro.resilience.faults import SimulatedCrashError
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.plan import JoinPlan
+from repro.runtime.config import NATIVE_ENGINE, RuntimeConfig
+from repro.runtime.native import execute_shard_native, run_shards_process
+from repro.runtime.plan import JoinPlan, NativeLaunchStage
 from repro.simt import AtomicCounter, BufferOverflowError, CostParams, DeviceSpec
 
 __all__ = [
@@ -284,20 +285,34 @@ class Runner:
         if crash is not None and crash.at_shard <= 0:
             raise SimulatedCrashError(0)
         deadline.check("launch")
-        executor = self.executor if self.executor is not None else executor_from_runtime(rc)
-        resil = plan.resilience_stage
-        if resil is not None and resil.fault_plan is not None:
-            executor = FaultyExecutor(executor, 0, resil.fault_plan)
-        result = execute_shard(
-            plan.op,
-            plan.index,
-            rc.optimization,
-            executor,
-            subset=plan.subset,
-            safety_z=rc.estimate_safety_z,
-            description=plan.merge_stage.description,
-            keep_fragments=rc.profiling.keep_fragments,
-        )
+        if rc.engine == NATIVE_ENGINE:
+            launch = plan.stage(NativeLaunchStage)
+            result = execute_shard_native(
+                plan.op,
+                plan.index,
+                rc.optimization,
+                subset=plan.subset,
+                description=plan.merge_stage.description,
+                keep_fragments=rc.profiling.keep_fragments,
+                chunk_pairs=launch.chunk_pairs,
+            )
+        else:
+            executor = (
+                self.executor if self.executor is not None else executor_from_runtime(rc)
+            )
+            resil = plan.resilience_stage
+            if resil is not None and resil.fault_plan is not None:
+                executor = FaultyExecutor(executor, 0, resil.fault_plan)
+            result = execute_shard(
+                plan.op,
+                plan.index,
+                rc.optimization,
+                executor,
+                subset=plan.subset,
+                safety_z=rc.estimate_safety_z,
+                description=plan.merge_stage.description,
+                keep_fragments=rc.profiling.keep_fragments,
+            )
         if journal is not None:
             journal.save_shard(0, result)
             self.last_checkpoint_stats = journal.stats
@@ -315,12 +330,22 @@ class Runner:
         from repro.resilience.executor import arm_pool
 
         rc = plan.config
+        if rc.engine == NATIVE_ENGINE and rc.sharding.workers == "process":
+            return self._run_pooled_native_process(plan, resume=resume, deadline=deadline)
         shard_stage = plan.shard_stage
         pool = self.pool if self.pool is not None else DevicePool.from_runtime(rc)
         resil = plan.resilience_stage
-        armed = arm_pool(pool, resil.fault_plan if resil is not None else None)
+        # native pools have no executors to wrap; arming with None still
+        # re-arms device health for a fresh run
+        armed = arm_pool(
+            pool,
+            resil.fault_plan
+            if resil is not None and rc.engine != NATIVE_ENGINE
+            else None,
+        )
         scheduler = HostScheduler(pool, shard_stage.schedule, recovery=rc.recovery)
         op, index, opt = plan.op, plan.index, rc.optimization
+        native_launch = plan.stage(NativeLaunchStage)
 
         journal = self._open_journal(plan, len(shard_stage.plan.shards))
         if journal is not None:
@@ -341,16 +366,26 @@ class Runner:
                 # resumed: this shard's result is already durable — replay
                 # it into the schedule instead of re-executing
                 return cached
-            executor = armed.get(device.device_id, device.executor)
-            result = execute_shard(
-                op,
-                index,
-                opt,
-                executor,
-                subset=shard.points,
-                safety_z=rc.estimate_safety_z,
-                keep_fragments=False,
-            )
+            if rc.engine == NATIVE_ENGINE:
+                result = execute_shard_native(
+                    op,
+                    index,
+                    opt,
+                    subset=shard.points,
+                    keep_fragments=False,
+                    chunk_pairs=native_launch.chunk_pairs,
+                )
+            else:
+                executor = armed.get(device.device_id, device.executor)
+                result = execute_shard(
+                    op,
+                    index,
+                    opt,
+                    executor,
+                    subset=shard.points,
+                    safety_z=rc.estimate_safety_z,
+                    keep_fragments=False,
+                )
             if journal is not None:
                 journal.save_shard(shard.shard_id, result)
             return result
@@ -383,9 +418,113 @@ class Runner:
             config_description=merged.config_description,
             overflow_retries=merged.overflow_retries,
             overflow_wasted_seconds=merged.overflow_wasted_seconds,
+            fidelity=merged.fidelity,
             planner=shard_stage.plan.planner,
             schedule_mode=trace.mode,
             num_devices=pool.num_devices,
+            pool_stats=stats,
+            trace=trace if rc.profiling.keep_trace else None,
+            shard_plan=shard_stage.plan,
+        )
+
+    def _run_pooled_native_process(
+        self, plan: JoinPlan, *, resume: bool, deadline: _Deadline
+    ):
+        """Pooled native run over real worker processes.
+
+        Shards fan out over a process pool (one worker per configured
+        device) sharing the dataset via shared memory or a re-opened
+        memory map; journaling, crash points, deadlines and resume follow
+        the inline scheduler's semantics. Events carry host wall-clock
+        times, so the trace reports real (not simulated) makespans — the
+        merge itself is shard-id ordered and execution-order independent,
+        which is what makes the merged pairs deterministic.
+        """
+        from repro.multigpu.join import MultiJoinResult
+        from repro.multigpu.merge import merge_shard_results
+        from repro.multigpu.metrics import pool_stats_from_trace
+        from repro.multigpu.scheduler import ScheduleTrace, ShardEvent
+
+        rc = plan.config
+        shard_stage = plan.shard_stage
+        op, index = plan.op, plan.index
+        launch = plan.stage(NativeLaunchStage)
+
+        journal = self._open_journal(plan, len(shard_stage.plan.shards))
+        if journal is not None:
+            self.last_checkpoint_stats = journal.stats
+        completed = journal.load_completed() if (journal is not None and resume) else {}
+        crash = rc.fault_plan.crash_point() if rc.fault_plan is not None else None
+
+        save = None
+        if journal is not None:
+            def save(shard_id, result):
+                journal.save_shard(shard_id, result)
+
+        dispatch = (
+            shard_stage.plan.dispatch_order()
+            if shard_stage.schedule == "dynamic"
+            else [s.shard_id for s in shard_stage.plan.shards]
+        )
+        try:
+            results, raw_events = run_shards_process(
+                op,
+                index,
+                rc.optimization,
+                shard_stage.plan.shards,
+                num_workers=shard_stage.num_devices,
+                dispatch_order=dispatch,
+                completed=completed,
+                save_shard=save,
+                deadline_check=deadline.check,
+                crash_at=crash.at_shard if crash is not None else None,
+                chunk_pairs=launch.chunk_pairs,
+            )
+        finally:
+            if journal is not None:
+                self.last_checkpoint_stats = journal.stats
+        if journal is not None:
+            journal.finalize(keep=plan.checkpoint_stage.keep)
+
+        events = [
+            ShardEvent(
+                shard_id=sid,
+                device_id=dev,
+                start_seconds=start,
+                end_seconds=end,
+                num_pairs=num_pairs,
+                num_points=num_points,
+            )
+            for sid, dev, start, end, num_pairs, num_points in raw_events
+        ]
+        trace = ScheduleTrace(
+            events=events,
+            mode=shard_stage.schedule,
+            num_devices=shard_stage.num_devices,
+        )
+        merge = plan.merge_stage
+        merged = merge_shard_results(
+            results,
+            trace,
+            epsilon=op.result_epsilon(index),
+            num_points=op.total_points(index),
+            dedup=merge.dedup,
+            config_description=merge.description,
+        )
+        stats = pool_stats_from_trace(trace, results, planner=shard_stage.plan.planner)
+        return MultiJoinResult(
+            pairs=merged.pairs,
+            epsilon=merged.epsilon,
+            num_points=merged.num_points,
+            batch_stats=merged.batch_stats,
+            pipeline=merged.pipeline,
+            config_description=merged.config_description,
+            overflow_retries=merged.overflow_retries,
+            overflow_wasted_seconds=merged.overflow_wasted_seconds,
+            fidelity=merged.fidelity,
+            planner=shard_stage.plan.planner,
+            schedule_mode=trace.mode,
+            num_devices=shard_stage.num_devices,
             pool_stats=stats,
             trace=trace if rc.profiling.keep_trace else None,
             shard_plan=shard_stage.plan,
