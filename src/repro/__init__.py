@@ -40,6 +40,8 @@ from repro.runtime import (
     Runner,
     RuntimeConfig,
     ShardingConfig,
+    compile_join,
+    compile_knn_join,
     compile_self_join,
     compile_similarity_join,
 )
@@ -66,6 +68,8 @@ __all__ = [
     "SelfJoin",
     "SimilarityJoin",
     "ShardingConfig",
+    "compile_join",
+    "compile_knn_join",
     "compile_self_join",
     "compile_similarity_join",
     "__version__",

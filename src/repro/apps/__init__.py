@@ -13,17 +13,23 @@ simulated-GPU join call:
   range join;
 - :class:`UnionFind` — the path-compressed disjoint-set the group
   builders share.
+
+All three route through the runtime compile/execute pipeline
+(:mod:`repro.runtime`), so they accept a ``runtime=RuntimeConfig(...)``
+selecting engine, sharding, resilience and checkpointing; see
+``docs/apps.md`` for the runbook.
 """
 
 from repro.apps.dbscan import DBSCAN_NOISE, DbscanResult, dbscan
 from repro.apps.dedup import DedupResult, deduplicate
-from repro.apps.knn import KnnResult, knn
+from repro.apps.knn import KnnConvergenceError, KnnResult, knn
 from repro.apps.unionfind import UnionFind
 
 __all__ = [
     "DBSCAN_NOISE",
     "DbscanResult",
     "DedupResult",
+    "KnnConvergenceError",
     "KnnResult",
     "UnionFind",
     "dbscan",

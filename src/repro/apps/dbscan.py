@@ -20,8 +20,32 @@ import numpy as np
 from repro.apps.unionfind import UnionFind
 from repro.core import OptimizationConfig, PRESETS, SelfJoin
 from repro.core.result import JoinResult
+from repro.core.validation import validate_inputs
+from repro.grid import GridIndex
+from repro.runtime.config import RuntimeConfig, _split_config
+from repro.runtime.plan import compile_self_join
+from repro.runtime.runner import Runner
 
 __all__ = ["DBSCAN_NOISE", "DbscanResult", "dbscan"]
+
+
+def _run_self_join(points, eps, config, runtime, facade: str) -> JoinResult:
+    """Validate, compile and run the apps' underlying self-join.
+
+    The apps route through ``compile_self_join`` + the one ``Runner``
+    (not a facade instance), so a ``runtime=RuntimeConfig(...)`` picks
+    up engine selection, sharding and checkpointing for free.
+    """
+    config, runtime = _split_config(config, runtime, facade)
+    if runtime is None:
+        runtime = RuntimeConfig(
+            optimization=config if config is not None else PRESETS["combined"]
+        )
+    elif config is not None:
+        runtime = runtime.with_(optimization=config)
+    points, eps = validate_inputs(points, epsilon=eps)
+    plan = compile_self_join(GridIndex(points, eps), runtime)
+    return Runner().run(plan)
 
 DBSCAN_NOISE = -1
 
@@ -48,20 +72,24 @@ def dbscan(
     eps: float,
     min_pts: int,
     *,
-    config: OptimizationConfig | None = None,
+    config: OptimizationConfig | RuntimeConfig | None = None,
+    runtime: RuntimeConfig | None = None,
     joiner: SelfJoin | None = None,
 ) -> DbscanResult:
     """Cluster ``points`` with DBSCAN parameters ``(eps, min_pts)``.
 
     ``min_pts`` counts the point itself, as in the original formulation.
     The underlying self-join runs with ``config`` (default: the paper's
-    combined optimizations) or a caller-supplied :class:`SelfJoin`.
+    combined optimizations); ``runtime`` additionally selects engine,
+    sharding and resilience. A caller-supplied :class:`SelfJoin`
+    (``joiner``) overrides both.
     """
     if min_pts < 1:
         raise ValueError("min_pts must be >= 1")
-    if joiner is None:
-        joiner = SelfJoin(config if config is not None else PRESETS["combined"])
-    result = joiner.execute(points, eps)
+    if joiner is not None:
+        result = joiner.execute(points, eps)
+    else:
+        result = _run_self_join(points, eps, config, runtime, "dbscan")
     n = result.num_points
 
     # neighbor counts straight from the pair list (self pairs included)
@@ -74,18 +102,26 @@ def dbscan(
     core_edges = pairs[core[pairs[:, 0]] & core[pairs[:, 1]]]
     uf.union_pairs(core_edges)
 
+    # canonical numbering: clusters in order of their lowest core member,
+    # so labels are a function of the pair *set* — invariant to pair
+    # emission order and hence identical across engines and presets
     labels = np.full(n, DBSCAN_NOISE, dtype=np.int64)
     roots = uf.labels()
-    core_roots = np.unique(roots[core])
-    relabel = {int(r): i for i, r in enumerate(core_roots)}
-    for i in np.flatnonzero(core):
-        labels[i] = relabel[int(roots[i])]
+    core_idx = np.flatnonzero(core)
+    if len(core_idx):
+        comp = roots[core_idx]
+        uniq, first_pos = np.unique(comp, return_index=True)
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[np.argsort(first_pos, kind="stable")] = np.arange(len(uniq))
+        labels[core_idx] = rank[np.searchsorted(uniq, comp)]
 
-    # border points: non-core with at least one core neighbor — take the
-    # first core neighbor's cluster (order-deterministic, as classic
-    # DBSCAN's assignment is scan-order dependent too)
+    # border points: non-core with at least one core neighbor — attach to
+    # the lowest-id core neighbor's cluster (classic DBSCAN leaves the
+    # choice scan-order dependent; picking the minimum keeps it canonical)
     border_edges = pairs[~core[pairs[:, 0]] & core[pairs[:, 1]]]
-    for a, b in border_edges:
-        if labels[a] == DBSCAN_NOISE:
-            labels[a] = labels[b]
+    if len(border_edges):
+        order = np.lexsort((border_edges[:, 1], border_edges[:, 0]))
+        a, b = border_edges[order, 0], border_edges[order, 1]
+        uniq_a, first_idx = np.unique(a, return_index=True)
+        labels[uniq_a] = labels[b[first_idx]]
     return DbscanResult(labels=labels, core_mask=core, join=result)

@@ -12,9 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.apps.dbscan import _run_self_join
 from repro.apps.unionfind import UnionFind
-from repro.core import OptimizationConfig, PRESETS, SelfJoin
+from repro.core import OptimizationConfig, SelfJoin
 from repro.core.result import JoinResult
+from repro.runtime.config import RuntimeConfig
 
 __all__ = ["DedupResult", "deduplicate"]
 
@@ -59,13 +61,20 @@ def deduplicate(
     records,
     eps: float,
     *,
-    config: OptimizationConfig | None = None,
+    config: OptimizationConfig | RuntimeConfig | None = None,
+    runtime: RuntimeConfig | None = None,
     joiner: SelfJoin | None = None,
 ) -> DedupResult:
-    """Group records within ``eps`` of each other (transitively)."""
-    if joiner is None:
-        joiner = SelfJoin(config if config is not None else PRESETS["combined"])
-    result = joiner.execute(records, eps)
+    """Group records within ``eps`` of each other (transitively).
+
+    The underlying self-join runs through the runtime compile/execute
+    pipeline; ``runtime`` selects engine, sharding and resilience, a
+    caller-supplied ``joiner`` overrides both.
+    """
+    if joiner is not None:
+        result = joiner.execute(records, eps)
+    else:
+        result = _run_self_join(records, eps, config, runtime, "deduplicate")
     uf = UnionFind(result.num_points)
     uf.union_pairs(result.pairs)
     roots = uf.labels()

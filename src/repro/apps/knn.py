@@ -2,10 +2,20 @@
 
 The range query is the paper's building block; kNN rides on it: start
 from an ε estimated to capture ~k neighbors per point on average, run the
-self-join, and re-run with doubled ε for the points that still have fewer
-than k neighbors — each round a smaller residual problem. This is the
+join, and re-run with grown ε for the points that still have fewer than
+k neighbors — each round a smaller residual problem. This is the
 standard trick for kNN on ε-grid/range-query engines (Gowanlock's later
 GPU kNN work uses exactly this shape).
+
+Since the op-registry refactor this module is a thin wrapper: ``knn()``
+compiles a :func:`~repro.runtime.plan.compile_knn_join` driver plan and
+hands it to the one :class:`~repro.runtime.runner.Runner`, so kNN picks
+up engine selection (``interpreted``/``vectorized``/``native``),
+multi-device sharding, fault injection, recovery and durable
+checkpoint/resume exactly like the range joins — pass
+``runtime=RuntimeConfig(...)`` to use any of them. The expansion logic
+itself (round loop, segmented top-k finalize) lives in the runner;
+:class:`~repro.runtime.ops.KnnJoinOp` declares the workload.
 
 Exactness: a point's k nearest neighbors found within radius ε are final
 only if at least k neighbors lie within ε (any unexamined point is
@@ -15,102 +25,44 @@ in-radius neighbors and expands the rest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.core import OptimizationConfig, PRESETS
-from repro.core.join import SimilarityJoin
-from repro.util import as_points_array
+from repro.runtime.config import RuntimeConfig, _split_config
+from repro.runtime.ops import KnnConvergenceError, KnnResult, default_knn_epsilon
+from repro.runtime.plan import compile_knn_join
+from repro.runtime.runner import Runner
 
-__all__ = ["KnnResult", "knn"]
-
-_MAX_ROUNDS = 48
-
-
-@dataclass(frozen=True)
-class KnnResult:
-    """k nearest neighbors of every point (excluding the point itself)."""
-
-    indices: np.ndarray  # (N, k) neighbor ids, nearest first
-    distances: np.ndarray  # (N, k) matching distances
-    rounds: int  # ε-expansion rounds executed
-    final_epsilon: float  # radius that finalized the last points
-
-
-def _initial_epsilon(points: np.ndarray, k: int) -> float:
-    """ε whose ball is expected to hold ~2k neighbors under uniformity."""
-    n, d = points.shape
-    spans = points.max(axis=0) - points.min(axis=0)
-    volume = float(np.prod(spans[spans > 0])) or 1.0
-    density = n / volume
-    # ball volume v ~ c_d * eps^d; solve c_d * eps^d * density = 2k with
-    # the unit-cube approximation c_d = 1 (constant factors wash out in
-    # the doubling loop)
-    eff_d = int((spans > 0).sum()) or 1
-    return float((2.0 * k / density) ** (1.0 / eff_d))
+__all__ = ["KnnConvergenceError", "KnnResult", "knn"]
 
 
 def knn(
     points,
     k: int,
     *,
-    config: OptimizationConfig | None = None,
+    config: OptimizationConfig | RuntimeConfig | None = None,
+    runtime: RuntimeConfig | None = None,
     epsilon0: float | None = None,
     seed: int = 0,
 ) -> KnnResult:
     """Exact k-nearest neighbors of every point via range-join rounds.
 
     ``k`` must be smaller than the dataset size. ``epsilon0`` overrides
-    the density-based initial radius.
+    the density-based initial radius (:func:`default_knn_epsilon`).
+    ``config`` tunes the per-round optimization stack (default: the
+    WORKQUEUE preset; any unidirectional pattern is forced to ``full``,
+    which the bipartite rounds require); ``runtime`` additionally selects
+    engine, sharding, resilience and checkpointing for every round.
     """
-    pts = as_points_array(points)
-    n = pts.shape[0]
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if k >= n:
-        raise ValueError(f"k={k} requires at least k+1={k + 1} points, got {n}")
-    cfg = config if config is not None else PRESETS["workqueue"]
-    if cfg.pattern != "full":
-        cfg = cfg.with_(pattern="full")
-
-    eps = float(epsilon0) if epsilon0 is not None else _initial_epsilon(pts, k)
-    if eps <= 0:
-        raise ValueError("epsilon0 must be positive")
-
-    indices = np.full((n, k), -1, dtype=np.int64)
-    distances = np.full((n, k), np.inf)
-    pending = np.arange(n)
-
-    rounds = 0
-    while len(pending) and rounds < _MAX_ROUNDS:
-        rounds += 1
-        joiner = SimilarityJoin(cfg, seed=seed)
-        result = joiner.execute(pts[pending], pts, eps)
-        pairs = result.pairs  # (pending-local query idx, global neighbor)
-        # drop self matches
-        keep = pending[pairs[:, 0]] != pairs[:, 1]
-        pairs = pairs[keep]
-
-        counts = np.bincount(pairs[:, 0], minlength=len(pending))
-        done_local = np.flatnonzero(counts >= k)
-        if len(done_local):
-            # gather each finished query's neighbor list, sorted by distance
-            order = np.argsort(pairs[:, 0], kind="stable")
-            sp = pairs[order]
-            bounds = np.searchsorted(sp[:, 0], np.arange(len(pending) + 1))
-            for q_local in done_local:
-                nbs = sp[bounds[q_local] : bounds[q_local + 1], 1]
-                q_global = pending[q_local]
-                d = np.linalg.norm(pts[nbs] - pts[q_global], axis=1)
-                top = np.argsort(d, kind="stable")[:k]
-                indices[q_global] = nbs[top]
-                distances[q_global] = d[top]
-        pending = pending[counts < k]
-        eps *= 2.0
-
-    if len(pending):  # pragma: no cover - 2**48 expansion always suffices
-        raise RuntimeError("kNN expansion failed to converge")
-    return KnnResult(
-        indices=indices, distances=distances, rounds=rounds, final_epsilon=eps / 2.0
-    )
+    config, runtime = _split_config(config, runtime, "knn")
+    if runtime is None:
+        runtime = RuntimeConfig(
+            optimization=config if config is not None else PRESETS["workqueue"],
+            seed=seed,
+        )
+    elif config is not None:
+        runtime = runtime.with_(optimization=config)
+    if runtime.optimization.pattern != "full":
+        runtime = runtime.with_(
+            optimization=runtime.optimization.with_(pattern="full")
+        )
+    plan = compile_knn_join(points, k, runtime, epsilon0=epsilon0)
+    return Runner().run(plan)

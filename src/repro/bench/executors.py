@@ -1315,6 +1315,165 @@ def run_checkpoint(suite: BenchSuite, exp: BenchExperiment, ctx: RunContext) -> 
 
 
 # ---------------------------------------------------------------------------
+# knn experiments (the multi-round expansion driver over the generic runtime)
+
+
+def run_knn(suite: BenchSuite, exp: BenchExperiment, ctx: RunContext) -> ExperimentResult:
+    from scipy.spatial import cKDTree
+
+    from repro.core.config import PRESETS
+    from repro.resilience import CrashPoint, FaultPlan, SimulatedCrashError
+    from repro.runtime import (
+        CheckpointConfig,
+        Runner,
+        RuntimeConfig,
+        ShardingConfig,
+        compile_knn_join,
+    )
+
+    points = exp.workload.build(ctx.size, ctx.seed)
+    n = len(points)
+    eps0 = exp.workload.epsilon
+    k = exp.params["k"][ctx.size]
+    preset = PRESETS[exp.params.get("preset", "workqueue")]
+    reps = ctx.effective_trials()
+
+    def knn_plan(rc: RuntimeConfig):
+        return compile_knn_join(points, k, rc, epsilon0=eps0)
+
+    def run_with(engine: str):
+        rc = RuntimeConfig(optimization=preset, seed=ctx.seed, engine=engine)
+        return Runner().run(knn_plan(rc))
+
+    checks: list[CheckResult] = []
+    wall_t0 = time.perf_counter()
+
+    timings: dict[str, float] = {}
+    results = {"interpreted": run_with("interpreted")}
+    for engine in ("vectorized", "native"):
+        results[engine], timings[engine] = _timed(lambda e=engine: run_with(e), reps)
+    golden = results["vectorized"]
+
+    # tier-A: the three engines must agree to the byte
+    problems = []
+    for engine, res in results.items():
+        if res.indices.tobytes() != golden.indices.tobytes():
+            problems.append(f"{engine} neighbor ids diverge")
+        elif res.distances.tobytes() != golden.distances.tobytes():
+            problems.append(f"{engine} distances diverge")
+        elif res.rounds != golden.rounds:
+            problems.append(f"{engine} rounds {res.rounds} != {golden.rounds}")
+    checks.append(CheckResult("engines_bit_identical", not problems, "; ".join(problems)))
+
+    # tier-A: independent scipy oracle (continuous random data: no distance
+    # ties, so the canonical (distance, id) order is fully determined)
+    dd, ii = cKDTree(points).query(points, k=k + 1)
+    oracle_idx = np.empty((n, k), dtype=np.int64)
+    oracle_d = np.empty((n, k))
+    for row in range(n):
+        keep = ii[row] != row  # drop self; sorted by distance already
+        oracle_idx[row] = ii[row][keep][:k]
+        oracle_d[row] = dd[row][keep][:k]
+    problems = []
+    if not np.array_equal(golden.indices, oracle_idx):
+        bad = int((golden.indices != oracle_idx).any(axis=1).sum())
+        problems.append(f"neighbor ids differ from cKDTree on {bad}/{n} points")
+    if not np.allclose(golden.distances, oracle_d, rtol=1e-9, atol=0.0):
+        problems.append("distances drift from cKDTree beyond 1e-9")
+    recomputed = np.linalg.norm(points[golden.indices] - points[:, None, :], axis=2)
+    if not np.array_equal(golden.distances, recomputed):
+        problems.append("reported distances are not the exact pairwise norms")
+    checks.append(CheckResult("ckdtree_oracle_identity", not problems, "; ".join(problems)))
+
+    # tier-A: pooled execution + a kill at every dispatch ordinal, resumed
+    def pooled_rc(**kw) -> RuntimeConfig:
+        return RuntimeConfig(
+            optimization=preset,
+            seed=ctx.seed,
+            sharding=ShardingConfig(num_devices=3),
+            **kw,
+        )
+
+    pooled_golden = Runner().run(knn_plan(pooled_rc()))
+    checks.append(
+        CheckResult(
+            "pooled_matches_single",
+            pooled_golden.indices.tobytes() == golden.indices.tobytes()
+            and pooled_golden.distances.tobytes() == golden.distances.tobytes(),
+            "",
+        )
+    )
+    kill_cap = int(exp.params.get("max_kill_points", 24))
+    with tempfile.TemporaryDirectory(prefix="knn-bench-") as tmp:
+        ck = CheckpointConfig(directory=tmp)
+        resumed_ok = 0
+        fired = 0
+        problems = []
+        for kill in range(kill_cap):
+            rc = pooled_rc(
+                fault_plan=FaultPlan(seed=ctx.seed, crashes=(CrashPoint(at_shard=kill),)),
+                checkpoint=ck,
+            )
+            try:
+                Runner().run(knn_plan(rc))
+                break  # ordinal beyond the last dispatch: the run completed
+            except SimulatedCrashError:
+                fired += 1
+            resumed = Runner().resume(knn_plan(pooled_rc(checkpoint=ck)))
+            if (
+                resumed.indices.tobytes() != pooled_golden.indices.tobytes()
+                or resumed.distances.tobytes() != pooled_golden.distances.tobytes()
+                or resumed.rounds != pooled_golden.rounds
+            ):
+                problems.append(f"resume after kill@{kill} diverged")
+            else:
+                resumed_ok += 1
+        checks.append(
+            CheckResult(
+                "kill_resume_bit_identical",
+                not problems and fired > 0,
+                "; ".join(problems[:3]) if problems else f"{resumed_ok} kill points",
+            )
+        )
+        ctx.note(f"{exp.exp_id}: {golden.rounds} rounds, {fired} kill points resumed")
+
+    # tier-B: the native backend must not lose to the vectorized VM
+    speedup = timings["vectorized"] / max(timings["native"], 1e-9)
+    if size_at_least(ctx.size, "small"):
+        checks.append(
+            CheckResult(
+                "native_knn_not_slower",
+                speedup >= 1.0,
+                f"native {speedup:.2f}x vs vectorized (need >= 1x)",
+            )
+        )
+    else:
+        checks.append(_skipped("native_knn_not_slower", "small"))
+
+    wall = time.perf_counter() - wall_t0
+    h = hashlib.sha256()
+    h.update(golden.indices.tobytes())
+    h.update(golden.distances.tobytes())
+    return ExperimentResult(
+        suite_id=suite.suite_id,
+        exp_id=exp.exp_id,
+        title=exp.title,
+        wall_seconds=wall,
+        throughput=(n * k) / timings["native"] if timings["native"] > 0 else None,
+        metrics={
+            "num_points": n,
+            "k": k,
+            "rounds": golden.rounds,
+            "final_epsilon": golden.final_epsilon,
+            "checksum": h.hexdigest()[:16],
+        },
+        checks=checks,
+        budget=exp.budget,
+        headline=f"{golden.rounds} rounds, native {speedup:.1f}x",
+    )
+
+
+# ---------------------------------------------------------------------------
 
 EXECUTORS: dict[str, Callable] = {
     "model": run_model,
@@ -1326,6 +1485,7 @@ EXECUTORS: dict[str, Callable] = {
     "resilience": run_resilience,
     "serve": run_serve,
     "checkpoint": run_checkpoint,
+    "knn": run_knn,
 }
 
 

@@ -553,6 +553,47 @@ register_suite(
 
 register_suite(
     BenchSuite(
+        suite_id="knn",
+        title="kNN join: the multi-round expansion driver",
+        description=(
+            "The kNN-join driver (round r queries at eps0 * growth**r over "
+            "the residual) on skewed and uniform data: neighbors must match "
+            "a scipy cKDTree oracle, be bit-identical across all three "
+            "engines and on the device pool, and survive a kill at every "
+            "dispatch ordinal with a journal resume; native must not lose "
+            "to the vectorized VM at scale."
+        ),
+        experiments=tuple(
+            BenchExperiment(
+                exp_id=f"knn_{name}",
+                title=f"kNN driver on {name}",
+                kind="knn",
+                workload=Workload(
+                    dataset=dataset,
+                    epsilon=eps0,
+                    points={"tiny": 250, "small": 500, "full": 1500},
+                    seed_offset=offset,
+                ),
+                budget=Budget(
+                    wall_seconds={"tiny": 60.0, "small": 180.0, "full": 1200.0},
+                    tolerance=0.5,
+                ),
+                params={
+                    "k": {"tiny": 4, "small": 8, "full": 8},
+                    "max_kill_points": 24,
+                },
+            )
+            for name, dataset, eps0, offset in (
+                ("expo", "expo2d", 0.05, 1),
+                ("unif", "unif2d", 0.05, 2),
+            )
+        ),
+    )
+)
+
+
+register_suite(
+    BenchSuite(
         suite_id="checkpoint",
         title="Durable checkpoint overhead + crash/resume identity",
         description=(

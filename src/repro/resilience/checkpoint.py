@@ -112,17 +112,16 @@ def run_fingerprint(plan) -> str:
     """Content identity of one compiled :class:`~repro.runtime.plan.JoinPlan`.
 
     Covers the op kind, the indexed dataset (+ grid spec, via
-    :meth:`GridIndex.fingerprint`), the query side of bipartite joins,
-    the query subset, and :func:`config_identity`.
+    :meth:`GridIndex.fingerprint`), the op's extra identity bytes
+    (:meth:`~repro.runtime.ops.JoinOp.fingerprint_extras` — the query
+    side of bipartite joins; ``k`` and the ε-schedule of kNN joins), the
+    query subset, and :func:`config_identity`.
     """
-    from repro.grid import dataset_fingerprint
-
     h = hashlib.sha256()
     h.update(plan.op.kind.encode())
     h.update(plan.index.fingerprint().encode())
-    queries = getattr(plan.op, "queries", None)
-    if queries is not None:
-        h.update(dataset_fingerprint(queries).encode())
+    for chunk in plan.op.fingerprint_extras():
+        h.update(chunk)
     if plan.subset is None:
         h.update(b"subset:all")
     else:

@@ -6,14 +6,19 @@ The plan/compile/execute split of the codebase:
   (engine, overflow policy, sharding, recovery, fault injection,
   profiling) alongside the paper's
   :class:`~repro.core.config.OptimizationConfig`;
-- ``compile_self_join`` / ``compile_similarity_join`` turn a config plus
-  data into a declarative :class:`JoinPlan` (index build → estimate →
-  shard plan → batch launches → merge), with resilience applied as a
-  plan transform;
+- the :mod:`repro.runtime.ops` registry holds one declarative strategy
+  per operation (``self``, ``bipartite``, ``knn``), and the generic
+  ``compile_join(op, index, runtime)`` turns any of them into a
+  declarative :class:`JoinPlan` (index build → op planning stages →
+  shard plan → batch launches → merge), with resilience and
+  checkpointing applied as plan transforms; ``compile_self_join`` /
+  ``compile_similarity_join`` / ``compile_knn_join`` are thin
+  op-constructing wrappers;
 - one :class:`Runner` executes any plan, on a lone
   :class:`~repro.core.executor.DeviceExecutor` or a
   :class:`~repro.multigpu.pool.DevicePool` — single-device is simply the
-  one-shard case.
+  one-shard case, and the kNN driver loop runs its per-round sub-plans
+  through the same runner.
 
 The public facades (:class:`~repro.core.selfjoin.SelfJoin`,
 :class:`~repro.core.join.SimilarityJoin`, :mod:`repro.multigpu`'s pooled
@@ -32,9 +37,22 @@ from repro.runtime.config import (
     ShardingConfig,
 )
 from repro.runtime.native import execute_shard_native, native_query_order
+from repro.runtime.ops import (
+    OPS,
+    BipartiteOp,
+    JoinOp,
+    KnnConvergenceError,
+    KnnJoinOp,
+    KnnResult,
+    SelfJoinOp,
+    default_knn_epsilon,
+    get_op,
+    register_op,
+)
 from repro.runtime.plan import (
     CheckpointStage,
     EstimateStage,
+    ExpansionStage,
     IndexStage,
     JoinPlan,
     LaunchStage,
@@ -44,6 +62,8 @@ from repro.runtime.plan import (
     ShardStage,
     apply_checkpoint,
     apply_resilience,
+    compile_join,
+    compile_knn_join,
     compile_self_join,
     compile_similarity_join,
 )
@@ -56,15 +76,22 @@ from repro.runtime.runner import (
 
 __all__ = [
     "NATIVE_ENGINE",
+    "OPS",
     "REPLAY_MODES",
     "RUNTIME_ENGINES",
     "WORKER_BACKENDS",
+    "BipartiteOp",
     "CheckpointConfig",
     "CheckpointStage",
     "DeadlineExceededError",
     "EstimateStage",
+    "ExpansionStage",
     "IndexStage",
+    "JoinOp",
     "JoinPlan",
+    "KnnConvergenceError",
+    "KnnJoinOp",
+    "KnnResult",
     "LaunchStage",
     "MergeStage",
     "NativeLaunchStage",
@@ -73,14 +100,20 @@ __all__ = [
     "ResilienceStage",
     "Runner",
     "RuntimeConfig",
+    "SelfJoinOp",
     "ShardStage",
     "ShardingConfig",
     "apply_checkpoint",
     "apply_resilience",
+    "compile_join",
+    "compile_knn_join",
     "compile_self_join",
     "compile_similarity_join",
+    "default_knn_epsilon",
     "execute_shard",
     "execute_shard_native",
     "executor_from_runtime",
+    "get_op",
     "native_query_order",
+    "register_op",
 ]

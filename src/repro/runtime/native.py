@@ -14,6 +14,13 @@ each block is refined with one vectorized distance pass.
 Results carry ``fidelity="none"``: ``batch_stats`` is empty, WEE is
 undefined, and the pipeline times are host wall-clock seconds.
 
+Dispatch is by the registry op's ``kind`` (:mod:`repro.runtime.ops`):
+``"self"`` walks the half-neighborhood scheme above, every other kind is
+executed through the op's ``queries`` attribute as a bipartite sweep.
+The kNN driver never reaches this module directly — each of its
+expansion rounds compiles to a bipartite sub-plan, so kNN-on-native is
+just this backend run once per round.
+
 The module also hosts the process worker backend
 (``ShardingConfig(workers="process")``): shards of a pooled native join
 fan out over a ``ProcessPoolExecutor`` whose workers share the dataset

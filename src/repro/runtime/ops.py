@@ -1,14 +1,30 @@
-"""Join operation strategies: the op-specific half of a shard execution.
+"""The operation registry: every join workload as a declarative strategy.
 
-A :class:`~repro.runtime.plan.JoinPlan` is op-agnostic — estimate, shard,
-launch, merge — but three decisions differ between the self-join and the
-bipartite join: how the query order D' is derived (and restricted to a
-shard's subset), how the result size is estimated, and which kernel with
-which argument pack runs each batch. Each op bundles exactly those three,
-so the :class:`~repro.runtime.runner.Runner` executes either join through
-one code path.
+A :class:`~repro.runtime.plan.JoinPlan` is op-agnostic — index, estimate,
+shard, launch, merge — and one generic
+:func:`~repro.runtime.plan.compile_join` builds the stage list for *any*
+registered operation. What differs between workloads is bundled here, on
+the op object itself:
 
-The bodies here are the former private planning code of
+- how the query order D' is derived (and restricted to a shard's subset),
+  how the result size is estimated, and which kernel with which argument
+  pack runs each batch (``prepare`` / ``make_args`` — the shard-execution
+  half);
+- which planning stages the compiled plan carries, how the query side is
+  sharded across devices, and which bytes beyond the indexed dataset
+  enter the run's checkpoint fingerprint (``plan_stages`` /
+  ``shard_plan`` / ``fingerprint_extras`` — the compile half).
+
+Three operations register themselves: :class:`SelfJoinOp` (kind
+``"self"``), :class:`BipartiteOp` (kind ``"bipartite"``) and
+:class:`KnnJoinOp` (kind ``"knn"``) — the adaptive ε-expansion
+k-nearest-neighbor driver whose rounds are residual bipartite sub-plans
+(see :meth:`repro.runtime.runner.Runner`). New workload families add a
+class here and decorate it with :func:`register_op`; they inherit
+sharding, resilience, checkpointing and serving without touching the
+runner.
+
+The self/bipartite bodies are the former private planning code of
 :class:`~repro.core.selfjoin.SelfJoin` and
 :class:`~repro.core.join.SimilarityJoin`, moved — not rewritten — so the
 refactor preserves every result bit-for-bit (the golden equivalence suite
@@ -18,6 +34,7 @@ in ``tests/runtime`` holds it to that).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -31,7 +48,47 @@ from repro.grid.bipartite import bipartite_neighbor_counts, bipartite_workloads
 from repro.simt import AtomicCounter
 from repro.util import as_points_array, stable_argsort_desc
 
-__all__ = ["BipartiteOp", "SelfJoinOp", "ShardPrep"]
+__all__ = [
+    "OPS",
+    "BipartiteOp",
+    "JoinOp",
+    "KnnConvergenceError",
+    "KnnJoinOp",
+    "KnnResult",
+    "SelfJoinOp",
+    "ShardPrep",
+    "default_knn_epsilon",
+    "get_op",
+    "register_op",
+]
+
+#: kind -> op class, filled by :func:`register_op`
+OPS: dict[str, type] = {}
+
+
+def register_op(cls: type) -> type:
+    """Class decorator: register an operation under its ``kind``.
+
+    The registry is what makes the compile layer open: generic
+    ``compile_join`` consults only the op protocol, and
+    :func:`get_op` lets callers (the serving layer, benchmark executors)
+    resolve an op class from its wire-level kind string.
+    """
+    kind = getattr(cls, "kind", "")
+    if not kind:
+        raise ValueError("an op class must define a non-empty `kind`")
+    OPS[kind] = cls
+    return cls
+
+
+def get_op(kind: str) -> type:
+    """The registered op class for ``kind``; raises ``KeyError`` if absent."""
+    try:
+        return OPS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown op kind {kind!r}; registered: {sorted(OPS)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -48,14 +105,69 @@ class ShardPrep:
     weights: np.ndarray | None
 
 
-class SelfJoinOp:
+class JoinOp:
+    """The declarative protocol generic ``compile_join`` asks of an op.
+
+    Subclasses set ``kind`` (the registry key and wire-level name),
+    ``kernel_name`` (recorded on the plan's launch stage) and
+    ``shardable`` (whether a pooled runtime splits *this plan* into a
+    device-level :class:`~repro.runtime.plan.ShardStage`; multi-round
+    driver ops shard their sub-plans instead), and override the hooks
+    their workload needs. The defaults describe a single-pass batched
+    join.
+    """
+
+    kind = ""
+    kernel_name = ""
+    shardable = True
+
+    def validate(self, runtime) -> None:
+        """Reject runtime configs this op cannot honor (default: none)."""
+
+    def plan_stages(self, index: GridIndex, runtime) -> list:
+        """Op-specific planning stages between index and shard/launch."""
+        from repro.runtime.plan import EstimateStage
+
+        opt = runtime.optimization
+        return [
+            EstimateStage(
+                mode="head" if opt.work_queue else "strided",
+                sample_fraction=opt.sample_fraction,
+                safety_z=runtime.estimate_safety_z,
+            )
+        ]
+
+    def shard_plan(self, index: GridIndex, runtime):
+        """Device-level shard plan of the query side (pooled runtimes)."""
+        raise NotImplementedError(f"op {self.kind!r} does not shard")
+
+    def fingerprint_extras(self) -> tuple[bytes, ...]:
+        """Bytes beyond the indexed dataset that identify this op's run
+        (query sides, parameter schedules); folded into
+        :func:`repro.resilience.checkpoint.run_fingerprint`."""
+        return ()
+
+
+@register_op
+class SelfJoinOp(JoinOp):
     """The self-join's op: symmetric patterns, in-index queries."""
 
     kind = "self"
+    kernel_name = "selfjoin_kernel"
     kernel = staticmethod(selfjoin_kernel)
 
     def __init__(self, *, include_self: bool = True):
         self.include_self = include_self
+
+    def shard_plan(self, index: GridIndex, runtime):
+        from repro.multigpu.sharding import plan_shards
+
+        return plan_shards(
+            index,
+            runtime.sharding.num_shards,
+            runtime.sharding.planner,
+            pattern=runtime.optimization.pattern,
+        )
 
     def describe(self, cfg: OptimizationConfig) -> str:
         return cfg.describe()
@@ -130,14 +242,38 @@ class SelfJoinOp:
         return factory
 
 
-class BipartiteOp:
+@register_op
+class BipartiteOp(JoinOp):
     """The bipartite join's op: external queries, full pattern only."""
 
     kind = "bipartite"
+    kernel_name = "bipartite_kernel"
     kernel = staticmethod(bipartite_kernel)
 
     def __init__(self, queries):
         self.queries = as_points_array(queries)
+
+    def validate(self, runtime) -> None:
+        if runtime.optimization.pattern != "full":
+            raise ValueError(
+                "unidirectional patterns exploit self-join symmetry; the "
+                "bipartite join requires pattern='full'"
+            )
+
+    def shard_plan(self, index: GridIndex, runtime):
+        from repro.multigpu.sharding import plan_query_shards
+
+        workloads, _ = bipartite_workloads(index, self.queries)
+        return plan_query_shards(
+            workloads.astype(np.float64),
+            runtime.sharding.num_shards,
+            runtime.sharding.planner,
+        )
+
+    def fingerprint_extras(self) -> tuple[bytes, ...]:
+        from repro.grid import dataset_fingerprint
+
+        return (dataset_fingerprint(self.queries).encode(),)
 
     def describe(self, cfg: OptimizationConfig) -> str:
         return f"bipartite {cfg.describe()}"
@@ -217,3 +353,187 @@ class BipartiteOp:
             )
 
         return factory
+
+
+# ----------------------------------------------------------------------
+# The k-nearest-neighbor join: a multi-round driver op
+
+
+_KNN_MAX_ROUNDS = 48
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """k nearest neighbors of every point (excluding the point itself).
+
+    ``total_seconds`` sums the simulated time of every ε-expansion round
+    (resume-stable: journaled rounds replay their recorded timings), and
+    the ``pairs``/``num_pairs``/``iter_pairs`` surface mirrors
+    :class:`~repro.core.result.JoinResult` so serving-layer accounting
+    and streaming work on KNN results unchanged.
+    """
+
+    indices: np.ndarray  # (N, k) neighbor ids, nearest first
+    distances: np.ndarray  # (N, k) matching distances
+    rounds: int  # ε-expansion rounds executed
+    final_epsilon: float  # radius that finalized the last points
+    total_seconds: float = 0.0  # simulated seconds across all rounds
+
+    @property
+    def pairs(self) -> np.ndarray:
+        """``(N*k, 2)`` rows ``(query, neighbor)``, each query's k nearest
+        in order — the join-shaped view of the neighbor lists."""
+        n, k = self.indices.shape
+        queries = np.repeat(np.arange(n, dtype=np.int64), k)
+        return np.column_stack([queries, self.indices.reshape(-1)])
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.indices.size)
+
+    def iter_pairs(self, chunk: int | None = None) -> Iterator[np.ndarray]:
+        """Yield the join-shaped pairs in blocks of ``chunk`` rows."""
+        pairs = self.pairs
+        if chunk is None:
+            if len(pairs):
+                yield pairs
+            return
+        if chunk < 1:
+            raise ValueError("chunk must be a positive row count")
+        for start in range(0, len(pairs), chunk):
+            yield pairs[start : start + chunk]
+
+
+class KnnConvergenceError(RuntimeError):
+    """The ε-expansion ran out of rounds with queries still pending.
+
+    Carries the unfinished query ids (``pending``), the rounds executed
+    and the last radius tried, so callers can diagnose the dataset (or
+    re-run with a larger ``epsilon0``/``max_rounds``).
+    """
+
+    def __init__(self, pending: np.ndarray, *, rounds: int, epsilon: float):
+        self.pending = np.asarray(pending, dtype=np.int64)
+        self.rounds = int(rounds)
+        self.epsilon = float(epsilon)
+        super().__init__(
+            f"kNN expansion failed to converge after {self.rounds} rounds "
+            f"(last ε={self.epsilon:g}); {len(self.pending)} queries pending"
+        )
+
+
+def default_knn_epsilon(points: np.ndarray, k: int) -> float:
+    """ε whose ball is expected to hold ~2k neighbors under uniformity."""
+    n, d = points.shape
+    spans = points.max(axis=0) - points.min(axis=0)
+    volume = float(np.prod(spans[spans > 0])) or 1.0
+    density = n / volume
+    # ball volume v ~ c_d * eps^d; solve c_d * eps^d * density = 2k with
+    # the unit-cube approximation c_d = 1 (constant factors wash out in
+    # the doubling loop)
+    eff_d = int((spans > 0).sum()) or 1
+    return float((2.0 * k / density) ** (1.0 / eff_d))
+
+
+@register_op
+class KnnJoinOp(JoinOp):
+    """Exact kNN via adaptive ε-expansion: a multi-round driver op.
+
+    The compiled plan carries an
+    :class:`~repro.runtime.plan.ExpansionStage` instead of an estimate —
+    the runner's driver loop compiles one residual *bipartite* sub-plan
+    per round (still-pending queries against the full dataset at the
+    round's radius), so every round inherits the runtime's engine,
+    sharding, recovery, fault and checkpoint configuration unchanged.
+    ``shardable`` is ``False``: the driver plan itself carries no
+    :class:`~repro.runtime.plan.ShardStage`; pooled runtimes shard each
+    round's sub-plan.
+
+    ``index_factory`` (optional, ``epsilon -> GridIndex`` over
+    ``points``) lets a caller with an index cache — the serving layer's
+    session cache — supply each round's grid; by default the op builds
+    one per radius.
+    """
+
+    kind = "knn"
+    kernel_name = "bipartite_kernel"
+    kernel = staticmethod(bipartite_kernel)
+    shardable = False
+
+    def __init__(
+        self,
+        points,
+        k: int,
+        *,
+        epsilon0: float | None = None,
+        growth: float = 2.0,
+        max_rounds: int = _KNN_MAX_ROUNDS,
+        index_factory=None,
+    ):
+        self.points = as_points_array(points)
+        n = self.points.shape[0]
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k >= n:
+            raise ValueError(
+                f"k={k} requires at least k+1={k + 1} points, got {n}"
+            )
+        eps = (
+            float(epsilon0)
+            if epsilon0 is not None
+            else default_knn_epsilon(self.points, k)
+        )
+        if not (eps > 0) or not np.isfinite(eps):
+            raise ValueError("epsilon0 must be positive")
+        if not (growth > 1.0):
+            raise ValueError("growth must be > 1")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.k = int(k)
+        self.epsilon0 = eps
+        self.growth = float(growth)
+        self.max_rounds = int(max_rounds)
+        self.index_factory = index_factory
+
+    def describe(self, cfg: OptimizationConfig) -> str:
+        return f"knn[k={self.k}] {cfg.describe()}"
+
+    def result_epsilon(self, index: GridIndex) -> float:
+        return self.epsilon0
+
+    def total_points(self, index: GridIndex) -> int:
+        return len(self.points)
+
+    def validate(self, runtime) -> None:
+        if runtime.optimization.pattern != "full":
+            raise ValueError(
+                "unidirectional patterns exploit self-join symmetry; the "
+                "kNN join's bipartite rounds require pattern='full'"
+            )
+
+    def plan_stages(self, index: GridIndex, runtime) -> list:
+        from repro.runtime.plan import ExpansionStage
+
+        return [
+            ExpansionStage(
+                k=self.k,
+                epsilon0=self.epsilon0,
+                growth=self.growth,
+                max_rounds=self.max_rounds,
+            )
+        ]
+
+    def fingerprint_extras(self) -> tuple[bytes, ...]:
+        # k + (epsilon0, growth, max_rounds) pin the whole ε-schedule:
+        # round r always runs at epsilon0 * growth**r
+        return (
+            f"knn:k={self.k}:eps0={self.epsilon0!r}:"
+            f"growth={self.growth!r}:rounds={self.max_rounds}".encode(),
+        )
+
+    def build_index(self, epsilon: float) -> GridIndex:
+        """The grid one round queries against (via ``index_factory`` when
+        the caller caches indexes per radius)."""
+        if self.index_factory is not None:
+            return self.index_factory(float(epsilon))
+        return GridIndex(self.points, float(epsilon))

@@ -1,15 +1,22 @@
 """The declarative :class:`JoinPlan` IR: what a join *will* do, as data.
 
-``compile_self_join`` / ``compile_similarity_join`` turn (index, queries,
+One generic :func:`compile_join` turns (op, index,
 :class:`~repro.runtime.config.RuntimeConfig`) into a linear stage list —
 
-    index build → result-size estimate → [shard plan] → batch launches
-    → [resilience] → merge
+    index build → op planning stages → [shard plan] → batch launches
+    → [resilience] → [checkpoint] → merge
 
-— without executing anything. The :class:`~repro.runtime.runner.Runner`
-then walks the stages; facades no longer own execution logic. Because a
-plan is plain data, it can be inspected, printed (``describe()``), and
-transformed: :func:`apply_resilience` is such a transform, splicing a
+— without executing anything. The op (a strategy from the
+:mod:`repro.runtime.ops` registry) declares its planning stages (a
+result-size :class:`EstimateStage` for single-pass joins, an
+:class:`ExpansionStage` for the multi-round kNN driver), how its query
+side shards across devices, and which kernel the launch stage records;
+``compile_self_join`` / ``compile_similarity_join`` /
+``compile_knn_join`` are thin op-constructing wrappers over the one
+pipeline. The :class:`~repro.runtime.runner.Runner` then walks the
+stages; facades no longer own execution logic. Because a plan is plain
+data, it can be inspected, printed (``describe()``), and transformed:
+:func:`apply_resilience` is such a transform, splicing a
 :class:`ResilienceStage` into a compiled plan when the runtime carries a
 fault plan or a recovery policy.
 
@@ -28,7 +35,7 @@ import numpy as np
 
 from repro.grid import GridIndex
 from repro.runtime.config import NATIVE_ENGINE, RuntimeConfig
-from repro.runtime.ops import BipartiteOp, SelfJoinOp
+from repro.runtime.ops import BipartiteOp, JoinOp, KnnJoinOp, SelfJoinOp
 
 if TYPE_CHECKING:
     from repro.multigpu.sharding import ShardPlan
@@ -38,6 +45,7 @@ if TYPE_CHECKING:
 __all__ = [
     "CheckpointStage",
     "EstimateStage",
+    "ExpansionStage",
     "IndexStage",
     "JoinPlan",
     "LaunchStage",
@@ -47,6 +55,8 @@ __all__ = [
     "ShardStage",
     "apply_checkpoint",
     "apply_resilience",
+    "compile_join",
+    "compile_knn_join",
     "compile_self_join",
     "compile_similarity_join",
 ]
@@ -76,6 +86,23 @@ class EstimateStage:
     mode: str  # "head" (WORKQUEUE) or "strided"
     sample_fraction: float
     safety_z: float
+
+
+@dataclass(frozen=True)
+class ExpansionStage:
+    """The kNN driver's ε-schedule: multi-round residual sub-plans.
+
+    Replaces the single-pass :class:`EstimateStage`: instead of one
+    estimated launch, the runner loops rounds ``r = 0, 1, …`` at radius
+    ``epsilon0 * growth**r``, compiling a residual bipartite sub-plan
+    over the still-pending queries each time, until every query has k
+    in-radius neighbors (or ``max_rounds`` is exhausted).
+    """
+
+    k: int
+    epsilon0: float
+    growth: float
+    max_rounds: int
 
 
 @dataclass(frozen=True)
@@ -153,6 +180,7 @@ class MergeStage:
 Stage = (
     IndexStage
     | EstimateStage
+    | ExpansionStage
     | ShardStage
     | LaunchStage
     | NativeLaunchStage
@@ -166,7 +194,7 @@ Stage = (
 class JoinPlan:
     """A compiled join: op + index + config + the declarative stage list."""
 
-    op: SelfJoinOp | BipartiteOp
+    op: JoinOp
     index: GridIndex
     config: RuntimeConfig
     stages: tuple[Stage, ...]
@@ -191,6 +219,10 @@ class JoinPlan:
     def launch_stage(self) -> LaunchStage | NativeLaunchStage:
         stage = self.stage(LaunchStage)
         return stage if stage is not None else self.stage(NativeLaunchStage)
+
+    @property
+    def expansion_stage(self) -> ExpansionStage | None:
+        return self.stage(ExpansionStage)
 
     @property
     def resilience_stage(self) -> ResilienceStage | None:
@@ -218,6 +250,11 @@ class JoinPlan:
                 z = f" z={s.safety_z:g}" if s.safety_z else ""
                 lines.append(
                     f"  estimate {s.mode} sample={s.sample_fraction:g}{z}"
+                )
+            elif isinstance(s, ExpansionStage):
+                lines.append(
+                    f"  expand   k={s.k} eps0={s.epsilon0:g} "
+                    f"growth={s.growth:g} max_rounds={s.max_rounds}"
                 )
             elif isinstance(s, ShardStage):
                 lines.append(
@@ -296,38 +333,36 @@ def _pooled_description(runtime: RuntimeConfig, inner: str) -> str:
     return f"multigpu[{s.num_devices}dev {s.planner}/{s.schedule}{tag}] {inner}"
 
 
-def compile_self_join(
+def compile_join(
+    op: JoinOp,
     index: GridIndex,
     runtime: RuntimeConfig,
     *,
     subset: np.ndarray | None = None,
     index_reused: bool = False,
 ) -> JoinPlan:
-    """Compile a self-join over a prebuilt index into a :class:`JoinPlan`.
+    """Compile any registered op over a prebuilt index into a plan.
+
+    The one generic pipeline: the op validates the runtime, contributes
+    its planning stages (estimate or expansion), and — on pooled
+    runtimes, when the op is shardable and no ``subset`` narrows the
+    query side — its device-level shard plan. Resilience and
+    checkpointing are applied as plan transforms at the end, so every
+    operation inherits them uniformly.
 
     ``subset`` restricts the query side (one shard of a larger join) and
     forces a single-device plan — sharding a shard is not a thing.
     ``index_reused`` marks the index as served from a cache (the plan
     skips the build cost; see :class:`IndexStage`).
     """
+    op.validate(runtime)
     opt = runtime.optimization
-    stages: list[Stage] = [
-        _index_stage(index, reused=index_reused),
-        EstimateStage(
-            mode="head" if opt.work_queue else "strided",
-            sample_fraction=opt.sample_fraction,
-            safety_z=runtime.estimate_safety_z,
-        ),
-    ]
+    stages: list[Stage] = [_index_stage(index, reused=index_reused)]
+    stages.extend(op.plan_stages(index, runtime))
     dedup = False
-    description = opt.describe()
-    if runtime.pooled and subset is None:
-        from repro.multigpu.sharding import plan_shards
-
-        shard_plan = plan_shards(
-            index, runtime.sharding.num_shards, runtime.sharding.planner,
-            pattern=opt.pattern,
-        )
+    description = op.describe(opt)
+    if runtime.pooled and subset is None and op.shardable:
+        shard_plan = op.shard_plan(index, runtime)
         stages.append(
             ShardStage(
                 plan=shard_plan,
@@ -337,16 +372,37 @@ def compile_self_join(
         )
         dedup = shard_plan.may_duplicate
         description = _pooled_description(runtime, description)
-    stages.append(_launch_stage("selfjoin_kernel", runtime))
+    elif runtime.pooled and not op.shardable:
+        # driver ops shard their per-round sub-plans, not the plan itself;
+        # the description still records the pooled execution shape
+        description = _pooled_description(runtime, description)
+    stages.append(_launch_stage(op.kernel_name, runtime))
     stages.append(MergeStage(dedup=dedup, description=description))
     plan = JoinPlan(
-        op=SelfJoinOp(include_self=runtime.include_self),
-        index=index,
-        config=runtime,
-        stages=tuple(stages),
-        subset=subset,
+        op=op, index=index, config=runtime, stages=tuple(stages), subset=subset
     )
     return apply_checkpoint(apply_resilience(plan))
+
+
+def compile_self_join(
+    index: GridIndex,
+    runtime: RuntimeConfig,
+    *,
+    subset: np.ndarray | None = None,
+    index_reused: bool = False,
+) -> JoinPlan:
+    """Compile a self-join over a prebuilt index into a :class:`JoinPlan`.
+
+    A thin wrapper over :func:`compile_join` with a
+    :class:`~repro.runtime.ops.SelfJoinOp`.
+    """
+    return compile_join(
+        SelfJoinOp(include_self=runtime.include_self),
+        index,
+        runtime,
+        subset=subset,
+        index_reused=index_reused,
+    )
 
 
 def compile_similarity_join(
@@ -359,52 +415,51 @@ def compile_similarity_join(
 ) -> JoinPlan:
     """Compile a bipartite join (``queries`` ⋈ indexed dataset).
 
-    The configuration must use ``pattern="full"`` — the unidirectional
-    patterns exploit self-join symmetry the bipartite join does not have.
-    ``index_reused`` marks B's index as served from a cache.
+    A thin wrapper over :func:`compile_join` with a
+    :class:`~repro.runtime.ops.BipartiteOp`. The configuration must use
+    ``pattern="full"`` — the unidirectional patterns exploit self-join
+    symmetry the bipartite join does not have. ``index_reused`` marks
+    B's index as served from a cache.
     """
-    opt = runtime.optimization
-    if opt.pattern != "full":
-        raise ValueError(
-            "unidirectional patterns exploit self-join symmetry; the "
-            "bipartite join requires pattern='full'"
-        )
-    op = BipartiteOp(queries)
-    stages: list[Stage] = [
-        _index_stage(index, reused=index_reused),
-        EstimateStage(
-            mode="head" if opt.work_queue else "strided",
-            sample_fraction=opt.sample_fraction,
-            safety_z=runtime.estimate_safety_z,
-        ),
-    ]
-    dedup = False
-    description = op.describe(opt)
-    if runtime.pooled and subset is None:
-        from repro.grid.bipartite import bipartite_workloads
-        from repro.multigpu.sharding import plan_query_shards
-
-        workloads, _ = bipartite_workloads(index, op.queries)
-        shard_plan = plan_query_shards(
-            workloads.astype(np.float64),
-            runtime.sharding.num_shards,
-            runtime.sharding.planner,
-        )
-        stages.append(
-            ShardStage(
-                plan=shard_plan,
-                schedule=runtime.sharding.schedule,
-                num_devices=runtime.sharding.num_devices,
-            )
-        )
-        dedup = shard_plan.may_duplicate
-        description = _pooled_description(runtime, description)
-    stages.append(_launch_stage("bipartite_kernel", runtime))
-    stages.append(MergeStage(dedup=dedup, description=description))
-    plan = JoinPlan(
-        op=op, index=index, config=runtime, stages=tuple(stages), subset=subset
+    return compile_join(
+        BipartiteOp(queries),
+        index,
+        runtime,
+        subset=subset,
+        index_reused=index_reused,
     )
-    return apply_checkpoint(apply_resilience(plan))
+
+
+def compile_knn_join(
+    points,
+    k: int,
+    runtime: RuntimeConfig,
+    *,
+    epsilon0: float | None = None,
+    growth: float = 2.0,
+    max_rounds: int | None = None,
+    index_factory=None,
+    index_reused: bool = False,
+) -> JoinPlan:
+    """Compile the k-nearest-neighbor join of ``points`` with itself.
+
+    The plan is a multi-round *driver*: an :class:`ExpansionStage`
+    records the ε-schedule (``epsilon0 * growth**r``, defaulting
+    ``epsilon0`` to the density heuristic of
+    :func:`~repro.runtime.ops.default_knn_epsilon`), and the runner
+    compiles, executes and journals one residual bipartite sub-plan per
+    round — each round re-queries only the still-pending points and
+    inherits the runtime's engine/sharding/recovery/fault/checkpoint
+    configuration unchanged. ``index_factory`` (``epsilon ->
+    GridIndex``) lets a caching caller supply each round's grid;
+    ``index_reused`` marks the round-0 index as cache-served.
+    """
+    kwargs = {"epsilon0": epsilon0, "growth": growth, "index_factory": index_factory}
+    if max_rounds is not None:
+        kwargs["max_rounds"] = max_rounds
+    op = KnnJoinOp(points, k, **kwargs)
+    index = op.build_index(op.epsilon0)
+    return compile_join(op, index, runtime, index_reused=index_reused)
 
 
 def apply_resilience(plan: JoinPlan) -> JoinPlan:

@@ -34,7 +34,7 @@ from repro.resilience.executor import FaultyExecutor
 from repro.resilience.faults import SimulatedCrashError
 from repro.runtime.config import NATIVE_ENGINE, RuntimeConfig
 from repro.runtime.native import execute_shard_native, run_shards_process
-from repro.runtime.plan import JoinPlan, NativeLaunchStage
+from repro.runtime.plan import ExpansionStage, JoinPlan, NativeLaunchStage
 from repro.simt import AtomicCounter, BufferOverflowError, CostParams, DeviceSpec
 
 __all__ = [
@@ -66,6 +66,12 @@ class _Deadline:
     def check(self, where: str) -> None:
         if self._expires is not None and time.monotonic() >= self._expires:
             raise DeadlineExceededError(f"deadline exceeded before {where}")
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0), or ``None`` for no deadline."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - time.monotonic())
 
 
 def executor_from_runtime(
@@ -252,6 +258,8 @@ class Runner:
     def _execute(self, plan: JoinPlan, *, resume: bool, deadline_seconds):
         deadline = _Deadline(deadline_seconds)
         self.last_checkpoint_stats = None
+        if plan.stage(ExpansionStage) is not None:
+            return self._run_knn(plan, resume=resume, deadline=deadline)
         if plan.pooled:
             return self._run_pooled(plan, resume=resume, deadline=deadline)
         return self._run_single(plan, resume=resume, deadline=deadline)
@@ -318,6 +326,137 @@ class Runner:
             self.last_checkpoint_stats = journal.stats
             journal.finalize(keep=plan.checkpoint_stage.keep)
         return result
+
+    def _run_knn(self, plan: JoinPlan, *, resume: bool, deadline: _Deadline):
+        """Drive a kNN plan: one residual bipartite sub-plan per ε round.
+
+        Round ``r`` joins the still-pending queries against the full
+        dataset at radius ``epsilon0 * growth**r``; queries with ≥ k
+        in-radius neighbors are finalized (their true k nearest are
+        within ε — any unexamined point is farther), the rest expand.
+        Sub-plans are compiled with the *same* runtime config, so rounds
+        inherit engine, sharding, recovery, faults and checkpointing
+        unchanged.
+
+        Checkpointing is two-level: the driver journal (shard id =
+        round) persists each round's *merged* result, while the round's
+        own sub-journal persists its shards as it runs. ``resume``
+        replays completed rounds from the driver journal — evolving the
+        pending set deterministically without re-execution — and resumes
+        the first incomplete round mid-round from its sub-journal, so
+        the final :class:`~repro.runtime.ops.KnnResult` is byte-identical
+        to the uninterrupted run. A ``CrashPoint``'s ``at_shard`` counts
+        shard dispatches across all executed rounds; the driver
+        translates the ordinal into each round's frame.
+        """
+        import dataclasses
+
+        from repro.runtime.ops import KnnConvergenceError, KnnResult
+        from repro.runtime.plan import compile_similarity_join
+
+        rc = plan.config
+        op = plan.op
+        expand = plan.expansion_stage
+        pts = op.points
+        n = len(pts)
+        k = expand.k
+
+        journal = self._open_journal(plan, expand.max_rounds)
+        if journal is not None:
+            # live stats: visible even when a crash interrupts the run
+            self.last_checkpoint_stats = journal.stats
+        completed = journal.load_completed() if (journal is not None and resume) else {}
+        crash = rc.fault_plan.crash_point() if rc.fault_plan is not None else None
+        dispatched = 0  # shard dispatches across executed rounds
+
+        indices = np.full((n, k), -1, dtype=np.int64)
+        distances = np.full((n, k), np.inf)
+        pending = np.arange(n)
+        eps = expand.epsilon0
+        total_seconds = 0.0
+        rounds = 0
+        inner = Runner(executor=self.executor, pool=self.pool)
+
+        while len(pending) and rounds < expand.max_rounds:
+            r = rounds
+            rounds += 1
+            result = completed.get(r)
+            if result is None:
+                deadline.check(f"knn round {r}")
+                round_rc = rc
+                if crash is not None:
+                    # shift the global crash ordinal into this round's
+                    # frame; a round it cannot reach runs to completion
+                    offset = max(0, crash.at_shard - dispatched)
+                    round_rc = rc.with_(
+                        fault_plan=dataclasses.replace(
+                            rc.fault_plan,
+                            crashes=(dataclasses.replace(crash, at_shard=offset),),
+                        )
+                    )
+                index = plan.index if r == 0 else op.build_index(eps)
+                round_plan = compile_similarity_join(index, pts[pending], round_rc)
+                if resume and round_plan.checkpoint_stage is not None:
+                    result = inner.resume(
+                        round_plan, deadline_seconds=deadline.remaining()
+                    )
+                else:
+                    result = inner.run(
+                        round_plan, deadline_seconds=deadline.remaining()
+                    )
+                dispatched += (
+                    len(round_plan.shard_stage.plan.shards)
+                    if round_plan.pooled
+                    else 1
+                )
+                if journal is not None:
+                    journal.save_shard(r, result)
+                    if inner.last_checkpoint_stats is not None:
+                        # fold the round sub-journal's cost into the
+                        # driver's stats: one ledger for the whole run
+                        sub = inner.last_checkpoint_stats
+                        journal.stats.writes += sub.writes
+                        journal.stats.loads += sub.loads
+                        journal.stats.bytes_written += sub.bytes_written
+                        journal.stats.write_seconds += sub.write_seconds
+
+            pairs = result.pairs  # (pending-local query idx, global neighbor)
+            keep = pending[pairs[:, 0]] != pairs[:, 1]  # drop self matches
+            pairs = pairs[keep]
+            counts = np.bincount(pairs[:, 0], minlength=len(pending))
+            done_rows = counts[pairs[:, 0]] >= k
+            if done_rows.any():
+                # finalize every finished query with one segmented sort:
+                # by (query, distance, neighbor id) — the id tie-break
+                # makes equal-distance neighbors engine-invariant
+                q = pairs[done_rows, 0]
+                nb = pairs[done_rows, 1]
+                d = np.linalg.norm(pts[nb] - pts[pending[q]], axis=1)
+                order = np.lexsort((nb, d, q))
+                qs, nbs, ds = q[order], nb[order], d[order]
+                pos = np.arange(len(qs)) - np.searchsorted(qs, qs, side="left")
+                top = pos < k
+                q_global = pending[qs[top]]
+                indices[q_global, pos[top]] = nbs[top]
+                distances[q_global, pos[top]] = ds[top]
+            pending = pending[counts < k]
+            eps *= expand.growth
+            total_seconds += float(result.total_seconds)
+
+        if len(pending):  # pragma: no cover - 2**48 expansion always suffices
+            raise KnnConvergenceError(
+                pending, rounds=rounds, epsilon=eps / expand.growth
+            )
+        if journal is not None:
+            self.last_checkpoint_stats = journal.stats
+            journal.finalize(keep=plan.checkpoint_stage.keep)
+        return KnnResult(
+            indices=indices,
+            distances=distances,
+            rounds=rounds,
+            final_epsilon=eps / expand.growth,
+            total_seconds=total_seconds,
+        )
 
     def _run_pooled(self, plan: JoinPlan, *, resume: bool, deadline: _Deadline):
         # upward imports: multigpu compiles *into* this runtime, so the

@@ -77,18 +77,29 @@ def estimate_request_cost(
     queries: np.ndarray | None = None,
     sample_fraction: float = 0.01,
     include_self: bool = True,
+    k: int | None = None,
 ) -> int:
     """Estimated result rows of one request (≥ 0), from an exact sample.
 
     Self-joins use the strided estimator the batch planner uses;
     similarity joins solve a strided sample of the query side exactly and
-    scale — the same scheme, external query points.
+    scale — the same scheme, external query points. kNN requests charge
+    the larger of ``n*k`` (the exact answer size) and the round-0 range
+    estimate at ε₀ — each expansion round's residual shrinks, so round 0
+    dominates the driver's work.
     """
     if kind == "self":
         detailed = estimate_result_size_detailed(
             index, sample_fraction=sample_fraction, include_self=include_self
         )
         return int(detailed.estimate)
+    if kind == "knn":
+        if k is None or k < 1:
+            raise ValueError("knn cost estimate needs k >= 1")
+        detailed = estimate_result_size_detailed(
+            index, sample_fraction=sample_fraction, include_self=True
+        )
+        return max(index.num_points * int(k), int(detailed.estimate))
     if queries is None:
         raise ValueError("similarity cost estimate needs the query points")
     nq = len(queries)

@@ -32,7 +32,7 @@ __all__ = [
     "ServeError",
 ]
 
-REQUEST_KINDS = ("self", "similarity")
+REQUEST_KINDS = ("self", "similarity", "knn")
 
 #: Lifecycle of one request. ``queued → running → done`` is the happy
 #: path; ``rejected`` is an admission decision (never queued), ``timeout``
@@ -81,12 +81,15 @@ class JoinRequest:
         dataset; for a similarity join it is the *indexed* (right) side.
     epsilon:
         Distance threshold — also the grid cell length, so it is part of
-        the session-cache key.
+        the session-cache key. For ``kind="knn"`` this is the *initial*
+        expansion radius ε₀ (round r queries at ``epsilon * 2**r``).
     kind:
-        ``"self"`` or ``"similarity"``.
+        ``"self"``, ``"similarity"`` or ``"knn"``.
     query_dataset:
         Similarity joins only: the registered name of the query (left)
         side.
+    k:
+        kNN requests only: neighbors per point (``1 <= k < n``).
     tenant:
         Fairness identity; requests of one tenant are served FIFO among
         themselves, tenants share the pool by weighted deficit
@@ -115,6 +118,7 @@ class JoinRequest:
     epsilon: float
     kind: str = "self"
     query_dataset: str | None = None
+    k: int | None = None
     tenant: str = "default"
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     timeout_seconds: float | None = None
@@ -130,8 +134,15 @@ class JoinRequest:
             raise ValueError("epsilon must be positive and finite")
         if self.kind == "similarity" and self.query_dataset is None:
             raise ValueError("similarity requests need query_dataset (the left side)")
-        if self.kind == "self" and self.query_dataset is not None:
-            raise ValueError("self-join requests must not set query_dataset")
+        if self.kind != "similarity" and self.query_dataset is not None:
+            raise ValueError(
+                f"{self.kind} requests must not set query_dataset"
+            )
+        if self.kind == "knn":
+            if self.k is None or self.k < 1:
+                raise ValueError("knn requests need k >= 1")
+        elif self.k is not None:
+            raise ValueError(f"{self.kind} requests must not set k")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:

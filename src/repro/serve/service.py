@@ -70,7 +70,11 @@ import numpy as np
 from repro.grid import GridIndex, dataset_fingerprint
 from repro.resilience.faults import ServiceFaultPlan
 from repro.runtime.config import RuntimeConfig
-from repro.runtime.plan import compile_self_join, compile_similarity_join
+from repro.runtime.plan import (
+    compile_knn_join,
+    compile_self_join,
+    compile_similarity_join,
+)
 from repro.runtime.runner import DeadlineExceededError, Runner
 from repro.serve.admission import (
     AdmissionPolicy,
@@ -418,6 +422,7 @@ class JoinService:
             queries=query_handle.points if query_handle is not None else None,
             sample_fraction=request.runtime.optimization.sample_fraction,
             include_self=request.runtime.include_self,
+            k=request.k,
         )
         ticket.estimated_pairs = cost
         ticket.cache_hit = cache_hit
@@ -805,6 +810,18 @@ class JoinService:
             )
         if req.kind == "self":
             plan = compile_self_join(index, rc, index_reused=ticket.cache_hit)
+        elif req.kind == "knn":
+            # the request's ε is the round-0 radius; later rounds resolve
+            # their grids through the session cache too, so repeated kNN
+            # requests on one dataset reuse every round's index
+            plan = compile_knn_join(
+                handle.points,
+                req.k,
+                rc,
+                epsilon0=float(req.epsilon),
+                index_factory=self._round_index_factory(handle),
+                index_reused=ticket.cache_hit,
+            )
         else:
             queries = self._datasets[req.query_dataset].points
             plan = compile_similarity_join(
@@ -841,6 +858,24 @@ class JoinService:
                     self._ckpt["bytes_written"] += stats.bytes_written
                     self._ckpt["write_seconds"] += stats.write_seconds
         return result
+
+    def _round_index_factory(self, handle):
+        """Per-round ε-grid resolver for kNN plans (worker thread).
+
+        Each expansion round's radius keys the session cache under the
+        dataset's content fingerprint — the same identity admission
+        warmed for round 0 — so successive rounds (and successive kNN
+        requests over the same dataset) rebuild nothing.
+        """
+
+        def factory(epsilon: float) -> GridIndex:
+            index = self.cache.get(handle.fingerprint, epsilon)
+            if index is None:
+                index = GridIndex(handle.points, float(epsilon))
+                self.cache.put(handle.fingerprint, epsilon, index)
+            return index
+
+        return factory
 
     def _adapt_to_pool(self, rc: RuntimeConfig) -> RuntimeConfig:
         """Fit a pooled request onto the service's shared device pool."""

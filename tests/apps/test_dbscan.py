@@ -67,6 +67,36 @@ class TestDbscan:
         assert res.num_clusters == 2
         assert "queue" in res.join.config_description
 
+    def test_labels_invariant_to_runtime_engine(self, blobs):
+        from repro.runtime import RuntimeConfig
+
+        ref = dbscan(blobs, eps=0.4, min_pts=6)
+        for engine in ("vectorized", "native"):
+            res = dbscan(
+                blobs, eps=0.4, min_pts=6, runtime=RuntimeConfig(engine=engine)
+            )
+            np.testing.assert_array_equal(res.labels, ref.labels)
+
+    def test_labels_canonical_under_contested_borders(self, rng):
+        """Uniform points at a density where many border points touch
+        several clusters: the lowest-core-neighbor attachment and
+        lowest-member cluster numbering must make labels identical
+        across engines (pair *emission order* differs between them)."""
+        from repro.runtime import RuntimeConfig
+
+        pts = rng.uniform(0, 10, (300, 2))
+        ref = dbscan(pts, eps=0.5, min_pts=4)
+        for engine in ("vectorized", "native"):
+            res = dbscan(pts, eps=0.5, min_pts=4, runtime=RuntimeConfig(engine=engine))
+            np.testing.assert_array_equal(res.labels, ref.labels)
+        # numbering is canonical: cluster c's lowest *core* member
+        # precedes cluster c+1's
+        firsts = [
+            np.flatnonzero((ref.labels == c) & ref.core_mask)[0]
+            for c in range(ref.num_clusters)
+        ]
+        assert firsts == sorted(firsts)
+
     def test_validation(self, blobs):
         with pytest.raises(ValueError):
             dbscan(blobs, eps=0.4, min_pts=0)

@@ -55,3 +55,11 @@ class TestDeduplicate:
         res = deduplicate(pts, eps=0.1)
         assert res.num_unique == 1
         assert list(res.groups()) == [0]
+
+    def test_grouping_invariant_to_runtime_engine(self, records):
+        from repro.runtime import RuntimeConfig
+
+        ref = deduplicate(records, eps=0.01)
+        for engine in ("vectorized", "native"):
+            res = deduplicate(records, eps=0.01, runtime=RuntimeConfig(engine=engine))
+            np.testing.assert_array_equal(res.representative, ref.representative)

@@ -7,8 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps import knn
+from repro.apps import KnnConvergenceError, knn
 from repro.core import PRESETS
+from repro.runtime import Runner, RuntimeConfig, compile_knn_join
 
 
 def brute_knn(pts: np.ndarray, k: int):
@@ -80,6 +81,61 @@ class TestKnn:
         np.testing.assert_allclose(
             np.sort(a.distances, axis=1), np.sort(b.distances, axis=1)
         )
+
+    def test_k_equals_n_minus_1(self, rng):
+        # the degenerate extreme: every other point is a neighbor
+        pts = rng.uniform(0, 5, (40, 2))
+        res = knn(pts, 39)
+        expect_i, expect_d = brute_knn(pts, 39)
+        np.testing.assert_allclose(np.sort(res.distances, axis=1), expect_d)
+        np.testing.assert_array_equal(np.sort(res.indices, axis=1), np.sort(expect_i, axis=1))
+        assert res.num_pairs == 40 * 39
+
+    def test_coincident_points_canonical_tie_break(self):
+        # four exact copies of each site: all candidate distances tie at 0,
+        # so the canonical (distance, neighbor-id) order must pick the
+        # lowest-id copies deterministically
+        base = np.random.default_rng(3).uniform(0, 2, (12, 2))
+        pts = np.repeat(base, 4, axis=0)
+        res = knn(pts, 3)
+        np.testing.assert_allclose(res.distances, 0.0, atol=0.0)
+        for i in range(len(pts)):
+            group = i // 4
+            siblings = [j for j in range(4 * group, 4 * group + 4) if j != i]
+            np.testing.assert_array_equal(res.indices[i], siblings)
+
+    def test_engines_bit_identical(self, rng):
+        pts = rng.uniform(0, 8, (130, 2))
+        outs = {}
+        for engine in ("interpreted", "vectorized", "native"):
+            rc = RuntimeConfig(optimization=PRESETS["workqueue"], engine=engine)
+            outs[engine] = knn(pts, 4, runtime=rc)
+        ref = outs["vectorized"]
+        for engine, res in outs.items():
+            assert res.indices.tobytes() == ref.indices.tobytes(), engine
+            assert res.distances.tobytes() == ref.distances.tobytes(), engine
+            assert res.rounds == ref.rounds
+
+    def test_generous_epsilon0_converges_in_one_round(self, rng):
+        pts = rng.uniform(0, 1, (80, 2))
+        res = knn(pts, 3, epsilon0=5.0)  # covers the whole domain
+        assert res.rounds == 1
+        assert res.final_epsilon == pytest.approx(5.0)
+        _, expect_d = brute_knn(pts, 3)
+        np.testing.assert_allclose(np.sort(res.distances, axis=1), expect_d)
+
+    def test_convergence_error_carries_pending_ids(self, rng):
+        pts = rng.uniform(0, 10, (100, 2))
+        plan = compile_knn_join(
+            pts, 5, RuntimeConfig(), epsilon0=1e-4, max_rounds=2
+        )
+        with pytest.raises(KnnConvergenceError, match="failed to converge") as exc:
+            Runner().run(plan)
+        err = exc.value
+        assert err.rounds == 2
+        assert 0 < len(err.pending) <= 100
+        assert set(err.pending) <= set(range(100))
+        assert err.epsilon == pytest.approx(2e-4)
 
     @settings(max_examples=10)
     @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 6), ndim=st.integers(1, 3))

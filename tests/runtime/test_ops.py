@@ -1,0 +1,160 @@
+"""The operation registry and the generic compile pipeline.
+
+Every op declares its stages through the :mod:`repro.runtime.ops` hooks;
+``compile_join`` must produce the same plans the dedicated entry points
+always did, and the run fingerprint must separate ops that share a
+dataset but answer different questions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PRESETS
+from repro.data import uniform
+from repro.grid import GridIndex
+from repro.resilience import run_fingerprint
+from repro.runtime import (
+    OPS,
+    BipartiteOp,
+    ExpansionStage,
+    JoinOp,
+    KnnJoinOp,
+    RuntimeConfig,
+    SelfJoinOp,
+    compile_join,
+    compile_knn_join,
+    compile_self_join,
+    compile_similarity_join,
+    get_op,
+    register_op,
+)
+
+_EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform(150, 2, seed=11, low=0.0, high=1.0)
+
+
+@pytest.fixture(scope="module")
+def index(points):
+    return GridIndex(points, _EPS)
+
+
+# ------------------------------------------------------------ registry
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"self", "bipartite", "knn"} <= set(OPS)
+        assert get_op("self") is SelfJoinOp
+        assert get_op("bipartite") is BipartiteOp
+        assert get_op("knn") is KnnJoinOp
+
+    def test_unknown_kind_raises_with_inventory(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_op("voronoi")
+
+    def test_register_op_round_trip(self):
+        @register_op
+        class _ProbeOp(JoinOp):
+            kind = "probe-test"
+            kernel_name = "selfjoin_kernel"
+
+        try:
+            assert get_op("probe-test") is _ProbeOp
+        finally:
+            del OPS["probe-test"]
+
+    def test_default_hooks(self, index):
+        class _Minimal(JoinOp):
+            kind = "minimal"
+            kernel_name = "selfjoin_kernel"
+
+        op = _Minimal()
+        rc = RuntimeConfig()
+        assert op.fingerprint_extras() == ()
+        op.validate(rc)  # the default accepts anything
+        stages = op.plan_stages(index, rc)
+        assert len(stages) == 1
+        with pytest.raises(NotImplementedError):
+            op.shard_plan(index, rc)
+
+
+# ------------------------------------------------------------ generic compile
+class TestCompileJoin:
+    def test_self_wrapper_matches_generic(self, index):
+        rc = RuntimeConfig(seed=3)
+        via_wrapper = compile_self_join(index, rc)
+        via_generic = compile_join(
+            SelfJoinOp(include_self=rc.include_self), index, rc
+        )
+        assert via_wrapper.describe() == via_generic.describe()
+        assert run_fingerprint(via_wrapper) == run_fingerprint(via_generic)
+
+    def test_bipartite_wrapper_matches_generic(self, index, points):
+        queries = points[:40] + 0.01
+        rc = RuntimeConfig(seed=3)
+        via_wrapper = compile_similarity_join(index, queries, rc)
+        via_generic = compile_join(BipartiteOp(queries), index, rc)
+        assert via_wrapper.describe() == via_generic.describe()
+        assert run_fingerprint(via_wrapper) == run_fingerprint(via_generic)
+
+    def test_knn_plan_carries_expansion_stage(self, points):
+        plan = compile_knn_join(points, 4, RuntimeConfig(), epsilon0=0.05)
+        stage = plan.expansion_stage
+        assert isinstance(stage, ExpansionStage)
+        assert stage.k == 4 and stage.epsilon0 == pytest.approx(0.05)
+        assert "expand" in plan.describe()
+
+    def test_knn_rejects_unidirectional_patterns(self, points):
+        rc = RuntimeConfig(optimization=PRESETS["combined"])  # lidunicomp
+        with pytest.raises(ValueError, match="pattern"):
+            compile_knn_join(points, 4, rc)
+
+
+# ------------------------------------------------------------ op validation
+class TestKnnOpValidation:
+    def test_k_bounds(self, points):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            KnnJoinOp(points, 0)
+        with pytest.raises(ValueError, match="at least"):
+            KnnJoinOp(points, len(points))
+
+    def test_epsilon_growth_rounds(self, points):
+        with pytest.raises(ValueError, match="epsilon0"):
+            KnnJoinOp(points, 3, epsilon0=0.0)
+        with pytest.raises(ValueError, match="growth"):
+            KnnJoinOp(points, 3, growth=1.0)
+        with pytest.raises(ValueError, match="max_rounds"):
+            KnnJoinOp(points, 3, max_rounds=0)
+
+
+# ------------------------------------------------------------ fingerprints
+class TestFingerprints:
+    def test_ops_on_same_data_have_distinct_identity(self, index, points):
+        rc = RuntimeConfig()
+        self_fp = run_fingerprint(compile_self_join(index, rc))
+        knn_fp = run_fingerprint(compile_knn_join(points, 4, rc))
+        assert self_fp != knn_fp
+
+    def test_knn_parameters_are_part_of_identity(self, points):
+        rc = RuntimeConfig()
+        base = run_fingerprint(compile_knn_join(points, 4, rc, epsilon0=0.05))
+        assert base == run_fingerprint(compile_knn_join(points, 4, rc, epsilon0=0.05))
+        assert base != run_fingerprint(compile_knn_join(points, 5, rc, epsilon0=0.05))
+        assert base != run_fingerprint(compile_knn_join(points, 4, rc, epsilon0=0.06))
+        assert base != run_fingerprint(
+            compile_knn_join(points, 4, rc, epsilon0=0.05, growth=3.0)
+        )
+        assert base != run_fingerprint(
+            compile_knn_join(points, 4, rc, epsilon0=0.05, max_rounds=7)
+        )
+
+    def test_bipartite_extras_pin_the_query_side(self, index, points):
+        rc = RuntimeConfig()
+        a = run_fingerprint(compile_similarity_join(index, points[:30], rc))
+        b = run_fingerprint(compile_similarity_join(index, points[:31], rc))
+        assert a != b
+        (chunk,) = BipartiteOp(points[:30]).fingerprint_extras()
+        assert isinstance(chunk, bytes) and chunk

@@ -1,0 +1,127 @@
+"""kNN requests through the serving layer.
+
+The service compiles ``kind="knn"`` requests through the same
+``compile_knn_join`` path the library uses, resolving every expansion
+round's grid through the :class:`SessionCache`; results must match the
+direct :func:`repro.apps.knn` call and repeat requests must hit the
+session cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.apps import knn
+from repro.data import uniform
+from repro.grid import GridIndex
+from repro.serve import JoinRequest, JoinService, ServeConfig
+from repro.serve.admission import estimate_request_cost
+
+_EPS0 = 0.05
+_K = 3
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform(180, 2, seed=33, low=0.0, high=1.0)
+
+
+@pytest.fixture(scope="module")
+def direct(points):
+    return knn(points, _K, epsilon0=_EPS0)
+
+
+def serve(coro_fn, config: ServeConfig | None = None):
+    async def main():
+        async with JoinService(config) as svc:
+            return await coro_fn(svc)
+
+    return asyncio.run(main())
+
+
+# ------------------------------------------------------------ validation
+class TestRequestShape:
+    def test_knn_needs_k(self):
+        with pytest.raises(ValueError, match="k >= 1"):
+            JoinRequest(dataset="d", epsilon=_EPS0, kind="knn")
+        with pytest.raises(ValueError, match="k >= 1"):
+            JoinRequest(dataset="d", epsilon=_EPS0, kind="knn", k=0)
+
+    def test_non_knn_kinds_reject_k(self):
+        with pytest.raises(ValueError, match="must not set k"):
+            JoinRequest(dataset="d", epsilon=_EPS0, kind="self", k=2)
+
+    def test_knn_rejects_query_dataset(self):
+        with pytest.raises(ValueError, match="query_dataset"):
+            JoinRequest(
+                dataset="d", epsilon=_EPS0, kind="knn", k=2, query_dataset="q"
+            )
+
+
+# ------------------------------------------------------------ admission
+class TestCostEstimate:
+    def test_knn_cost_lower_bound_is_exact_answer_size(self, points):
+        index = GridIndex(points, _EPS0)
+        cost = estimate_request_cost(index, kind="knn", k=_K)
+        assert cost >= len(points) * _K
+
+    def test_knn_cost_needs_k(self, points):
+        index = GridIndex(points, _EPS0)
+        with pytest.raises(ValueError, match="k >= 1"):
+            estimate_request_cost(index, kind="knn")
+
+
+# ------------------------------------------------------------ execution
+def test_knn_round_trip_matches_direct_call(points, direct):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(
+            JoinRequest(dataset="u", epsilon=_EPS0, kind="knn", k=_K)
+        )
+        return await svc.result(ticket)
+
+    response = serve(body)
+    assert response.ok and response.kind == "knn"
+    result = response.result
+    assert result.indices.tobytes() == direct.indices.tobytes()
+    assert result.distances.tobytes() == direct.distances.tobytes()
+    assert result.rounds == direct.rounds
+    assert response.num_pairs == len(points) * _K
+
+
+def test_repeat_knn_request_hits_session_cache(points):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        first = await svc.result(
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS0, kind="knn", k=_K))
+        )
+        second = await svc.result(
+            await svc.submit(JoinRequest(dataset="u", epsilon=_EPS0, kind="knn", k=_K))
+        )
+        return first, second
+
+    first, second = serve(body)
+    assert not first.cache_hit
+    assert second.cache_hit  # the round-0 grid came from the session cache
+    assert second.result.indices.tobytes() == first.result.indices.tobytes()
+    assert second.result.distances.tobytes() == first.result.distances.tobytes()
+
+
+def test_knn_pairs_stream_in_canonical_chunks(points, direct):
+    async def body(svc):
+        svc.register_dataset("u", points)
+        ticket = await svc.submit(
+            JoinRequest(dataset="u", epsilon=_EPS0, kind="knn", k=_K)
+        )
+        await svc.result(ticket)
+        chunks = []
+        async for chunk in svc.stream(ticket, chunk=64):
+            chunks.append(chunk)
+        return chunks
+
+    chunks = serve(body)
+    assert all(len(c) <= 64 for c in chunks)
+    np.testing.assert_array_equal(np.concatenate(chunks), direct.pairs)
